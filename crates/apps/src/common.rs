@@ -1,0 +1,79 @@
+//! Shared helpers for the application suite.
+
+/// Balanced contiguous partition: the half-open item range owned by `part`
+/// of `parts` over `total` items (remainders spread one-per-part, matching
+/// `Mapping::stretch`).
+///
+/// # Panics
+///
+/// Panics if `parts` is zero or `part >= parts`.
+pub fn block_range(total: usize, parts: usize, part: usize) -> std::ops::Range<usize> {
+    assert!(parts > 0, "parts must be positive");
+    assert!(part < parts, "part {part} out of {parts}");
+    let start = part * total / parts;
+    let end = (part + 1) * total / parts;
+    start..end
+}
+
+/// A near-square factorization `rows x cols = parts` with `cols >= rows`
+/// (SPLASH-2 codes put the longer side on columns, which is what gives
+/// LU its 8-thread grid-row blocks at every thread count in Table 3).
+/// Falls back to `1 x parts` for primes.
+pub fn thread_grid(parts: usize) -> (usize, usize) {
+    assert!(parts > 0, "parts must be positive");
+    let mut best = (1, parts);
+    let mut rows = 1;
+    while rows * rows <= parts {
+        if parts % rows == 0 {
+            best = (rows, parts / rows);
+        }
+        rows += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_ranges_tile_exactly() {
+        for total in [7usize, 64, 100, 2048] {
+            for parts in [1usize, 3, 8, 64] {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for p in 0..parts {
+                    let r = block_range(total, parts, p);
+                    assert_eq!(r.start, prev_end, "contiguous");
+                    covered += r.len();
+                    prev_end = r.end;
+                }
+                assert_eq!(covered, total);
+                assert_eq!(prev_end, total);
+            }
+        }
+    }
+
+    #[test]
+    fn block_ranges_are_balanced() {
+        for p in 0..3 {
+            let len = block_range(10, 3, p).len();
+            assert!((3..=4).contains(&len));
+        }
+    }
+
+    #[test]
+    fn grids_factor_correctly() {
+        assert_eq!(thread_grid(64), (8, 8));
+        assert_eq!(thread_grid(32), (4, 8));
+        assert_eq!(thread_grid(48), (6, 8));
+        assert_eq!(thread_grid(16), (4, 4));
+        assert_eq!(thread_grid(7), (1, 7));
+        assert_eq!(thread_grid(1), (1, 1));
+        for n in 1..=64usize {
+            let (r, c) = thread_grid(n);
+            assert_eq!(r * c, n);
+            assert!(c >= r);
+        }
+    }
+}

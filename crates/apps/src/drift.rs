@@ -1,0 +1,198 @@
+//! Drift — a dynamic, adaptive irregular application (the paper's §7
+//! future work; cf. its reference \[14\] on adaptive irregular codes).
+//!
+//! Particles live on a ring, partitioned in blocks per thread. Each thread
+//! interacts with one partner block — but the particles *drift*, so the
+//! partner offset jumps at every phase boundary and the sharing pattern
+//! rotates through the whole ring. Any static placement is eventually
+//! wrong; §7's prescription (periodic re-tracking + min-cost migration)
+//! keeps the interacting pairs co-located.
+//!
+//! The paper's static applications answer "can we measure affinity
+//! cheaply?"; Drift answers "is it worth re-measuring?" — the test suite
+//! and the `adaptive` experiment use it for exactly that.
+
+use crate::common::block_range;
+use acorr_dsm::{LockId, Op, Program};
+use acorr_mem::SharedLayout;
+
+/// Bytes per particle record.
+const PARTICLE_BYTES: u64 = 256;
+const LOCKS: usize = 4;
+/// Compute per (own particle, window particle) pair.
+const NS_PER_PAIR: u64 = 900;
+
+/// A drifting-particle ring simulation.
+#[derive(Debug, Clone)]
+pub struct Drift {
+    particles: usize,
+    threads: usize,
+    period: usize,
+    particles_base: u64,
+    globals_base: u64,
+    shared_bytes: u64,
+}
+
+impl Drift {
+    /// Creates a ring of `particles` particles whose interaction window
+    /// slides by one block every `period` iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero or there are more threads than
+    /// particles.
+    pub fn new(particles: usize, threads: usize, period: usize) -> Self {
+        assert!(
+            particles > 0 && threads > 0 && period > 0,
+            "degenerate Drift"
+        );
+        assert!(threads <= particles, "more threads than particles");
+        let mut layout = SharedLayout::new();
+        let p = layout.alloc("particles", particles as u64 * PARTICLE_BYTES);
+        let g = layout.alloc("globals", 128);
+        Drift {
+            particles,
+            threads,
+            period,
+            particles_base: p.base(),
+            globals_base: g.base(),
+            shared_bytes: layout.total_bytes(),
+        }
+    }
+
+    /// The block of thread `owner`'s particles as an address range.
+    fn block(&self, owner: usize) -> (u64, u64) {
+        let r = block_range(self.particles, self.threads, owner);
+        (
+            self.particles_base + r.start as u64 * PARTICLE_BYTES,
+            r.len() as u64 * PARTICLE_BYTES,
+        )
+    }
+
+    /// The partner block thread `thread` interacts with at `iteration`.
+    /// The partner offset starts at 1 (nearest neighbor) and jumps a
+    /// quarter of the ring (plus one, to visit every offset) at each phase
+    /// boundary — the abrupt re-bucketing of an adaptive irregular code
+    /// after a re-partition. Because each thread has exactly one partner
+    /// at a time, co-locating the pairs eliminates the communication, and
+    /// only re-placement can keep doing so as the offset jumps.
+    pub fn window_of(&self, thread: usize, iteration: usize) -> Vec<usize> {
+        let jump = self.threads / 4 + 1;
+        let shift = (1 + (iteration / self.period) * jump) % self.threads;
+        vec![(thread + shift) % self.threads]
+    }
+}
+
+impl Program for Drift {
+    fn name(&self) -> &str {
+        "Drift"
+    }
+
+    fn shared_bytes(&self) -> u64 {
+        self.shared_bytes
+    }
+
+    fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    fn num_locks(&self) -> usize {
+        LOCKS
+    }
+
+    fn default_iterations(&self) -> usize {
+        4 * self.period
+    }
+
+    fn script(&self, thread: usize, iteration: usize) -> Vec<Op> {
+        let (own_addr, own_bytes) = self.block(thread);
+        let own_particles = block_range(self.particles, self.threads, thread).len() as u64;
+        let mut ops = Vec::new();
+        // Phase 1: read the interaction window (wherever it has drifted).
+        let mut window_particles = 0u64;
+        for partner in self.window_of(thread, iteration) {
+            let (addr, bytes) = self.block(partner);
+            ops.push(Op::read(addr, bytes));
+            window_particles += bytes / PARTICLE_BYTES;
+        }
+        ops.push(Op::read(own_addr, own_bytes));
+        ops.push(Op::compute(own_particles * window_particles * NS_PER_PAIR));
+        ops.push(Op::write(own_addr, own_bytes));
+        ops.push(Op::Barrier);
+        // Phase 2: update positions; the lock-protected global-energy
+        // reduction runs every fourth iteration (as adaptive codes
+        // typically sample diagnostics, and so the constant lock traffic
+        // does not drown the drift signal).
+        ops.push(Op::read(own_addr, own_bytes));
+        ops.push(Op::compute(own_particles * 1_500));
+        ops.push(Op::write(own_addr, own_bytes));
+        if iteration % 4 == 0 {
+            let lock = LockId((thread % LOCKS) as u16);
+            ops.push(Op::Lock(lock));
+            ops.push(Op::read(self.globals_base, 64));
+            ops.push(Op::write(self.globals_base, 64));
+            ops.push(Op::Unlock(lock));
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acorr_dsm::validate_iteration;
+
+    #[test]
+    fn scripts_validate_at_every_phase() {
+        let d = Drift::new(256, 16, 3);
+        for iter in [0, 2, 3, 7, 20, 48] {
+            validate_iteration(&d, iter).unwrap();
+        }
+    }
+
+    #[test]
+    fn partner_jumps_a_quarter_ring_per_phase() {
+        let d = Drift::new(256, 16, 4);
+        assert_eq!(d.window_of(0, 0), vec![1], "starts nearest-neighbor");
+        assert_eq!(d.window_of(0, 3), vec![1], "stable within a phase");
+        // jump = 16/4 + 1 = 5.
+        assert_eq!(d.window_of(0, 4), vec![6], "jumps at the boundary");
+        assert_eq!(d.window_of(0, 8), vec![11]);
+    }
+
+    #[test]
+    fn partner_wraps_the_ring() {
+        let d = Drift::new(64, 8, 1);
+        assert_eq!(d.window_of(7, 0), vec![0]);
+        // jump = 3; after 8 phases the shift is back to 1: full cycle.
+        assert_eq!(d.window_of(3, 8), d.window_of(3, 0));
+    }
+
+    #[test]
+    fn sharing_pattern_actually_changes() {
+        let d = Drift::new(256, 16, 2);
+        let early = d.script(5, 0);
+        let late = d.script(5, 2 * 8); // eight phases later
+        assert_ne!(early, late, "scripts must rotate");
+    }
+
+    #[test]
+    fn accesses_stay_in_bounds() {
+        let d = Drift::new(100, 7, 2);
+        for t in 0..7 {
+            for iter in [0, 5, 13] {
+                for op in d.script(t, iter) {
+                    if let Op::Read { addr, len } | Op::Write { addr, len } = op {
+                        assert!(addr + len <= d.shared_bytes());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_period_rejected() {
+        Drift::new(64, 8, 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! FFT — a blocked transpose-based FFT in the SPLASH-2 style.
+//!
+//! The data (complex `f32`, 8 bytes per element) lives in two arrays (source
+//! and transpose target), each laid out as a `T x T` grid of
+//! processor-blocks: block `(i, j)` holds the data thread `i` owns before
+//! the transpose that thread `j` needs after it. The transpose phase has
+//! thread `i` read column `i` — one block from every other thread's row.
+//!
+//! At element level that exchange is uniform all-to-all; the *correlation
+//! map* structure of Table 4 comes purely from page granularity. A block of
+//! `N/T²` elements occupies `N·8/T²` bytes, so with 64 threads:
+//!
+//! * 64³ input → 512-byte blocks, 8 per page → threads cluster in groups of
+//!   8 (the paper's "eight eight-thread clusters");
+//! * 64²×128 → 1 KiB blocks, 4 per page → groups of 4 ("32 disjoint
+//!   four-thread blocks");
+//! * 64²×256 → 2 KiB blocks → sharing approaches uniform all-to-all.
+//!
+//! At 48 threads the block size is not a power of two, blocks straddle page
+//! boundaries irregularly, and the map shows the paper's "distinct
+//! irregularities".
+
+use acorr_dsm::{Op, Program};
+use acorr_mem::SharedLayout;
+
+const ELEM_BYTES: u64 = 8; // complex f32
+/// Calibrated toward the paper's FFT6/7/8 iteration times (0.37/0.67/1.41 s
+/// at 64 threads on 8 nodes).
+const NS_PER_UNIT: u64 = 125;
+
+/// Transpose-based FFT over `nx * ny * nz` complex elements.
+#[derive(Debug, Clone)]
+pub struct Fft {
+    name: String,
+    elems: u64,
+    threads: usize,
+    block_bytes: u64,
+    src_base: u64,
+    dst_base: u64,
+    shared_bytes: u64,
+}
+
+impl Fft {
+    /// Creates an FFT instance for an `nx * ny * nz` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the thread count is zero.
+    pub fn new(name: &str, nx: usize, ny: usize, nz: usize, threads: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0 && threads > 0, "degenerate FFT");
+        let elems = (nx * ny * nz) as u64;
+        let t = threads as u64;
+        // Processor-block size, rounded up to whole elements.
+        let block_bytes = (elems * ELEM_BYTES).div_ceil(t * t).div_ceil(ELEM_BYTES) * ELEM_BYTES;
+        let array_bytes = block_bytes * t * t;
+        let mut layout = SharedLayout::new();
+        let src = layout.alloc("src", array_bytes);
+        let dst = layout.alloc("dst", array_bytes);
+        let _globals = layout.alloc("globals", 256);
+        Fft {
+            name: name.to_owned(),
+            elems,
+            threads,
+            block_bytes,
+            src_base: src.base(),
+            dst_base: dst.base(),
+            shared_bytes: layout.total_bytes(),
+        }
+    }
+
+    /// The paper's `2^6 x 2^6 x 2^6` input (FFT6).
+    pub fn paper6(threads: usize) -> Self {
+        Fft::new("FFT6", 64, 64, 64, threads)
+    }
+
+    /// The paper's `2^6 x 2^6 x 2^7` input (FFT7).
+    pub fn paper7(threads: usize) -> Self {
+        Fft::new("FFT7", 64, 64, 128, threads)
+    }
+
+    /// The paper's `2^6 x 2^6 x 2^8` input (FFT8).
+    pub fn paper8(threads: usize) -> Self {
+        Fft::new("FFT8", 64, 64, 256, threads)
+    }
+
+    /// Bytes of one processor-block.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    fn block_addr(&self, base: u64, row: usize, col: usize) -> u64 {
+        base + (row as u64 * self.threads as u64 + col as u64) * self.block_bytes
+    }
+
+    /// Per-thread, per-pass compute: a 1D FFT pass over the thread's slab.
+    fn pass_ns(&self) -> u64 {
+        let per_thread = self.elems / self.threads as u64;
+        // ~5 n log2 n work units across three passes.
+        let logn = 64 - u64::leading_zeros(self.elems.max(2) - 1) as u64;
+        5 * per_thread * logn / 3 * NS_PER_UNIT
+    }
+}
+
+impl Program for Fft {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn shared_bytes(&self) -> u64 {
+        self.shared_bytes
+    }
+
+    fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    fn default_iterations(&self) -> usize {
+        15
+    }
+
+    fn script(&self, thread: usize, _iteration: usize) -> Vec<Op> {
+        let t = self.threads;
+        let row_bytes = self.block_bytes * t as u64;
+        let own_src = self.block_addr(self.src_base, thread, 0);
+        let own_dst = self.block_addr(self.dst_base, thread, 0);
+        let mut ops = Vec::new();
+
+        // Phase 1: local FFT pass over the owned source row.
+        ops.push(Op::read(own_src, row_bytes));
+        ops.push(Op::compute(self.pass_ns()));
+        ops.push(Op::write(own_src, row_bytes));
+        ops.push(Op::Barrier);
+
+        // Phase 2: transpose — read column `thread` of the source (one
+        // block from every row), write the owned destination row.
+        for j in 0..t {
+            ops.push(Op::read(
+                self.block_addr(self.src_base, j, thread),
+                self.block_bytes,
+            ));
+            ops.push(Op::write(
+                self.block_addr(self.dst_base, thread, j),
+                self.block_bytes,
+            ));
+        }
+        ops.push(Op::compute(self.pass_ns() / 4));
+        ops.push(Op::Barrier);
+
+        // Phase 3: local FFT pass over the transposed row.
+        ops.push(Op::read(own_dst, row_bytes));
+        ops.push(Op::compute(self.pass_ns()));
+        ops.push(Op::write(own_dst, row_bytes));
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acorr_dsm::validate_iteration;
+    use acorr_mem::{pages_for, PAGE_SIZE};
+
+    #[test]
+    fn block_sizes_follow_table4_mechanism() {
+        // 64 threads: 64³ → 512 B blocks (8/page), ×2 z → 1 KiB (4/page),
+        // ×4 z → 2 KiB (2/page).
+        assert_eq!(Fft::paper6(64).block_bytes(), 512);
+        assert_eq!(Fft::paper7(64).block_bytes(), 1024);
+        assert_eq!(Fft::paper8(64).block_bytes(), 2048);
+        assert_eq!(PAGE_SIZE as u64 / Fft::paper6(64).block_bytes(), 8);
+    }
+
+    #[test]
+    fn page_counts_scale_like_table1() {
+        let p6 = pages_for(Fft::paper6(64).shared_bytes());
+        let p7 = pages_for(Fft::paper7(64).shared_bytes());
+        let p8 = pages_for(Fft::paper8(64).shared_bytes());
+        // Two arrays of 2/4/8 MiB: 1024/2048/4096 pages + globals. The
+        // paper's counts (1796/3588/7172) double the same way.
+        assert_eq!((p6, p7, p8), (1025, 2049, 4097));
+        assert!(p7 > p6 && p8 > 2 * p7 - p6 - 10);
+    }
+
+    #[test]
+    fn forty_eight_threads_are_irregular() {
+        // Non-power-of-two thread counts give blocks that do not divide the
+        // page size, so blocks straddle page boundaries irregularly (the
+        // paper's 48-thread irregularity).
+        let f = Fft::paper6(48);
+        assert_ne!(PAGE_SIZE as u64 % f.block_bytes(), 0);
+        assert_eq!(f.block_bytes() % ELEM_BYTES, 0, "whole elements");
+    }
+
+    #[test]
+    fn scripts_validate() {
+        for threads in [8, 32, 48, 64] {
+            validate_iteration(&Fft::paper6(threads), 0).unwrap();
+        }
+    }
+
+    #[test]
+    fn transpose_reads_every_row_once() {
+        let f = Fft::new("fft", 16, 16, 16, 8);
+        let script = f.script(3, 0);
+        let col_reads: Vec<u64> = script
+            .iter()
+            .filter_map(|op| match *op {
+                Op::Read { addr, len } if len == f.block_bytes() => Some(addr),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(col_reads.len(), 8);
+        // Block (j, 3) for every j.
+        for (j, addr) in col_reads.iter().enumerate() {
+            assert_eq!(*addr, f.block_addr(f.src_base, j, 3));
+        }
+    }
+
+    #[test]
+    fn accesses_stay_in_bounds() {
+        for threads in [7, 48, 64] {
+            let f = Fft::paper6(threads);
+            for t in 0..threads {
+                for op in f.script(t, 0) {
+                    if let Op::Read { addr, len } | Op::Write { addr, len } = op {
+                        assert!(addr + len <= f.shared_bytes());
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Ocean — the SPLASH-2 ocean-current simulation.
+//!
+//! Many `(n+2)²` `f64` grids (25 of them at the paper's "256 oceans" input,
+//! totalling Table 1's ≈3191 pages), relaxed with 5-point stencils under a
+//! 2D partition, plus a lock-protected reduction and a multigrid phase over
+//! a hierarchy of coarser grids.
+//!
+//! The thread grid fixes **8 row-bands** and splits columns among `T/8`
+//! threads, so the correlation map shows diagonal blocks of `T/8` threads
+//! (the column threads of one band share that band's row pages) — growing
+//! with the thread count while their *number* stays fixed, exactly the
+//! Table 3 behaviour the paper reports for Ocean. The multigrid phase makes
+//! every thread read the whole coarse hierarchy, producing the uniform
+//! all-to-all background §5.1 points out.
+
+use crate::common::{block_range, thread_grid};
+use acorr_dsm::{LockId, Op, Program};
+use acorr_mem::SharedLayout;
+
+const ELEM_BYTES: u64 = 8; // f64
+const FINE_GRIDS: usize = 24;
+/// Fine grids relaxed under the row-band partition (2D stencils).
+const ROW_PHASE_GRIDS: usize = 18;
+const ROW_PHASES: usize = 6;
+/// Fine grids swept under the *column* partition (the cross-direction
+/// phases of Ocean's solver) — every thread touches every page of these.
+const COL_PHASES: usize = 2;
+const COARSE_LEVELS: usize = 4;
+const LOCKS: usize = 4;
+/// Calibrated toward the paper's ≈1.9 s 64-thread iteration.
+const NS_PER_POINT: u64 = 7_000;
+
+/// Ocean over `FINE_GRIDS` grids of `(n+2) x (n+2)` doubles.
+#[derive(Debug, Clone)]
+pub struct Ocean {
+    dim: usize, // n + 2
+    threads: usize,
+    bands: usize,
+    cols: usize,
+    fine_bases: Vec<u64>,
+    coarse_bases: Vec<(u64, usize)>, // (base, dim)
+    globals_base: u64,
+    shared_bytes: u64,
+}
+
+impl Ocean {
+    /// Creates an Ocean instance for an `n x n` ocean (grids are
+    /// `(n+2) x (n+2)` with boundary halos).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `threads` is zero.
+    pub fn new(n: usize, threads: usize) -> Self {
+        assert!(n > 0 && threads > 0, "degenerate Ocean");
+        let dim = n + 2;
+        let (bands, cols) = if threads % 8 == 0 && threads >= 8 {
+            (8, threads / 8)
+        } else {
+            thread_grid(threads)
+        };
+        let mut layout = SharedLayout::new();
+        let grid_bytes = (dim * dim) as u64 * ELEM_BYTES;
+        let fine_bases = (0..FINE_GRIDS)
+            .map(|g| layout.alloc(&format!("fine{g}"), grid_bytes).base())
+            .collect();
+        let mut coarse_bases = Vec::new();
+        let mut cdim = dim / 2;
+        for level in 0..COARSE_LEVELS {
+            let seg = layout.alloc(&format!("coarse{level}"), (cdim * cdim) as u64 * ELEM_BYTES);
+            coarse_bases.push((seg.base(), cdim));
+            cdim = (cdim / 2).max(4);
+        }
+        let globals = layout.alloc("globals", 256);
+        Ocean {
+            dim,
+            threads,
+            bands,
+            cols,
+            fine_bases,
+            coarse_bases,
+            globals_base: globals.base(),
+            shared_bytes: layout.total_bytes(),
+        }
+    }
+
+    /// The paper's "256 oceans" input: 258x258 grids.
+    pub fn paper(threads: usize) -> Self {
+        Ocean::new(256, threads)
+    }
+
+    /// The (band, column) coordinates of a thread.
+    fn coords(&self, thread: usize) -> (usize, usize) {
+        (thread / self.cols, thread % self.cols)
+    }
+
+    fn row_addr(&self, base: u64, dim: usize, row: usize, col_off: usize) -> u64 {
+        base + (row * dim + col_off) as u64 * ELEM_BYTES
+    }
+
+    /// Stencil ops over the thread's subgrid of one fine grid.
+    fn stencil_ops(&self, base: u64, thread: usize, ops: &mut Vec<Op>) {
+        let interior = self.dim - 2;
+        let (band, col) = self.coords(thread);
+        let rows = block_range(interior, self.bands, band);
+        let cols = block_range(interior, self.cols, col);
+        // Interior rows are offset by the 1-element halo.
+        let col_off = cols.start + 1;
+        // Halo columns included in each row read.
+        let read_bytes = (cols.len() + 2) as u64 * ELEM_BYTES;
+        let write_bytes = cols.len() as u64 * ELEM_BYTES;
+        // Boundary rows from the neighbouring bands.
+        ops.push(Op::read(
+            self.row_addr(base, self.dim, rows.start, col_off - 1),
+            read_bytes,
+        ));
+        ops.push(Op::read(
+            self.row_addr(base, self.dim, rows.end + 1, col_off - 1),
+            read_bytes,
+        ));
+        for r in rows.clone() {
+            let row = r + 1;
+            ops.push(Op::read(
+                self.row_addr(base, self.dim, row, col_off - 1),
+                read_bytes,
+            ));
+            ops.push(Op::write(
+                self.row_addr(base, self.dim, row, col_off),
+                write_bytes,
+            ));
+        }
+        ops.push(Op::compute(
+            (rows.len() * cols.len()) as u64 * NS_PER_POINT,
+        ));
+    }
+
+    /// Column-partition sweep: the thread reads and updates its column band
+    /// over a cyclic window of one third of the rows, offset per thread.
+    /// Because the grid is row-major, the window spans one third of the
+    /// grid's *pages*, so nearby threads overlap heavily and distant ones
+    /// not at all — Ocean's broad dark band — while each page is still
+    /// touched by a bounded set of threads, keeping remote misses sensitive
+    /// to placement (the Table 2 signal).
+    fn column_sweep_ops(&self, base: u64, thread: usize, ops: &mut Vec<Op>) {
+        let interior = self.dim - 2;
+        let cols = block_range(interior, self.threads, thread);
+        let col_off = cols.start + 1;
+        let read_bytes = (cols.len() + 2) as u64 * ELEM_BYTES;
+        let write_bytes = cols.len() as u64 * ELEM_BYTES;
+        let window = (interior / 3).max(1);
+        let start = thread * interior / self.threads;
+        for r in 0..window {
+            let row = 1 + (start + r) % interior;
+            ops.push(Op::read(
+                self.row_addr(base, self.dim, row, col_off - 1),
+                read_bytes,
+            ));
+            ops.push(Op::write(
+                self.row_addr(base, self.dim, row, col_off),
+                write_bytes,
+            ));
+        }
+        ops.push(Op::compute((window * cols.len()) as u64 * NS_PER_POINT));
+    }
+}
+
+impl Program for Ocean {
+    fn name(&self) -> &str {
+        "Ocean"
+    }
+
+    fn shared_bytes(&self) -> u64 {
+        self.shared_bytes
+    }
+
+    fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    fn num_locks(&self) -> usize {
+        LOCKS
+    }
+
+    fn default_iterations(&self) -> usize {
+        15
+    }
+
+    fn script(&self, thread: usize, _iteration: usize) -> Vec<Op> {
+        let mut ops = Vec::new();
+        // Row-band stencil phases.
+        let grids_per_phase = ROW_PHASE_GRIDS / ROW_PHASES;
+        for phase in 0..ROW_PHASES {
+            for g in 0..grids_per_phase {
+                let base = self.fine_bases[phase * grids_per_phase + g];
+                self.stencil_ops(base, thread, &mut ops);
+            }
+            ops.push(Op::Barrier);
+        }
+        // Column-partition sweeps: the thread owns a column band and walks
+        // every row of it — with row-major grids that touches every page of
+        // the grid, producing Ocean's uniform all-to-all background.
+        let col_grids = (FINE_GRIDS - ROW_PHASE_GRIDS) / COL_PHASES;
+        for phase in 0..COL_PHASES {
+            for g in 0..col_grids {
+                let base = self.fine_bases[ROW_PHASE_GRIDS + phase * col_grids + g];
+                self.column_sweep_ops(base, thread, &mut ops);
+            }
+            ops.push(Op::Barrier);
+        }
+        // Multigrid phase: every thread reads the full coarse hierarchy and
+        // writes its slice of each level.
+        for &(base, cdim) in &self.coarse_bases {
+            let bytes = (cdim * cdim) as u64 * ELEM_BYTES;
+            ops.push(Op::read(base, bytes));
+            let slice = block_range(cdim * cdim, self.threads, thread);
+            ops.push(Op::write(
+                base + slice.start as u64 * ELEM_BYTES,
+                slice.len() as u64 * ELEM_BYTES,
+            ));
+            ops.push(Op::compute((cdim * cdim) as u64 * NS_PER_POINT / 8));
+        }
+        ops.push(Op::Barrier);
+        // Lock-protected convergence reduction.
+        let lock = LockId((thread % LOCKS) as u16);
+        ops.push(Op::Lock(lock));
+        ops.push(Op::read(self.globals_base, 64));
+        ops.push(Op::write(self.globals_base, 64));
+        ops.push(Op::Unlock(lock));
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acorr_dsm::validate_iteration;
+    use acorr_mem::pages_for;
+
+    #[test]
+    fn paper_input_matches_table1_pages() {
+        let o = Ocean::paper(64);
+        let pages = pages_for(o.shared_bytes());
+        // Table 1: 3191 pages. 24 fine grids (130 pages each) + the coarse
+        // hierarchy + globals.
+        assert!((3100..=3300).contains(&pages), "{pages}");
+    }
+
+    #[test]
+    fn thread_grid_fixes_eight_bands() {
+        assert_eq!(Ocean::paper(32).cols, 4);
+        assert_eq!(Ocean::paper(48).cols, 6);
+        assert_eq!(Ocean::paper(64).cols, 8);
+        assert_eq!(Ocean::paper(64).bands, 8);
+    }
+
+    #[test]
+    fn scripts_validate() {
+        for threads in [8, 32, 48, 64] {
+            validate_iteration(&Ocean::paper(threads), 0).unwrap();
+        }
+    }
+
+    #[test]
+    fn accesses_stay_in_bounds() {
+        for threads in [8, 12, 64] {
+            let o = Ocean::paper(threads);
+            for t in 0..threads {
+                for op in o.script(t, 0) {
+                    if let Op::Read { addr, len } | Op::Write { addr, len } = op {
+                        assert!(addr + len <= o.shared_bytes(), "t{t} {addr}+{len}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_band_threads_share_row_pages() {
+        // Column threads of one band read overlapping row spans of the same
+        // grid rows — the diagonal block mechanism. Verify at the address
+        // level: thread 0 and 1 (same band) read some common page, thread 0
+        // and a far band thread do not (on fine grids).
+        let o = Ocean::paper(64);
+        // Restrict to the row-partitioned grids; the column sweeps and the
+        // coarse hierarchy are deliberately shared by everyone.
+        let fine_limit = o.fine_bases[ROW_PHASE_GRIDS];
+        let pages = |t: usize| -> std::collections::HashSet<u64> {
+            o.script(t, 0)
+                .iter()
+                .filter_map(|op| match *op {
+                    Op::Read { addr, len } if addr < fine_limit => Some((addr, len)),
+                    _ => None,
+                })
+                .flat_map(|(a, l)| (a / 4096)..=((a + l - 1) / 4096))
+                .collect()
+        };
+        let p0 = pages(0);
+        let p1 = pages(1);
+        let far = pages(40); // band 5
+        assert!(p0.intersection(&p1).count() > 0, "same band shares");
+        assert_eq!(p0.intersection(&far).count(), 0, "far bands disjoint");
+    }
+
+    #[test]
+    fn column_sweep_windows_tile_and_overlap() {
+        let o = Ocean::paper(64);
+        let grid_base = o.fine_bases[ROW_PHASE_GRIDS];
+        let grid_bytes = (o.dim * o.dim) as u64 * 8;
+        let pages_of = |t: usize| -> std::collections::BTreeSet<u64> {
+            o.script(t, 0)
+                .iter()
+                .filter_map(|op| match *op {
+                    Op::Read { addr, len } | Op::Write { addr, len }
+                        if addr >= grid_base && addr < grid_base + grid_bytes =>
+                    {
+                        Some((addr, len))
+                    }
+                    _ => None,
+                })
+                .flat_map(|(a, l)| (a / 4096)..=((a + l - 1) / 4096))
+                .collect()
+        };
+        // Each thread's window spans about a third of the grid's pages.
+        let p0 = pages_of(0);
+        let grid_pages = grid_bytes.div_ceil(4096);
+        assert!(
+            (p0.len() as u64) > grid_pages / 4 && (p0.len() as u64) < grid_pages / 2,
+            "window covers {} of {} pages",
+            p0.len(),
+            grid_pages
+        );
+        // Neighbours overlap heavily, distant threads not at all.
+        let p1 = pages_of(1);
+        let p32 = pages_of(32);
+        assert!(p0.intersection(&p1).count() * 2 > p0.len());
+        assert_eq!(p0.intersection(&p32).count(), 0);
+        // Collectively the windows cover the whole grid (minus halo tail).
+        let mut union = std::collections::BTreeSet::new();
+        for t in 0..64 {
+            union.extend(pages_of(t));
+        }
+        assert!(union.len() as u64 >= grid_pages - 1);
+    }
+
+    #[test]
+    fn multigrid_is_read_by_everyone() {
+        let o = Ocean::paper(16);
+        let (coarse_base, cdim) = o.coarse_bases[0];
+        for t in 0..16 {
+            let hit = o.script(t, 0).iter().any(|op| {
+                matches!(*op, Op::Read { addr, len }
+                    if addr == coarse_base && len == (cdim * cdim * 8) as u64)
+            });
+            assert!(hit, "thread {t} reads the coarse grid");
+        }
+    }
+}

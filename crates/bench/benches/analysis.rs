@@ -1,0 +1,86 @@
+//! Analysis-layer costs: building correlation matrices from access bitmaps,
+//! evaluating cut costs, rendering maps — the per-decision overhead a
+//! runtime system would pay when using tracking output online.
+
+use acorr::mem::{AccessMatrix, FixedBitset, PageId, RangeSet};
+use acorr::sim::{ClusterConfig, DetRng, Mapping};
+use acorr::track::{cut_cost, render_pgm, CorrelationMatrix};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn synthetic_access(threads: usize, pages: usize, per_thread: usize) -> AccessMatrix {
+    let mut rng = DetRng::new(11);
+    let mut m = AccessMatrix::new(threads, pages);
+    for t in 0..threads {
+        for _ in 0..per_thread {
+            m.record(t, PageId(rng.index(pages) as u32));
+        }
+    }
+    m
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis/correlation_matrix");
+    let access = synthetic_access(64, 4096, 500);
+    group.bench_function("from_access_64t_4096p", |b| {
+        b.iter(|| black_box(CorrelationMatrix::from_access(&access)));
+    });
+    group.finish();
+}
+
+fn bench_cut_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis/cut_cost");
+    let access = synthetic_access(64, 4096, 500);
+    let corr = CorrelationMatrix::from_access(&access);
+    let cluster = ClusterConfig::new(8, 64).expect("cluster");
+    let mapping = Mapping::stretch(&cluster);
+    group.bench_function("64t", |b| {
+        b.iter(|| black_box(cut_cost(&corr, &mapping)));
+    });
+    group.finish();
+}
+
+fn bench_render(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis/render");
+    let access = synthetic_access(64, 4096, 500);
+    let corr = CorrelationMatrix::from_access(&access);
+    group.bench_function("pgm_64t", |b| {
+        b.iter(|| black_box(render_pgm(&corr)));
+    });
+    group.finish();
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis/substrate");
+    // The two hot per-access data structures of the engine.
+    group.bench_function("bitset_intersection_8192b", |b| {
+        let mut x = FixedBitset::new(8192);
+        let mut y = FixedBitset::new(8192);
+        for i in (0..8192).step_by(3) {
+            x.insert(i);
+        }
+        for i in (0..8192).step_by(5) {
+            y.insert(i);
+        }
+        b.iter(|| black_box(x.intersection_count(&y)));
+    });
+    group.bench_function("rangeset_64_inserts", |b| {
+        b.iter(|| {
+            let mut s = RangeSet::new();
+            for i in 0..64u16 {
+                s.insert(i * 64, i * 64 + 32);
+            }
+            black_box(s.total_len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_correlation,
+    bench_cut_cost,
+    bench_render,
+    bench_substrate
+);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Engine throughput: how fast the simulator executes application
+//! iterations, tracked iterations, and migrations (real time, not simulated
+//! time). These bound how large a parameter sweep the table binaries can
+//! afford.
+
+use acorr::apps::{Fft, Sor, Water};
+use acorr::dsm::{Dsm, DsmConfig, Program, WriteMode};
+use acorr::sim::{ClusterConfig, Mapping};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn dsm_of<P: Program + Clone>(app: &P, nodes: usize) -> Dsm<P> {
+    let cluster = ClusterConfig::new(nodes, app.num_threads()).expect("cluster");
+    Dsm::new(
+        DsmConfig::new(cluster),
+        app.clone(),
+        Mapping::stretch(&cluster),
+    )
+    .expect("dsm")
+}
+
+fn bench_iterations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/iteration");
+    let sor = Sor::new(512, 512, 16);
+    group.bench_function("sor_512_16t", |b| {
+        let mut dsm = dsm_of(&sor, 4);
+        dsm.run_iterations(1).expect("warm");
+        b.iter(|| black_box(dsm.run_iterations(1).expect("iteration")));
+    });
+    let water = Water::new(256, 16);
+    group.bench_function("water_256_16t", |b| {
+        let mut dsm = dsm_of(&water, 4);
+        dsm.run_iterations(1).expect("warm");
+        b.iter(|| black_box(dsm.run_iterations(1).expect("iteration")));
+    });
+    let fft = Fft::new("fft", 32, 32, 32, 16);
+    group.bench_function("fft_32k_16t", |b| {
+        let mut dsm = dsm_of(&fft, 4);
+        dsm.run_iterations(1).expect("warm");
+        b.iter(|| black_box(dsm.run_iterations(1).expect("iteration")));
+    });
+    group.finish();
+}
+
+fn bench_tracking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/tracked_iteration");
+    let sor = Sor::new(512, 512, 16);
+    group.bench_function("sor_512_16t", |b| {
+        let mut dsm = dsm_of(&sor, 4);
+        dsm.run_iterations(1).expect("warm");
+        b.iter(|| black_box(dsm.run_tracked_iteration().expect("tracked")));
+    });
+    group.finish();
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/protocol");
+    let water = Water::new(256, 16);
+    let cluster = ClusterConfig::new(4, 16).expect("cluster");
+    group.bench_function("multi_writer_water", |b| {
+        let mut dsm = Dsm::new(
+            DsmConfig::new(cluster),
+            water.clone(),
+            Mapping::stretch(&cluster),
+        )
+        .expect("dsm");
+        dsm.run_iterations(1).expect("warm");
+        b.iter(|| black_box(dsm.run_iterations(1).expect("iteration")));
+    });
+    group.bench_function("single_writer_water", |b| {
+        let mut dsm = Dsm::new(
+            DsmConfig::new(cluster).with_write_mode(WriteMode::SingleWriter {
+                delta: acorr::sim::SimDuration::from_micros(100),
+            }),
+            water.clone(),
+            Mapping::stretch(&cluster),
+        )
+        .expect("dsm");
+        dsm.run_iterations(1).expect("warm");
+        b.iter(|| black_box(dsm.run_iterations(1).expect("iteration")));
+    });
+    group.finish();
+}
+
+fn bench_migration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/migration");
+    let water = Water::new(256, 16);
+    let cluster = ClusterConfig::new(4, 16).expect("cluster");
+    let a = Mapping::stretch(&cluster);
+    let b_map = {
+        let mut rng = acorr::sim::DetRng::new(1);
+        a.permuted(&mut rng)
+    };
+    group.bench_function("swap_16_threads", |b| {
+        let mut dsm = dsm_of(&water, 4);
+        dsm.run_iterations(1).expect("warm");
+        let mut flip = false;
+        b.iter(|| {
+            let target = if flip { a.clone() } else { b_map.clone() };
+            flip = !flip;
+            black_box(dsm.migrate_to(target).expect("migrate"))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_iterations,
+    bench_tracking,
+    bench_protocols,
+    bench_migration
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Placement heuristic costs: how expensive each strategy is per decision,
+//! and the ablation the paper implies — seeding alone versus seeding plus
+//! Kernighan-Lin refinement versus exact branch and bound.
+
+use acorr::place::{anneal, jarvis_patrick, min_cost, optimal, refine_kl, AnnealConfig};
+use acorr::sim::{ClusterConfig, DetRng, Mapping};
+use acorr::track::CorrelationMatrix;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn random_matrix(n: usize, seed: u64) -> CorrelationMatrix {
+    let mut rng = DetRng::new(seed);
+    let mut c = CorrelationMatrix::zeros(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            c.set(a, b, rng.next_below(32));
+        }
+    }
+    c
+}
+
+fn neighbor_matrix(n: usize) -> CorrelationMatrix {
+    let mut c = CorrelationMatrix::zeros(n);
+    for i in 0..n - 1 {
+        c.set(i, i + 1, 8);
+    }
+    c
+}
+
+fn bench_min_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement/min_cost");
+    for &(n, nodes) in &[(32usize, 4usize), (64, 8), (128, 8)] {
+        let corr = random_matrix(n, 42);
+        let cluster = ClusterConfig::new(nodes, n).expect("cluster");
+        group.bench_function(format!("random_{n}t_{nodes}n"), |b| {
+            b.iter(|| black_box(min_cost(&corr, &cluster)));
+        });
+    }
+    let corr = neighbor_matrix(64);
+    let cluster = ClusterConfig::new(8, 64).expect("cluster");
+    group.bench_function("chain_64t_8n", |b| {
+        b.iter(|| black_box(min_cost(&corr, &cluster)));
+    });
+    group.finish();
+}
+
+fn bench_alternative_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement/alternatives");
+    let corr = random_matrix(64, 42);
+    let cluster = ClusterConfig::new(8, 64).expect("cluster");
+    group.bench_function("jarvis_patrick_64t", |b| {
+        b.iter(|| black_box(jarvis_patrick(&corr, &cluster)));
+    });
+    group.sample_size(10);
+    group.bench_function("anneal_64t", |b| {
+        let mut rng = DetRng::new(5);
+        b.iter(|| black_box(anneal(&corr, &cluster, &AnnealConfig::default(), &mut rng)));
+    });
+    group.finish();
+}
+
+fn bench_refinement_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement/kl_refine");
+    let corr = random_matrix(64, 7);
+    let cluster = ClusterConfig::new(8, 64).expect("cluster");
+    let mut rng = DetRng::new(9);
+    let start = Mapping::random_balanced(&cluster, &mut rng);
+    group.bench_function("from_random_64t", |b| {
+        b.iter(|| black_box(refine_kl(&corr, start.clone())));
+    });
+    let stretch = Mapping::stretch(&cluster);
+    group.bench_function("from_stretch_64t", |b| {
+        b.iter(|| black_box(refine_kl(&corr, stretch.clone())));
+    });
+    group.finish();
+}
+
+fn bench_optimal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement/optimal");
+    group.sample_size(20);
+    for &(n, nodes) in &[(8usize, 2usize), (12, 3)] {
+        let corr = random_matrix(n, 3);
+        let cluster = ClusterConfig::new(nodes, n).expect("cluster");
+        group.bench_function(format!("bnb_{n}t_{nodes}n"), |b| {
+            b.iter(|| black_box(optimal(&corr, &cluster)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_min_cost,
+    bench_alternative_heuristics,
+    bench_refinement_ablation,
+    bench_optimal
+);
+criterion_main!(benches);

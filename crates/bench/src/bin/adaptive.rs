@@ -1,0 +1,62 @@
+//! Extension: the §7 adaptive-migration experiment on the dynamic Drift
+//! application.
+//!
+//! "We plan to extend our results with dynamic applications... Note that
+//! the stretch heuristic is only applicable to applications with static
+//! sharing patterns. We will need to rely on min-cost in order to obtain
+//! good performance for adaptive applications."
+//!
+//! Three policies over the same run, all costs (tracking iterations and
+//! migrations) included.
+
+use acorr::apps::Drift;
+use acorr::dsm::DsmConfig;
+use acorr::experiment::Workbench;
+use acorr::sim::{NetworkModel, SimDuration};
+use acorr_bench::arg_usize;
+
+fn main() {
+    let period = arg_usize("--period", 12);
+    let phases = arg_usize("--phases", 4);
+    let total = period * phases;
+    println!(
+        "Drift: 2048 particles, 64 threads on 8 nodes, partner offset jumps\n\
+         every {period} iterations, {total} iterations total\n"
+    );
+    for (label, latency_us) in [("Myrinet-class (60 us latency)", 60u64), ("commodity Ethernet-class (400 us latency)", 400)] {
+        let mut net = NetworkModel::default();
+        net.latency = SimDuration::from_micros(latency_us);
+        let bench = Workbench::new(8, 64).expect("8x64 cluster");
+        let cluster = bench.cluster;
+        let bench = bench.with_config(DsmConfig::new(cluster).with_network(net));
+        let study = bench
+            .adaptive_study(|| Drift::new(2048, 64, period), total, period, 0.25)
+            .expect("study");
+        println!("=== {label} ===");
+        println!("{study}");
+        let vs_static = study.static_stats.remote_misses as f64
+            / study.adaptive_stats.remote_misses.max(1) as f64;
+        let time_ratio = study.static_stats.elapsed.as_secs_f64()
+            / study.adaptive_stats.elapsed.as_secs_f64();
+        println!(
+            "  -> adaptive: {vs_static:.1}x fewer remote misses, {time_ratio:.2}x end-to-end speedup\n"
+        );
+    }
+    // When to re-track: fixed schedule vs drift detection on passive
+    // observations.
+    let bench = Workbench::new(8, 64).expect("8x64 cluster");
+    let study = bench
+        .on_demand_study(|| Drift::new(2048, 64, period), total, 4, 0.4, 0.25)
+        .expect("study");
+    println!("=== when to re-track (window = 4 iterations) ===");
+    println!("{study}\n");
+    println!(
+        "Adaptation halves the coherence traffic; end-to-end time lands near\n\
+         parity because every cost is charged — the tracked iterations, the\n\
+         stack copies, the post-migration re-caching, and the loss of lock\n\
+         locality (min-cost optimizes page affinity, not lock affinity).\n\
+         That accounting is the point: §7's adaptive story is a traffic win\n\
+         first, and a time win only where coherence traffic, not compute or\n\
+         synchronization, dominates."
+    );
+}

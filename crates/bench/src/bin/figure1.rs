@@ -1,0 +1,33 @@
+//! Figure 1 — cut costs versus remote misses, one scatter per application.
+//!
+//! Same methodology as `table2`, rendered as ASCII scatter plots (cut cost
+//! on x, remote misses on y) and written as CSV artifacts.
+//!
+//! Usage: `figure1 [--samples N]` (default 60 — enough to see the shape;
+//! `table2` runs the full 300).
+
+use acorr::apps;
+use acorr::experiment::Workbench;
+use acorr_bench::{arg_usize, ascii_scatter, write_artifact};
+
+fn main() {
+    let samples = arg_usize("--samples", 60);
+    let bench = Workbench::new(8, 64).expect("8x64 cluster");
+    println!("Figure 1: cut costs (x) versus remote misses (y), {samples} random configurations\n");
+    for name in apps::TABLE2_NAMES {
+        let study = bench
+            .cutcost_study(|| apps::by_name(name, 64).expect("known app"), samples, 1)
+            .expect("study");
+        let points: Vec<(f64, f64)> = study
+            .samples
+            .iter()
+            .map(|s| (s.cut_cost as f64, s.remote_misses as f64))
+            .collect();
+        println!("--- {name} ---");
+        if let Some(fit) = study.fit {
+            println!("fit: {fit}");
+        }
+        println!("{}", ascii_scatter(&points, 60, 16));
+        write_artifact(&format!("figure1_{name}.csv"), &study.to_csv());
+    }
+}

@@ -1,0 +1,56 @@
+//! Figure 2 — passive information-gathering.
+//!
+//! Methodology (§4.1): track only remote faults, re-place with min-cost on
+//! the partial correlations after each iteration, migrate, repeat. Reports
+//! the cumulative percentage of the complete (active-tracking) sharing
+//! information gathered after each round, plus the thread migrations per
+//! round — the "ping-ponging" the paper describes.
+//!
+//! Usage: `figure2 [--rounds N]` (default 10).
+
+use acorr::apps;
+use acorr::experiment::Workbench;
+use acorr_bench::{arg_usize, write_artifact, Table};
+
+const FIGURE2_APPS: [&str; 6] = ["Barnes", "FFT7", "LU2k", "Ocean", "SOR", "Water"];
+
+fn main() {
+    let rounds = arg_usize("--rounds", 10);
+    let bench = Workbench::new(8, 64).expect("8x64 cluster");
+    println!("Figure 2: passive information-gathering ({rounds} migration rounds)\n");
+
+    let mut header: Vec<String> = vec!["App".to_string()];
+    header.extend((1..=rounds).map(|r| format!("r{r}")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&header_refs);
+    let mut csv = String::from("app,round,completeness,moves\n");
+
+    for name in FIGURE2_APPS {
+        let study = bench
+            .passive_study(|| apps::by_name(name, 64).expect("known app"), rounds)
+            .expect("passive study");
+        let mut cells = vec![name.to_string()];
+        for (r, (c, m)) in study
+            .completeness
+            .iter()
+            .zip(&study.moves)
+            .enumerate()
+        {
+            cells.push(format!("{:.0}%", c * 100.0));
+            csv.push_str(&format!("{name},{},{c:.4},{m}\n", r + 1));
+        }
+        table.row(&cells);
+        let total_moves: usize = study.moves.iter().sum();
+        println!(
+            "{name}: final completeness {:.1}%, {total_moves} thread migrations across rounds",
+            study.completeness.last().copied().unwrap_or(0.0) * 100.0
+        );
+    }
+    println!("\n{}", table.render());
+    write_artifact("figure2.csv", &csv);
+    println!(
+        "Active tracking reaches 100% in ONE round by construction; the\n\
+         passive mechanism above plateaus below that because only the first\n\
+         local toucher of each page ever faults."
+    );
+}

@@ -1,0 +1,73 @@
+//! Table 1 — application characteristics: synchronization types, input
+//! sizes, and shared pages, for the full suite at 64 threads.
+
+use acorr::apps;
+use acorr::dsm::Program;
+use acorr::mem::pages_for;
+use acorr_bench::Table;
+
+fn input_label(name: &str) -> &'static str {
+    match name {
+        "Barnes" => "8192 bodies",
+        "FFT6" => "64x64x64",
+        "FFT7" => "64x64x128",
+        "FFT8" => "64x64x256",
+        "LU1k" => "1024x1024",
+        "LU2k" => "2048x2048",
+        "Ocean" => "256 oceans",
+        "Spatial" => "4096 mols",
+        "SOR" => "2048x2048",
+        "Water" => "512 mols",
+        _ => "?",
+    }
+}
+
+/// Paper values for side-by-side comparison.
+fn paper_pages(name: &str) -> u64 {
+    match name {
+        "Barnes" => 251,
+        "FFT6" => 1796,
+        "FFT7" => 3588,
+        "FFT8" => 7172,
+        "LU1k" => 1032,
+        "LU2k" => 4105,
+        "Ocean" => 3191,
+        "Spatial" => 569,
+        "SOR" => 4099,
+        "Water" => 44,
+        _ => 0,
+    }
+}
+
+fn main() {
+    println!("Table 1: Application Characteristics (64 threads)\n");
+    let mut table = Table::new(&[
+        "Application",
+        "Synchronization",
+        "Input size",
+        "Shared pages",
+        "Paper pages",
+    ]);
+    for name in apps::SUITE_NAMES {
+        let app = apps::by_name(name, 64).expect("suite name");
+        let sync = if app.num_locks() > 0 {
+            "barrier, lock"
+        } else {
+            "barrier"
+        };
+        table.row(&[
+            name.to_string(),
+            sync.to_string(),
+            input_label(name).to_string(),
+            pages_for(app.shared_bytes()).to_string(),
+            paper_pages(name).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Note: FFT page counts are lower than the paper's because this\n\
+         reproduction stores complex f32 elements (8 B) in two arrays; the\n\
+         2x scaling across FFT6/7/8 — which drives every FFT result — is\n\
+         preserved. All other applications match Table 1 closely."
+    );
+}

@@ -1,0 +1,62 @@
+//! Table 2 — remote misses as a linear function of cut cost.
+//!
+//! Methodology (§2): derive ground-truth thread correlations with one
+//! active-tracking phase, generate random thread configurations (at least
+//! two threads per node, not necessarily balanced), run each and record
+//! remote misses, then fit `misses = slope * cut + intercept`.
+//!
+//! Also writes the per-application Figure 1 scatter data to
+//! `results/figure1_<app>.csv`.
+//!
+//! Usage: `table2 [--samples N] [--iters M]` (defaults: 300 samples, 1
+//! measured iteration per sample, as one iteration is the app's natural
+//! unit of work).
+
+use acorr::apps;
+use acorr::experiment::Workbench;
+use acorr_bench::{arg_usize, write_artifact, Table};
+
+fn main() {
+    let samples = arg_usize("--samples", 300);
+    let iters = arg_usize("--iters", 1);
+    let bench = Workbench::new(8, 64).expect("8x64 cluster");
+
+    println!(
+        "Table 2: remote misses as a function of cut cost\n\
+         ({samples} random configurations per application, {iters} measured iteration(s) each)\n"
+    );
+    let mut table = Table::new(&[
+        "App",
+        "Slope",
+        "Y-intercept",
+        "Corr. coeff.",
+        "Paper slope",
+        "Paper r",
+    ]);
+    let paper: &[(&str, f64, f64)] = &[
+        ("Barnes", 0.227, 0.742),
+        ("FFT7", 2.517, 0.925),
+        ("FFT8", 2.805, 0.911),
+        ("LU2k", 2.694, 0.724),
+        ("Ocean", 4.508, 0.937),
+        ("Spatial", 0.079, 0.458),
+        ("SOR", 4.100, 0.961),
+        ("Water", 0.402, 0.779),
+    ];
+    for &(name, paper_slope, paper_r) in paper {
+        let study = bench
+            .cutcost_study(|| apps::by_name(name, 64).expect("known app"), samples, iters)
+            .expect("study");
+        let fit = study.fit.expect("non-degenerate fit");
+        table.row(&[
+            name.to_string(),
+            format!("{:.3}", fit.slope),
+            format!("{:.1}", fit.intercept),
+            format!("{:.3}", fit.r),
+            format!("{paper_slope:.3}"),
+            format!("{paper_r:.3}"),
+        ]);
+        write_artifact(&format!("figure1_{name}.csv"), &study.to_csv());
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,44 @@
+//! Table 4 — 64-thread FFT correlation maps versus input set.
+//!
+//! The paper's observation: at 2^6x2^6x2^6 sharing organizes into eight
+//! 8-thread clusters; doubling the input halves the cluster size; doubling
+//! again approaches uniform all-to-all. The mechanism is the ratio of the
+//! transpose processor-block size to the page size, which this binary also
+//! prints.
+
+use acorr::apps::Fft;
+use acorr::experiment::Workbench;
+use acorr::mem::PAGE_SIZE;
+use acorr::track::{profile_map, render_ascii, render_pgm, MapStyle};
+use acorr_bench::results_dir;
+
+fn main() {
+    let maps_dir = results_dir().join("maps");
+    std::fs::create_dir_all(&maps_dir).expect("create maps dir");
+    let bench = Workbench::new(8, 64).expect("cluster");
+    println!("Table 4: 64-thread FFT versus input set\n");
+    let variants: [(&str, fn(usize) -> Fft); 3] = [
+        ("FFT6", Fft::paper6),
+        ("FFT7", Fft::paper7),
+        ("FFT8", Fft::paper8),
+    ];
+    for (name, make) in variants {
+        let app = make(64);
+        let blocks_per_page = PAGE_SIZE as u64 / app.block_bytes().max(1);
+        let truth = bench.ground_truth(|| make(64)).expect("tracked run");
+        println!(
+            "--- {name}: transpose block {} B, {} blocks/page -> expected cluster size {} ---",
+            app.block_bytes(),
+            blocks_per_page,
+            blocks_per_page.max(1),
+        );
+        println!("{}", render_ascii(&truth.corr, &MapStyle::default()));
+        println!("  detected structure: {}", profile_map(&truth.corr));
+        std::fs::write(
+            maps_dir.join(format!("table4_{name}.pgm")),
+            render_pgm(&truth.corr),
+        )
+        .expect("write pgm");
+        println!("  wrote results/maps/table4_{name}.pgm\n");
+    }
+}

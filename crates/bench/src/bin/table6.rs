@@ -1,0 +1,76 @@
+//! Table 6 — 8-node performance by placement heuristic.
+//!
+//! For each application in the paper's Table 6: a full multi-iteration run
+//! under the min-cost placement ("m-c") and under a random balanced
+//! placement ("ran"), reporting time, remote misses, total and diff
+//! megabytes, and the cut cost of the placement.
+//!
+//! Usage: `table6 [--iters N]` (default: each application's natural
+//! iteration count).
+
+use acorr::apps;
+use acorr::dsm::Program;
+use acorr::experiment::Workbench;
+use acorr::place::Strategy;
+use acorr_bench::{arg_usize, Table};
+
+const TABLE6_APPS: [&str; 7] = ["Barnes", "FFT7", "LU1k", "Ocean", "Spatial", "SOR", "Water"];
+
+fn main() {
+    let iters_override = arg_usize("--iters", 0);
+    let bench = Workbench::new(8, 64).expect("8x64 cluster");
+    println!("Table 6: 8-node performance by heuristic (m-c = min-cost, ran = random)\n");
+    let mut table = Table::new(&[
+        "App",
+        "Strategy",
+        "Time (s)",
+        "Remote misses",
+        "Total MB",
+        "Diff MB",
+        "Cut cost",
+    ]);
+    for name in TABLE6_APPS {
+        let app = apps::by_name(name, 64).expect("known app");
+        let iters = if iters_override > 0 {
+            iters_override
+        } else {
+            app.default_iterations()
+        };
+        let rows = bench
+            .heuristic_comparison(
+                || apps::by_name(name, 64).expect("known app"),
+                &[Strategy::MinCost, Strategy::RandomBalanced],
+                iters,
+            )
+            .expect("comparison run");
+        for row in rows {
+            let label = match row.strategy {
+                Strategy::MinCost => "m-c",
+                Strategy::RandomBalanced => "ran",
+                other => {
+                    table.row(&[
+                        name.to_string(),
+                        other.to_string(),
+                        format!("{:.1}", row.time.as_secs_f64()),
+                        row.remote_misses.to_string(),
+                        format!("{:.1}", row.total_mbytes),
+                        format!("{:.1}", row.diff_mbytes),
+                        row.cut_cost.to_string(),
+                    ]);
+                    continue;
+                }
+            };
+            table.row(&[
+                name.to_string(),
+                label.to_string(),
+                format!("{:.1}", row.time.as_secs_f64()),
+                row.remote_misses.to_string(),
+                format!("{:.1}", row.total_mbytes),
+                format!("{:.1}", row.diff_mbytes),
+                row.cut_cost.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("(each app runs its natural iteration count after one warm-up iteration)");
+}

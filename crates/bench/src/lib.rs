@@ -1,0 +1,201 @@
+//! # acorr-bench — the table/figure regeneration harness
+//!
+//! One binary per table and figure of the paper:
+//!
+//! | Binary    | Regenerates |
+//! |-----------|-------------|
+//! | `table1`  | Application characteristics |
+//! | `table2`  | Remote misses as a function of cut cost (also writes the Figure 1 scatter CSVs) |
+//! | `table3`  | Correlation maps at 32/48/64 threads |
+//! | `table4`  | 64-thread FFT maps versus input set |
+//! | `table5`  | 64-thread tracking overhead |
+//! | `table6`  | 8-node performance by placement heuristic |
+//! | `figure1` | ASCII scatter plots of cut cost vs remote misses |
+//! | `figure2` | Passive information-gathering per migration round |
+//! | `figure3` | 32-thread FFT free-zone maps on 4/8 nodes + randomized |
+//!
+//! Artifacts (CSV, PGM, TXT) land in `./results/`. Criterion micro-benches
+//! for the engine, tracking, analysis, and placement live in `benches/`.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Directory where binaries drop their artifacts (created on demand).
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    dir.to_path_buf()
+}
+
+/// Writes an artifact under `results/` and reports the path on stdout.
+///
+/// # Panics
+///
+/// Panics on I/O errors (benchmark binaries want loud failures).
+pub fn write_artifact(name: &str, contents: &str) {
+    let path = results_dir().join(name);
+    std::fs::write(&path, contents).expect("write artifact");
+    println!("  wrote {}", path.display());
+}
+
+/// Parses `--flag value` style integer options from the command line, with a
+/// default. E.g. `arg_usize("--samples", 300)`.
+pub fn arg_usize(flag: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A simple markdown table builder for terminal reports.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the table as aligned markdown.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            let _ = write!(out, "|");
+            for i in 0..cols {
+                let _ = write!(out, " {:width$} |", cells[i], width = widths[i]);
+            }
+            let _ = writeln!(out);
+        };
+        emit(&mut out, &self.header);
+        let _ = write!(&mut out, "|");
+        for w in &widths {
+            let _ = write!(&mut out, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(&mut out);
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Renders an ASCII scatter plot of `(x, y)` points, `width x height`
+/// characters, with axis extents in the caption.
+pub fn ascii_scatter(points: &[(f64, f64)], width: usize, height: usize) -> String {
+    if points.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut xmin, mut xmax) = (f64::MAX, f64::MIN);
+    let (mut ymin, mut ymax) = (f64::MAX, f64::MIN);
+    for &(x, y) in points {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(y);
+        ymax = ymax.max(y);
+    }
+    let xspan = (xmax - xmin).max(1e-12);
+    let yspan = (ymax - ymin).max(1e-12);
+    let mut grid = vec![vec![' '; width]; height];
+    for &(x, y) in points {
+        let col = (((x - xmin) / xspan) * (width - 1) as f64).round() as usize;
+        let row = (((y - ymin) / yspan) * (height - 1) as f64).round() as usize;
+        let cell = &mut grid[height - 1 - row][col];
+        *cell = match *cell {
+            ' ' => '.',
+            '.' => 'o',
+            _ => '@',
+        };
+    }
+    let mut out = String::new();
+    for line in grid {
+        let _ = writeln!(out, "|{}", line.into_iter().collect::<String>());
+    }
+    let _ = writeln!(out, "+{}", "-".repeat(width));
+    let _ = writeln!(
+        out,
+        "x: {:.0}..{:.0} (cut cost)   y: {:.0}..{:.0} (remote misses)",
+        xmin, xmax, ymin, ymax
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_markdown() {
+        let mut t = Table::new(&["App", "Pages"]);
+        t.row(&["SOR".into(), "4099".into()]);
+        t.row(&["Water".into(), "44".into()]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("App"));
+        assert!(lines[1].starts_with("|--"));
+        assert!(lines[2].contains("SOR"));
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "aligned");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        Table::new(&["a", "b"]).row(&["only one".into()]);
+    }
+
+    #[test]
+    fn scatter_plots_extremes() {
+        let pts = [(0.0, 0.0), (10.0, 5.0), (5.0, 2.5)];
+        let art = ascii_scatter(&pts, 21, 11);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 13);
+        // Low-left and top-right corners are populated.
+        assert_eq!(lines[10].chars().nth(1), Some('.'));
+        assert_eq!(lines[0].chars().nth(21), Some('.'));
+        assert!(art.contains("x: 0..10"));
+    }
+
+    #[test]
+    fn scatter_handles_empty_and_degenerate() {
+        assert_eq!(ascii_scatter(&[], 10, 5), "(no data)\n");
+        let one = ascii_scatter(&[(3.0, 3.0)], 10, 5);
+        assert!(one.contains('.'));
+    }
+
+    #[test]
+    fn arg_parsing_falls_back_to_default() {
+        assert_eq!(arg_usize("--definitely-not-passed", 42), 42);
+    }
+}

@@ -1,0 +1,314 @@
+//! # acorr-cli — command-line front end
+//!
+//! A small CLI over the `acorr` library for the workflows a DSM operator or
+//! performance engineer actually repeats:
+//!
+//! ```text
+//! acorr track   --app SOR --threads 64 --nodes 8 [--format ascii|pgm|csv|svg] [--out FILE]
+//! acorr profile --app FFT6 --threads 64 | --csv corr.csv
+//! acorr place   --app LU2k --threads 64 --nodes 8 --strategy min-cost | --csv corr.csv
+//! acorr run     --app Ocean --threads 64 --nodes 8 --strategy min-cost --iters 10
+//! acorr overhead --app Water --threads 64 --nodes 8
+//! acorr apps
+//! ```
+//!
+//! Every command is a thin composition of public library calls — the CLI is
+//! also living documentation of the API.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+
+use acorr::apps;
+use acorr::experiment::Workbench;
+use acorr::place::{place, Strategy};
+use acorr::sim::DetRng;
+use acorr::track::{
+    compatible_node_sizes, cut_cost, page_report, profile_map, render_ascii, render_csv,
+    render_pgm, render_svg, CorrelationMatrix, MapStyle,
+};
+use args::Args;
+
+/// Runs one CLI invocation, returning the text to print.
+///
+/// # Errors
+///
+/// Returns a user-facing message on bad arguments or engine failures.
+pub fn run(args: &Args) -> Result<String, String> {
+    match args.command() {
+        "apps" => Ok(list_apps()),
+        "track" => track(args),
+        "profile" => profile(args),
+        "place" => place_cmd(args),
+        "run" => run_cmd(args),
+        "overhead" => overhead(args),
+        "hot" => hot(args),
+        "help" | "--help" => Ok(usage()),
+        other => Err(format!("unknown command `{other}`\n\n{}", usage())),
+    }
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "\
+acorr — Active Correlation Tracking toolkit
+
+USAGE:
+  acorr apps
+  acorr track    --app NAME [--threads N] [--nodes N] [--format ascii|pgm|csv|svg] [--out FILE]
+  acorr profile  --app NAME [--threads N] | --csv FILE
+  acorr place    --app NAME [--threads N] [--nodes N] [--strategy S] | --csv FILE --nodes N
+  acorr run      --app NAME [--threads N] [--nodes N] [--strategy S] [--iters N]
+  acorr overhead --app NAME [--threads N] [--nodes N]
+  acorr hot      --app NAME [--threads N] [--k N]
+
+Strategies: stretch, random, min-cost, jarvis-patrick, anneal, optimal
+Defaults: --threads 64 --nodes 8 --strategy min-cost --format ascii
+"
+    .to_owned()
+}
+
+fn list_apps() -> String {
+    let mut out = String::from("Table 1 applications:\n");
+    for name in apps::SUITE_NAMES {
+        out.push_str(&format!("  {name}\n"));
+    }
+    out.push_str("plus: Drift (dynamic, §7)\n");
+    out
+}
+
+fn strategy_of(name: &str) -> Result<Strategy, String> {
+    Ok(match name {
+        "stretch" => Strategy::Stretch,
+        "random" => Strategy::RandomBalanced,
+        "random-min2" => Strategy::RandomMinTwo,
+        "min-cost" => Strategy::MinCost,
+        "jarvis-patrick" => Strategy::JarvisPatrick,
+        "anneal" => Strategy::Anneal,
+        "optimal" => Strategy::Optimal,
+        other => return Err(format!("unknown strategy `{other}`")),
+    })
+}
+
+fn app_factory(args: &Args) -> Result<(String, usize), String> {
+    let name = args.get("app").ok_or("--app is required")?.to_owned();
+    let threads = args.get_usize("threads", 64)?;
+    if name != "Drift" && apps::by_name(&name, threads).is_none() {
+        return Err(format!("unknown application `{name}` (try `acorr apps`)"));
+    }
+    Ok((name, threads))
+}
+
+fn build(name: &str, threads: usize) -> Box<dyn acorr::dsm::Program> {
+    if name == "Drift" {
+        Box::new(apps::Drift::new(32 * threads, threads, 8))
+    } else {
+        apps::by_name(name, threads).expect("validated earlier")
+    }
+}
+
+fn correlations(args: &Args) -> Result<(String, CorrelationMatrix), String> {
+    if let Some(path) = args.get("csv") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let corr = CorrelationMatrix::from_csv(&text)?;
+        Ok((path.to_owned(), corr))
+    } else {
+        let (name, threads) = app_factory(args)?;
+        let nodes = args.get_usize("nodes", 8)?;
+        let bench = Workbench::new(nodes, threads).map_err(|e| e.to_string())?;
+        let truth = bench
+            .ground_truth(|| build(&name, threads))
+            .map_err(|e| e.to_string())?;
+        Ok((name, truth.corr))
+    }
+}
+
+fn track(args: &Args) -> Result<String, String> {
+    if let Some(unknown) = args
+        .unknown_keys(&["app", "threads", "nodes", "format", "out"])
+        .first()
+    {
+        return Err(format!("unknown flag --{unknown}"));
+    }
+    let (label, corr) = correlations(args)?;
+    let format = args.get_or("format", "ascii");
+    let rendered = match format {
+        "ascii" => render_ascii(&corr, &MapStyle::default()),
+        "pgm" => render_pgm(&corr),
+        "csv" => render_csv(&corr),
+        "svg" => render_svg(&corr, &MapStyle::default()),
+        other => return Err(format!("unknown format `{other}`")),
+    };
+    let profile = profile_map(&corr);
+    let body = match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("{path}: {e}"))?;
+            format!("wrote {path}\n")
+        }
+        None => rendered,
+    };
+    Ok(format!("{label}: {profile}\n{body}"))
+}
+
+fn profile(args: &Args) -> Result<String, String> {
+    let (label, corr) = correlations(args)?;
+    let p = profile_map(&corr);
+    let sizes = compatible_node_sizes(&p, corr.num_threads());
+    Ok(format!(
+        "{label}: {p}\ncompatible per-node thread counts: {sizes:?}\n"
+    ))
+}
+
+fn place_cmd(args: &Args) -> Result<String, String> {
+    let (label, corr) = correlations(args)?;
+    let nodes = args.get_usize("nodes", 8)?;
+    let cluster = acorr::sim::ClusterConfig::new(nodes, corr.num_threads())
+        .map_err(|e| e.to_string())?;
+    let strategy = strategy_of(args.get_or("strategy", "min-cost"))?;
+    let mut rng = DetRng::new(args.get_usize("seed", 42)? as u64);
+    let mapping = place(strategy, &corr, &cluster, &mut rng);
+    let cut = cut_cost(&corr, &mapping);
+    Ok(format!(
+        "{label}: {strategy} on {nodes} nodes\nmapping: {mapping}\ncut cost: {cut}\n"
+    ))
+}
+
+fn run_cmd(args: &Args) -> Result<String, String> {
+    let (name, threads) = app_factory(args)?;
+    let nodes = args.get_usize("nodes", 8)?;
+    let iters = args.get_usize("iters", 10)?;
+    let strategy = strategy_of(args.get_or("strategy", "min-cost"))?;
+    let bench = Workbench::new(nodes, threads).map_err(|e| e.to_string())?;
+    let rows = bench
+        .heuristic_comparison(|| build(&name, threads), &[strategy], iters)
+        .map_err(|e| e.to_string())?;
+    let row = rows.first().ok_or("no result")?;
+    Ok(format!("{row}\n"))
+}
+
+fn hot(args: &Args) -> Result<String, String> {
+    let (name, threads) = app_factory(args)?;
+    let nodes = args.get_usize("nodes", 8)?;
+    let k = args.get_usize("k", 10)?;
+    let bench = Workbench::new(nodes, threads).map_err(|e| e.to_string())?;
+    let truth = bench
+        .ground_truth(|| build(&name, threads))
+        .map_err(|e| e.to_string())?;
+    let report = page_report(&truth.access, k);
+    Ok(format!("{name}: {report}"))
+}
+
+fn overhead(args: &Args) -> Result<String, String> {
+    let (name, threads) = app_factory(args)?;
+    let nodes = args.get_usize("nodes", 8)?;
+    let bench = Workbench::new(nodes, threads).map_err(|e| e.to_string())?;
+    let row = bench
+        .tracking_overhead(|| build(&name, threads))
+        .map_err(|e| e.to_string())?;
+    Ok(format!("{row}\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(tokens: &[&str]) -> Result<String, String> {
+        run(&Args::parse(tokens.iter().map(|s| s.to_string())).unwrap())
+    }
+
+    #[test]
+    fn apps_lists_the_suite() {
+        let out = cli(&["apps"]).unwrap();
+        for name in apps::SUITE_NAMES {
+            assert!(out.contains(name));
+        }
+        assert!(out.contains("Drift"));
+    }
+
+    #[test]
+    fn track_renders_a_map_with_profile() {
+        let out = cli(&["track", "--app", "SOR", "--threads", "8", "--nodes", "2"]).unwrap();
+        assert!(out.contains("nearest-neighbor"), "{out}");
+        assert!(out.lines().count() > 8);
+    }
+
+    #[test]
+    fn track_rejects_unknown_flags_and_apps() {
+        assert!(cli(&["track", "--app", "SOR", "--thread", "8"])
+            .unwrap_err()
+            .contains("--thread"));
+        assert!(cli(&["track", "--app", "NotAnApp"])
+            .unwrap_err()
+            .contains("NotAnApp"));
+    }
+
+    #[test]
+    fn profile_and_place_work_from_csv() {
+        // Build a CSV via track, feed it back through profile and place.
+        let dir = std::env::temp_dir().join("acorr-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corr.csv");
+        let out = cli(&[
+            "track", "--app", "FFT6", "--threads", "16", "--nodes", "4", "--format", "csv",
+            "--out", path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("wrote"));
+        let prof = cli(&["profile", "--csv", path.to_str().unwrap()]).unwrap();
+        assert!(prof.contains("compatible per-node thread counts"));
+        let placed = cli(&[
+            "place", "--csv", path.to_str().unwrap(), "--nodes", "4", "--strategy", "min-cost",
+        ])
+        .unwrap();
+        assert!(placed.contains("cut cost:"), "{placed}");
+    }
+
+    #[test]
+    fn run_reports_a_table6_style_row() {
+        let out = cli(&[
+            "run", "--app", "Water", "--threads", "8", "--nodes", "2", "--iters", "2",
+            "--strategy", "stretch",
+        ])
+        .unwrap();
+        assert!(out.contains("stretch"), "{out}");
+        assert!(out.contains("misses"));
+    }
+
+    #[test]
+    fn overhead_reports_a_table5_style_row() {
+        let out = cli(&["overhead", "--app", "SOR", "--threads", "8", "--nodes", "2"]).unwrap();
+        assert!(out.contains("tracking"), "{out}");
+    }
+
+    #[test]
+    fn hot_lists_hot_pages() {
+        let out = cli(&["hot", "--app", "Water", "--threads", "8", "--nodes", "2", "--k", "3"])
+            .unwrap();
+        assert!(out.contains("touched pages"), "{out}");
+        assert!(out.contains("sharers"));
+    }
+
+    #[test]
+    fn unknown_command_shows_usage() {
+        let err = cli(&["frobnicate"]).unwrap_err();
+        assert!(err.contains("USAGE"));
+        assert!(cli(&["help"]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn bad_strategy_is_reported() {
+        let err = cli(&[
+            "place", "--app", "SOR", "--threads", "8", "--nodes", "2", "--strategy", "magic",
+        ])
+        .unwrap_err();
+        assert!(err.contains("magic"));
+    }
+
+    #[test]
+    fn drift_is_available_to_the_cli() {
+        let out = cli(&["run", "--app", "Drift", "--threads", "8", "--nodes", "2", "--iters", "2"])
+            .unwrap();
+        assert!(out.contains("Drift"), "{out}");
+    }
+}

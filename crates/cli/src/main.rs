@@ -1,0 +1,28 @@
+//! The `acorr` binary: see [`acorr_cli::usage`] or run `acorr help`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        print!("{}", acorr_cli::usage());
+        return ExitCode::FAILURE;
+    }
+    let args = match acorr_cli::args::Args::parse(argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match acorr_cli::run(&args) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,794 @@
+//! Experiment drivers for the paper's tables and figures.
+//!
+//! Each driver encapsulates one measurement methodology from the paper:
+//!
+//! * [`Workbench::ground_truth`] — one active-tracking phase (§4.2),
+//!   yielding the exact per-thread access bitmaps every analysis builds on.
+//! * [`Workbench::tracking_overhead`] — Table 5: iteration time with
+//!   tracking off and on, fault counts, sharing degree.
+//! * [`Workbench::cutcost_study`] — Table 2 / Figure 1: run many random
+//!   configurations, regress remote misses against cut cost.
+//! * [`Workbench::heuristic_comparison`] — Table 6: full runs under
+//!   different placement strategies.
+//! * [`Workbench::passive_study`] — Figure 2: passive tracking with
+//!   migration rounds, measuring information completeness per round.
+
+use acorr_dsm::{Dsm, DsmConfig, DsmError, IterStats, Program};
+use acorr_mem::AccessMatrix;
+use acorr_place::{min_cost, place, Strategy};
+use acorr_sim::{linear_fit, ClusterConfig, DetRng, LinearFit, Mapping, SimDuration};
+use acorr_track::{cut_cost, has_shifted, sharing_degree, AgedCorrelation, CorrelationMatrix};
+use std::fmt;
+
+/// A configured experiment environment: cluster shape + DSM cost models.
+#[derive(Debug, Clone)]
+pub struct Workbench {
+    /// The cluster (nodes, threads).
+    pub cluster: ClusterConfig,
+    /// DSM configuration used for every instance the workbench builds.
+    pub config: DsmConfig,
+    /// Root seed for randomized methodology (forked per use).
+    pub seed: u64,
+}
+
+impl Workbench {
+    /// A workbench over `nodes` nodes and `threads` threads with default
+    /// cost models (the paper's environment is `Workbench::new(8, 64)`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates topology validation.
+    pub fn new(nodes: usize, threads: usize) -> Result<Self, DsmError> {
+        let cluster = ClusterConfig::new(nodes, threads)?;
+        Ok(Workbench {
+            cluster,
+            config: DsmConfig::new(cluster),
+            seed: 0xAC0_44,
+        })
+    }
+
+    /// Replaces the root seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the DSM configuration (cluster is kept in sync).
+    #[must_use]
+    pub fn with_config(mut self, mut config: DsmConfig) -> Self {
+        config.cluster = self.cluster;
+        self.config = config;
+        self
+    }
+
+    /// Builds a DSM instance for `program` under `mapping`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn dsm<P: Program>(&self, program: P, mapping: Mapping) -> Result<Dsm<P>, DsmError> {
+        Dsm::new(self.config.clone(), program, mapping)
+    }
+
+    /// Warm-up iterations run before any measurement (cold misses and GC
+    /// phase-in settle).
+    const WARMUP: usize = 2;
+
+    /// Measures the exact access information of one actively tracked
+    /// iteration under the stretch placement.
+    ///
+    /// Tracking-off and tracking-on times are measured on *twin instances*
+    /// at the **same iteration index** after identical warm-up, so protocol
+    /// state (caches, pending diffs, GC schedule) is identical and the
+    /// difference is attributable to the tracking mechanism alone. (With a
+    /// single instance, periodic GC makes adjacent iterations incomparable.)
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn ground_truth<P, F>(&self, factory: F) -> Result<GroundTruth, DsmError>
+    where
+        P: Program,
+        F: Fn() -> P,
+    {
+        let mapping = Mapping::stretch(&self.cluster);
+        // Twin A: tracking off at the measured iteration.
+        let mut off_dsm = self.dsm(factory(), mapping.clone())?;
+        off_dsm.run_iterations(Self::WARMUP)?;
+        let baseline = off_dsm.run_iterations(1)?;
+        // Twin B: tracking on at the same iteration.
+        let mut on_dsm = self.dsm(factory(), mapping.clone())?;
+        on_dsm.run_iterations(Self::WARMUP)?;
+        let (tracked, access) = on_dsm.run_tracked_iteration()?;
+        let name = on_dsm.program().name().to_owned();
+        let corr = CorrelationMatrix::from_access(&access);
+        Ok(GroundTruth {
+            app: name,
+            access,
+            corr,
+            mapping,
+            baseline,
+            tracked,
+        })
+    }
+
+    /// Table 5 methodology: the tracked-iteration overhead of one
+    /// application.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn tracking_overhead<P, F>(&self, factory: F) -> Result<TrackingOverheadRow, DsmError>
+    where
+        P: Program,
+        F: Fn() -> P,
+    {
+        let truth = self.ground_truth(&factory)?;
+        let off = truth.baseline.elapsed;
+        let on = truth.tracked.elapsed;
+        let slowdown_pct = if off.is_zero() {
+            0.0
+        } else {
+            (on.as_secs_f64() / off.as_secs_f64() - 1.0) * 100.0
+        };
+        let degree = sharing_degree(&truth.access, &truth.mapping);
+        Ok(TrackingOverheadRow {
+            app: truth.app,
+            time_off: off,
+            time_on: on,
+            slowdown_pct,
+            tracking_faults: truth.tracked.tracking_faults,
+            coherence_faults: truth.tracked.coherence_faults,
+            sharing_degree: degree,
+        })
+    }
+
+    /// Table 2 / Figure 1 methodology: collect ground-truth correlations,
+    /// generate `samples` random configurations (≥2 threads per node, not
+    /// necessarily balanced), run each and record (cut cost, remote misses),
+    /// then fit the least-squares line.
+    ///
+    /// Each sample runs `measure_iters` measured iterations after one
+    /// cold-start warm-up.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn cutcost_study<P, F>(
+        &self,
+        factory: F,
+        samples: usize,
+        measure_iters: usize,
+    ) -> Result<CutCostStudy, DsmError>
+    where
+        P: Program,
+        F: Fn() -> P,
+    {
+        let truth = self.ground_truth(&factory)?;
+        let rng = DetRng::new(self.seed).fork(0x7AB2);
+        let mut points = Vec::with_capacity(samples);
+        for s in 0..samples {
+            let mapping = Mapping::random_min_two(&self.cluster, &mut rng.fork(s as u64));
+            let cut = cut_cost(&truth.corr, &mapping);
+            let mut dsm = self.dsm(factory(), mapping)?;
+            dsm.run_iterations(1)?; // cold-start warm-up
+            let stats = dsm.run_iterations(measure_iters)?;
+            points.push(CutCostSample {
+                cut_cost: cut,
+                remote_misses: stats.remote_misses,
+            });
+        }
+        let xs: Vec<f64> = points.iter().map(|p| p.cut_cost as f64).collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.remote_misses as f64).collect();
+        let fit = linear_fit(&xs, &ys);
+        Ok(CutCostStudy {
+            app: truth.app,
+            samples: points,
+            fit,
+        })
+    }
+
+    /// Table 6 methodology: run the application to completion under each
+    /// strategy and report time, misses, traffic and cut cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn heuristic_comparison<P, F>(
+        &self,
+        factory: F,
+        strategies: &[Strategy],
+        iterations: usize,
+    ) -> Result<Vec<HeuristicRow>, DsmError>
+    where
+        P: Program,
+        F: Fn() -> P,
+    {
+        let truth = self.ground_truth(&factory)?;
+        let mut rows = Vec::with_capacity(strategies.len());
+        for (i, &strategy) in strategies.iter().enumerate() {
+            let mut rng = DetRng::new(self.seed).fork(0x6E1 + i as u64);
+            let mapping = place(strategy, &truth.corr, &self.cluster, &mut rng);
+            let cut = cut_cost(&truth.corr, &mapping);
+            let mut dsm = self.dsm(factory(), mapping)?;
+            dsm.run_iterations(1)?; // cold-start warm-up
+            let stats = dsm.run_iterations(iterations)?;
+            rows.push(HeuristicRow {
+                app: truth.app.clone(),
+                strategy,
+                time: stats.elapsed,
+                remote_misses: stats.remote_misses,
+                total_mbytes: stats.total_mbytes(),
+                diff_mbytes: stats.diff_mbytes(),
+                cut_cost: cut,
+            });
+        }
+        Ok(rows)
+    }
+
+    /// Figure 2 methodology: passive tracking with migration rounds. Each
+    /// round runs one iteration observing only remote faults, accumulates
+    /// the observations, re-places with min-cost on the partial
+    /// correlations, and migrates. Completeness is measured against the
+    /// active-tracking ground truth.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn passive_study<P, F>(&self, factory: F, rounds: usize) -> Result<PassiveStudy, DsmError>
+    where
+        P: Program,
+        F: Fn() -> P,
+    {
+        let truth = self.ground_truth(&factory)?;
+        let mut dsm = self.dsm(factory(), Mapping::stretch(&self.cluster))?;
+        let mut accumulated =
+            AccessMatrix::new(self.cluster.num_threads(), dsm.num_pages());
+        let mut completeness = Vec::with_capacity(rounds);
+        let mut moves = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            dsm.enable_passive_tracking();
+            dsm.run_iterations(1)?;
+            let obs = dsm
+                .take_passive_observations()
+                .expect("passive tracking was enabled");
+            accumulated.merge(&obs);
+            completeness.push(accumulated.completeness_vs(&truth.access));
+            // Re-place on what has been learned so far and migrate.
+            let partial = CorrelationMatrix::from_access(&accumulated);
+            let next = min_cost(&partial, &self.cluster);
+            let report = dsm.migrate_to(next)?;
+            moves.push(report.moved);
+        }
+        Ok(PassiveStudy {
+            app: truth.app,
+            completeness,
+            moves,
+        })
+    }
+
+    /// §7 methodology (future work, implemented): a dynamic application run
+    /// under three policies over `total_iterations`:
+    ///
+    /// 1. static stretch;
+    /// 2. one tracked iteration up front, min-cost placement, no further
+    ///    adaptation;
+    /// 3. a tracked iteration every `retrack_every` iterations, folded into
+    ///    an exponentially aged correlation accumulator (`decay`), followed
+    ///    by min-cost re-placement and migration.
+    ///
+    /// All tracking and migration costs are charged inside the reported
+    /// statistics, so the comparison is end-to-end fair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retrack_every` is zero.
+    pub fn adaptive_study<P, F>(
+        &self,
+        factory: F,
+        total_iterations: usize,
+        retrack_every: usize,
+        decay: f64,
+    ) -> Result<AdaptiveStudy, DsmError>
+    where
+        P: Program,
+        F: Fn() -> P,
+    {
+        assert!(retrack_every >= 2, "retrack_every must be at least 2");
+        let threads = self.cluster.num_threads();
+        let stretch = Mapping::stretch(&self.cluster);
+
+        // Policy 1: static stretch.
+        let mut static_dsm = self.dsm(factory(), stretch.clone())?;
+        let static_stats = static_dsm.run_iterations(total_iterations)?;
+        let app = static_dsm.program().name().to_owned();
+
+        // Policy 2: track once, place, never adapt.
+        let mut once_dsm = self.dsm(factory(), stretch.clone())?;
+        let (mut track_once_stats, access) = once_dsm.run_tracked_iteration()?;
+        let corr = CorrelationMatrix::from_access(&access);
+        once_dsm.migrate_to(min_cost(&corr, &self.cluster))?;
+        track_once_stats += once_dsm.run_iterations(total_iterations - 1)?;
+
+        // Policy 3: periodic re-tracking with aged correlations.
+        let mut adaptive_dsm = self.dsm(factory(), stretch)?;
+        let mut aged = AgedCorrelation::new(threads, decay);
+        let mut adaptive_stats = IterStats::new();
+        let mut migrations = 0;
+        let mut done = 0;
+        while done < total_iterations {
+            // Let one ordinary iteration re-cache first (latency hiding
+            // on), so the pinned tracking iteration is not also paying
+            // serialized cold misses.
+            adaptive_stats += adaptive_dsm.run_iterations(1)?;
+            done += 1;
+            if done >= total_iterations {
+                break;
+            }
+            let (tracked, access) = adaptive_dsm.run_tracked_iteration()?;
+            adaptive_stats += tracked;
+            done += 1;
+            aged.observe(&CorrelationMatrix::from_access(&access));
+            let target = min_cost(&aged.snapshot(), &self.cluster);
+            migrations += adaptive_dsm.migrate_to(target)?.moved;
+            let rest = (retrack_every - 2).min(total_iterations - done);
+            adaptive_stats += adaptive_dsm.run_iterations(rest)?;
+            done += rest;
+        }
+        Ok(AdaptiveStudy {
+            app,
+            static_stats,
+            track_once_stats,
+            adaptive_stats,
+            adaptive_migrations: migrations,
+        })
+    }
+
+    /// Compares two answers to §7's "when should we re-track?":
+    ///
+    /// * **scheduled** — an active tracking phase (plus re-placement) every
+    ///   `check_every` iterations, unconditionally;
+    /// * **drift-triggered** — run each window with cheap passive tracking
+    ///   on; re-track actively only when the passive correlation snapshot
+    ///   diverges from the previous window's by more than `threshold`
+    ///   (normalized L1, see
+    ///   [`correlation_delta`](acorr_track::correlation_delta)).
+    ///
+    /// Passive snapshots are biased (first local toucher only), but
+    /// *consistently* biased, so window-over-window divergence is a clean
+    /// phase-change signal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `check_every < 2`.
+    pub fn on_demand_study<P, F>(
+        &self,
+        factory: F,
+        total_iterations: usize,
+        check_every: usize,
+        threshold: f64,
+        decay: f64,
+    ) -> Result<OnDemandStudy, DsmError>
+    where
+        P: Program,
+        F: Fn() -> P,
+    {
+        assert!(check_every >= 2, "check_every must be at least 2");
+        // Policy A: scheduled (reuses the adaptive_study loop).
+        let scheduled_full =
+            self.adaptive_study(&factory, total_iterations, check_every, decay)?;
+        let scheduled_tracks = total_iterations.div_ceil(check_every);
+
+        // Policy B: drift-triggered. One tracked placement up front, then
+        // passive windows; migration changes which threads fault, so the
+        // first window after each migration only calibrates a new baseline.
+        let mut dsm = self.dsm(factory(), Mapping::stretch(&self.cluster))?;
+        let mut aged = AgedCorrelation::new(self.cluster.num_threads(), decay);
+        let mut stats = IterStats::new();
+        let mut tracks = 0usize;
+        let mut done = 0usize;
+        {
+            let (tracked, access) = dsm.run_tracked_iteration()?;
+            stats += tracked;
+            done += 1;
+            tracks += 1;
+            aged.observe(&CorrelationMatrix::from_access(&access));
+            dsm.migrate_to(min_cost(&aged.snapshot(), &self.cluster))?;
+        }
+        let mut previous_passive: Option<CorrelationMatrix> = None;
+        while done < total_iterations {
+            let window = check_every.min(total_iterations - done);
+            dsm.enable_passive_tracking();
+            stats += dsm.run_iterations(window)?;
+            done += window;
+            let observed = dsm
+                .take_passive_observations()
+                .expect("passive tracking was enabled");
+            let passive_corr = CorrelationMatrix::from_access(&observed);
+            let shifted = match &previous_passive {
+                None => false, // baseline calibration window
+                Some(prev) => has_shifted(prev, &passive_corr, threshold),
+            };
+            if shifted && done < total_iterations {
+                let (tracked, access) = dsm.run_tracked_iteration()?;
+                stats += tracked;
+                done += 1;
+                tracks += 1;
+                aged.observe(&CorrelationMatrix::from_access(&access));
+                let target = min_cost(&aged.snapshot(), &self.cluster);
+                dsm.migrate_to(target)?;
+                previous_passive = None; // recalibrate under the new mapping
+            } else {
+                previous_passive = Some(passive_corr);
+            }
+        }
+        Ok(OnDemandStudy {
+            app: dsm.program().name().to_owned(),
+            scheduled: scheduled_full.adaptive_stats,
+            scheduled_tracks,
+            on_demand: stats,
+            on_demand_tracks: tracks,
+        })
+    }
+}
+
+/// Outcome of comparing scheduled re-tracking against drift-triggered
+/// re-tracking (see [`Workbench::on_demand_study`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnDemandStudy {
+    /// Application name.
+    pub app: String,
+    /// Re-track on a fixed schedule.
+    pub scheduled: IterStats,
+    /// Tracked iterations spent by the scheduled policy.
+    pub scheduled_tracks: usize,
+    /// Re-track only when passive observations drift.
+    pub on_demand: IterStats,
+    /// Tracked iterations spent by the on-demand policy.
+    pub on_demand_tracks: usize,
+}
+
+impl fmt::Display for OnDemandStudy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:", self.app)?;
+        writeln!(
+            f,
+            "  scheduled re-tracking : {:>8} misses, {} ({} tracked iterations)",
+            self.scheduled.remote_misses, self.scheduled.elapsed, self.scheduled_tracks
+        )?;
+        write!(
+            f,
+            "  drift-triggered       : {:>8} misses, {} ({} tracked iterations)",
+            self.on_demand.remote_misses, self.on_demand.elapsed, self.on_demand_tracks
+        )
+    }
+}
+
+/// Outcome of the adaptive-migration study (§7's future work): the same
+/// dynamic application run under three policies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveStudy {
+    /// Application name.
+    pub app: String,
+    /// Never adapt: static stretch placement.
+    pub static_stats: IterStats,
+    /// Track once at the start, place with min-cost, never adapt again.
+    pub track_once_stats: IterStats,
+    /// Re-track periodically, age the correlations, re-place and migrate.
+    pub adaptive_stats: IterStats,
+    /// Threads migrated by the adaptive policy over the whole run.
+    pub adaptive_migrations: usize,
+}
+
+impl fmt::Display for AdaptiveStudy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:", self.app)?;
+        writeln!(
+            f,
+            "  static stretch : {:>8} misses, {}",
+            self.static_stats.remote_misses, self.static_stats.elapsed
+        )?;
+        writeln!(
+            f,
+            "  track-once     : {:>8} misses, {}",
+            self.track_once_stats.remote_misses, self.track_once_stats.elapsed
+        )?;
+        write!(
+            f,
+            "  adaptive       : {:>8} misses, {} ({} migrations)",
+            self.adaptive_stats.remote_misses,
+            self.adaptive_stats.elapsed,
+            self.adaptive_migrations
+        )
+    }
+}
+
+/// One row of a node-count study (§3's four-node vs eight-node
+/// discussion).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeCountRow {
+    /// Nodes in the configuration.
+    pub nodes: usize,
+    /// Total simulated run time.
+    pub time: SimDuration,
+    /// Remote misses over the measured iterations.
+    pub remote_misses: u64,
+    /// Data traffic in megabytes.
+    pub total_mbytes: f64,
+    /// Cut cost of the stretch mapping at this node count.
+    pub cut_cost: u64,
+}
+
+impl fmt::Display for NodeCountRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes: {:>8.2}s, {:>8} misses, {:>7.1} MB, cut {:>8}",
+            self.nodes,
+            self.time.as_secs_f64(),
+            self.remote_misses,
+            self.total_mbytes,
+            self.cut_cost
+        )
+    }
+}
+
+/// §3 methodology: run the same application (fixed thread count, stretch
+/// placement) on different node counts, reporting the communication and
+/// time of each. The paper uses this on 32-thread LU2k to show that the
+/// eight-node configuration communicates so much more than the four-node
+/// one that it can end up slower on some clusters.
+///
+/// Standalone function (not a [`Workbench`] method) because it varies the
+/// cluster itself.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn node_count_study<P, F>(
+    factory: F,
+    threads: usize,
+    node_counts: &[usize],
+    iterations: usize,
+) -> Result<Vec<NodeCountRow>, DsmError>
+where
+    P: Program,
+    F: Fn() -> P,
+{
+    let mut rows = Vec::with_capacity(node_counts.len());
+    for &nodes in node_counts {
+        let bench = Workbench::new(nodes, threads)?;
+        let truth = bench.ground_truth(&factory)?;
+        let mapping = Mapping::stretch(&bench.cluster);
+        let cut = cut_cost(&truth.corr, &mapping);
+        let mut dsm = bench.dsm(factory(), mapping)?;
+        dsm.run_iterations(1)?; // cold-start warm-up
+        let stats = dsm.run_iterations(iterations)?;
+        rows.push(NodeCountRow {
+            nodes,
+            time: stats.elapsed,
+            remote_misses: stats.remote_misses,
+            total_mbytes: stats.total_mbytes(),
+            cut_cost: cut,
+        });
+    }
+    Ok(rows)
+}
+
+/// Exact access information from one active-tracking phase, plus the
+/// baseline and tracked iteration statistics.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// Application name.
+    pub app: String,
+    /// Per-thread access bitmaps (the tracking phase's direct output).
+    pub access: AccessMatrix,
+    /// Thread correlations derived from `access`.
+    pub corr: CorrelationMatrix,
+    /// The placement used while tracking (stretch).
+    pub mapping: Mapping,
+    /// Statistics of the untracked baseline iteration.
+    pub baseline: IterStats,
+    /// Statistics of the tracked iteration.
+    pub tracked: IterStats,
+}
+
+/// One row of Table 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackingOverheadRow {
+    /// Application name.
+    pub app: String,
+    /// Iteration time with tracking off.
+    pub time_off: SimDuration,
+    /// Iteration time with tracking on.
+    pub time_on: SimDuration,
+    /// Percent slowdown from off to on.
+    pub slowdown_pct: f64,
+    /// Correlation faults during the tracked iteration.
+    pub tracking_faults: u64,
+    /// Coherence faults during the tracked iteration.
+    pub coherence_faults: u64,
+    /// Sharing degree (Table 5's last column).
+    pub sharing_degree: f64,
+}
+
+impl fmt::Display for TrackingOverheadRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<8} off {:>9.3}s on {:>9.3}s (+{:.2}%) tracking {:>7} coherence {:>7} degree {:.3}",
+            self.app,
+            self.time_off.as_secs_f64(),
+            self.time_on.as_secs_f64(),
+            self.slowdown_pct,
+            self.tracking_faults,
+            self.coherence_faults,
+            self.sharing_degree,
+        )
+    }
+}
+
+/// One (configuration, outcome) point of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CutCostSample {
+    /// Cut cost of the random configuration.
+    pub cut_cost: u64,
+    /// Remote misses measured under it.
+    pub remote_misses: u64,
+}
+
+/// Table 2 row plus the Figure 1 scatter data behind it.
+#[derive(Debug, Clone)]
+pub struct CutCostStudy {
+    /// Application name.
+    pub app: String,
+    /// The per-configuration samples.
+    pub samples: Vec<CutCostSample>,
+    /// Least-squares fit of misses against cut cost (`None` if degenerate).
+    pub fit: Option<LinearFit>,
+}
+
+impl CutCostStudy {
+    /// Serializes the scatter as `cut_cost,remote_misses` CSV (Figure 1).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("cut_cost,remote_misses\n");
+        for s in &self.samples {
+            out.push_str(&format!("{},{}\n", s.cut_cost, s.remote_misses));
+        }
+        out
+    }
+}
+
+/// One row of Table 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeuristicRow {
+    /// Application name.
+    pub app: String,
+    /// The placement strategy used.
+    pub strategy: Strategy,
+    /// Total simulated run time.
+    pub time: SimDuration,
+    /// Remote misses over the run.
+    pub remote_misses: u64,
+    /// Total data traffic in megabytes.
+    pub total_mbytes: f64,
+    /// Diff traffic in megabytes.
+    pub diff_mbytes: f64,
+    /// Cut cost of the placement.
+    pub cut_cost: u64,
+}
+
+impl fmt::Display for HeuristicRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<8} {:<10} {:>9.2}s {:>9} misses {:>8.1} MB {:>8.1} MB diff cut {:>8}",
+            self.app,
+            self.strategy.to_string(),
+            self.time.as_secs_f64(),
+            self.remote_misses,
+            self.total_mbytes,
+            self.diff_mbytes,
+            self.cut_cost,
+        )
+    }
+}
+
+/// Figure 2 data: information completeness per passive migration round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassiveStudy {
+    /// Application name.
+    pub app: String,
+    /// Fraction of the complete sharing information gathered after each
+    /// round (cumulative).
+    pub completeness: Vec<f64>,
+    /// Threads migrated after each round (the ping-pong signal).
+    pub moves: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acorr_apps::{Sor, Water};
+
+    fn bench() -> Workbench {
+        Workbench::new(2, 8).unwrap()
+    }
+
+    #[test]
+    fn ground_truth_has_complete_access_info() {
+        let truth = bench().ground_truth(|| Sor::new(64, 64, 8)).unwrap();
+        // Every thread touches its own rows at minimum.
+        for t in 0..8 {
+            assert!(truth.access.pages_touched(t) > 0, "thread {t}");
+        }
+        assert!(truth.tracked.tracking_faults >= truth.access.total_observations() as u64);
+        assert_eq!(truth.corr.num_threads(), 8);
+    }
+
+    #[test]
+    fn tracking_overhead_is_positive() {
+        let row = bench().tracking_overhead(|| Sor::new(64, 64, 8)).unwrap();
+        assert!(row.slowdown_pct > 0.0, "{row}");
+        assert!(row.time_on > row.time_off);
+        assert!(row.sharing_degree >= 1.0);
+    }
+
+    #[test]
+    fn cutcost_study_produces_fit_and_samples() {
+        let study = bench()
+            .cutcost_study(|| Sor::new(64, 64, 8), 12, 1)
+            .unwrap();
+        assert_eq!(study.samples.len(), 12);
+        let fit = study.fit.expect("non-degenerate");
+        assert!(fit.r > 0.0, "misses grow with cut cost: {fit}");
+        let csv = study.to_csv();
+        assert!(csv.lines().count() == 13);
+    }
+
+    #[test]
+    fn heuristic_comparison_favors_min_cost_on_sor() {
+        let rows = bench()
+            .heuristic_comparison(
+                || Sor::new(64, 64, 8),
+                &[Strategy::MinCost, Strategy::RandomBalanced],
+                3,
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        let (mc, ran) = (&rows[0], &rows[1]);
+        assert!(mc.cut_cost <= ran.cut_cost);
+        assert!(mc.remote_misses <= ran.remote_misses, "{mc}\n{ran}");
+    }
+
+    #[test]
+    fn passive_study_is_monotone_and_incomplete() {
+        let study = bench()
+            .passive_study(|| Water::new(64, 8), 5)
+            .unwrap();
+        assert_eq!(study.completeness.len(), 5);
+        for w in study.completeness.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "cumulative: {:?}", study.completeness);
+        }
+        // Passive tracking cannot see node-0-local silent sharers in one
+        // round; it starts below 100%.
+        assert!(study.completeness[0] < 1.0);
+        assert_eq!(study.moves.len(), 5);
+    }
+
+    #[test]
+    fn workbench_is_deterministic() {
+        let a = bench().cutcost_study(|| Water::new(64, 8), 5, 1).unwrap();
+        let b = bench().cutcost_study(|| Water::new(64, 8), 5, 1).unwrap();
+        assert_eq!(a.samples, b.samples);
+    }
+}

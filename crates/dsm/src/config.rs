@@ -1,0 +1,128 @@
+//! Engine configuration.
+
+use acorr_sim::{ClusterConfig, CostModel, NetworkModel, SimDuration};
+
+/// Which write-sharing protocol the DSM runs.
+///
+/// The paper's CVM uses multi-writer lazy release consistency; its §6
+/// discusses older *single-writer* protocols (Mirage, and the systems
+/// behind PARSEC's suspension scheduling), where a page has one writable
+/// copy at a time and ownership migrates on write faults. Such protocols
+/// live or die by the **delta interval**: a newly arrived page is frozen at
+/// its owner for a minimum time before it can be stolen away, or two
+/// alternating writers ping-pong the page on every access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteMode {
+    /// Multi-writer LRC with twins and diffs (CVM's protocol; the default).
+    MultiWriter,
+    /// Single-writer ownership protocol with a Mirage-style delta interval:
+    /// after an ownership transfer, the page cannot be stolen again for
+    /// `delta`.
+    SingleWriter {
+        /// Minimum residence time of a page at its owner.
+        delta: SimDuration,
+    },
+}
+
+/// Configuration of one DSM instance.
+///
+/// Use [`DsmConfig::new`] for the defaults and the with-methods for
+/// adjustments:
+///
+/// ```
+/// use acorr_dsm::DsmConfig;
+/// use acorr_sim::ClusterConfig;
+/// let cluster = ClusterConfig::new(8, 64)?;
+/// let config = DsmConfig::new(cluster).with_seed(7).with_gc_threshold(4096);
+/// assert_eq!(config.seed, 7);
+/// # Ok::<(), acorr_sim::TopologyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DsmConfig {
+    /// Cluster shape: nodes and total threads.
+    pub cluster: ClusterConfig,
+    /// Network cost model.
+    pub network: NetworkModel,
+    /// CPU cost model.
+    pub cost: CostModel,
+    /// Garbage collection fires at a barrier once this many diff records are
+    /// pending across all pages.
+    pub gc_diff_threshold: usize,
+    /// Seed for whatever randomized decisions the engine makes (none today;
+    /// reserved and threaded through for reproducibility).
+    pub seed: u64,
+    /// Write-sharing protocol.
+    pub write_mode: WriteMode,
+}
+
+impl DsmConfig {
+    /// A configuration with default cost models and GC threshold.
+    pub fn new(cluster: ClusterConfig) -> Self {
+        DsmConfig {
+            cluster,
+            network: NetworkModel::default(),
+            cost: CostModel::default(),
+            gc_diff_threshold: 16 * 1024,
+            seed: 0,
+            write_mode: WriteMode::MultiWriter,
+        }
+    }
+
+    /// Replaces the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the network model.
+    #[must_use]
+    pub fn with_network(mut self, network: NetworkModel) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Replaces the CPU cost model.
+    #[must_use]
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Replaces the GC trigger threshold (pending diff records).
+    #[must_use]
+    pub fn with_gc_threshold(mut self, records: usize) -> Self {
+        self.gc_diff_threshold = records;
+        self
+    }
+
+    /// Replaces the write-sharing protocol.
+    #[must_use]
+    pub fn with_write_mode(mut self, mode: WriteMode) -> Self {
+        self.write_mode = mode;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let cluster = ClusterConfig::new(4, 16).unwrap();
+        let c = DsmConfig::new(cluster)
+            .with_seed(9)
+            .with_gc_threshold(100)
+            .with_network(NetworkModel::default())
+            .with_cost(CostModel::default());
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.gc_diff_threshold, 100);
+        assert_eq!(c.cluster.num_threads(), 16);
+        assert_eq!(c.write_mode, WriteMode::MultiWriter);
+        let sw = c.with_write_mode(WriteMode::SingleWriter {
+            delta: SimDuration::from_millis(1),
+        });
+        assert!(matches!(sw.write_mode, WriteMode::SingleWriter { .. }));
+    }
+}

@@ -1,0 +1,1121 @@
+//! The DSM execution engine.
+//!
+//! [`Dsm`] runs a [`Program`] over a simulated cluster under a multi-writer
+//! lazy-release-consistency protocol, with per-node multithreading and
+//! latency hiding, and implements the paper's two tracking mechanisms:
+//!
+//! * **Active correlation tracking** (§4.2): [`Dsm::run_tracked_iteration`]
+//!   arms a correlation bit on every page, pins each node's scheduler to one
+//!   thread per barrier segment, logs first-touches into per-thread access
+//!   bitmaps, and re-arms at every thread switch. The full protection-sweep
+//!   and fault costs are charged, so the tracked iteration exhibits the
+//!   Table 5 slowdown.
+//! * **Passive correlation tracking** (§4.1): with
+//!   [`Dsm::enable_passive_tracking`], the engine attributes a page to a
+//!   thread only when that thread's access triggers a *remote* fault — so
+//!   only the first local toucher of each invalidated page is observed,
+//!   reproducing the partial-information pathology of Figure 2.
+//!
+//! Time is per-node virtual time: threads on a node interleave, block on
+//! remote fetches (letting siblings run — the latency tolerance that active
+//! tracking deliberately forfeits), and rendezvous at barriers. The engine
+//! is a conservative discrete-event loop: the node with the smallest local
+//! time that can make progress always steps next, so runs are deterministic.
+
+use crate::config::{DsmConfig, WriteMode};
+use crate::error::DsmError;
+use crate::locks::LockState;
+use crate::node::NodeState;
+use crate::program::{validate_iteration, LockId, Op, Program};
+use crate::protocol::PageDirectory;
+use crate::stats::IterStats;
+use crate::thread::{OngoingAccess, ThreadState, ThreadStatus};
+use crate::trace::{Event, Trace};
+use acorr_mem::{pages_for, span_pages, AccessKind, AccessMatrix, PageId, PageSpan, Protection};
+use acorr_sim::{Mapping, MessageKind, NodeId, SimDuration, SimTime};
+
+/// Fixed framing overhead charged per diff, on top of the dirty bytes.
+const DIFF_HEADER_BYTES: u64 = 16;
+/// Per-fragment framing inside a diff.
+const DIFF_RANGE_BYTES: u64 = 8;
+/// Payload of one write notice.
+const NOTICE_BYTES: u64 = 16;
+/// Payload of one lock control message.
+const LOCK_MSG_BYTES: u64 = 64;
+/// Payload of one barrier control message.
+const BARRIER_MSG_BYTES: u64 = 32;
+
+/// Result of a reconfiguration via [`Dsm::migrate_to`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Threads that changed node.
+    pub moved: usize,
+    /// Stack bytes shipped.
+    pub bytes: u64,
+}
+
+enum AccessOutcome {
+    /// The access completed locally; move to the next span.
+    Proceed,
+    /// The access faulted; the span must be *retried* after the block (the
+    /// multi-writer path: a fetched page stays valid until a sync point, so
+    /// the retry always succeeds).
+    Block(SimDuration),
+    /// The access faulted and is considered performed at fetch completion;
+    /// move to the next span, then block. The single-writer path needs
+    /// this: a rival steal may invalidate the page again before this thread
+    /// resumes, and retrying would livelock — real ownership protocols
+    /// guarantee the faulting access completes when the page arrives
+    /// (without that guarantee, §6's page thrashing becomes livelock).
+    BlockCompleted(SimDuration),
+}
+
+/// A software DSM instance executing one program.
+///
+/// ```
+/// use acorr_dsm::{Dsm, DsmConfig, Op, Program};
+/// use acorr_sim::{ClusterConfig, Mapping};
+///
+/// struct TwoReaders;
+/// impl Program for TwoReaders {
+///     fn name(&self) -> &str { "two-readers" }
+///     fn shared_bytes(&self) -> u64 { 8192 }
+///     fn num_threads(&self) -> usize { 2 }
+///     fn script(&self, thread: usize, _iter: usize) -> Vec<Op> {
+///         vec![Op::read(thread as u64 * 4096, 64)]
+///     }
+/// }
+///
+/// # fn main() -> Result<(), acorr_dsm::DsmError> {
+/// let cluster = ClusterConfig::new(2, 2)?;
+/// let mapping = Mapping::stretch(&cluster);
+/// let mut dsm = Dsm::new(DsmConfig::new(cluster), TwoReaders, mapping)?;
+/// let stats = dsm.run_iterations(1)?;
+/// // The thread on node 1 cold-misses its page; node 0 owns all pages.
+/// assert_eq!(stats.remote_misses, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Dsm<P: Program> {
+    program: P,
+    config: DsmConfig,
+    mapping: Mapping,
+    nodes: Vec<NodeState>,
+    threads: Vec<ThreadState>,
+    directory: PageDirectory,
+    locks: Vec<LockState>,
+    num_pages: usize,
+    next_iteration: usize,
+    total: IterStats,
+    cur: IterStats,
+    tracking: Option<AccessMatrix>,
+    passive: Option<AccessMatrix>,
+    tracer: Option<Trace>,
+    barrier_arrived: usize,
+}
+
+impl<P: Program> Dsm<P> {
+    /// Creates a DSM instance with all shared pages initially owned by
+    /// node 0 (where a real application's master thread would have
+    /// initialized them).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsmError::MappingMismatch`] when the mapping does not cover
+    /// exactly the program's threads, and propagates script validation
+    /// errors for iteration 0.
+    pub fn new(config: DsmConfig, program: P, mapping: Mapping) -> Result<Self, DsmError> {
+        if mapping.num_threads() != program.num_threads()
+            || mapping.num_threads() != config.cluster.num_threads()
+        {
+            return Err(DsmError::MappingMismatch {
+                mapping_threads: mapping.num_threads(),
+                program_threads: program.num_threads(),
+            });
+        }
+        let num_pages = pages_for(program.shared_bytes()) as usize;
+        let num_nodes = config.cluster.num_nodes();
+        let mut nodes: Vec<NodeState> = (0..num_nodes)
+            .map(|i| NodeState::new(NodeId(i as u16), num_pages, i == 0))
+            .collect();
+        let mut threads = Vec::with_capacity(mapping.num_threads());
+        for t in 0..mapping.num_threads() {
+            let node = mapping.node_of(t);
+            nodes[node.idx()].threads.push(t);
+            threads.push(ThreadState::new(node));
+        }
+        let locks = (0..program.num_locks()).map(|_| LockState::new()).collect();
+        Ok(Dsm {
+            directory: PageDirectory::new(num_pages, NodeId(0)),
+            program,
+            config,
+            mapping,
+            nodes,
+            threads,
+            locks,
+            num_pages,
+            next_iteration: 0,
+            total: IterStats::new(),
+            cur: IterStats::new(),
+            tracking: None,
+            passive: None,
+            tracer: None,
+            barrier_arrived: 0,
+        })
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &P {
+        &self.program
+    }
+
+    /// The current thread-to-node mapping.
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// Number of shared pages.
+    pub fn num_pages(&self) -> usize {
+        self.num_pages
+    }
+
+    /// The iteration the next run will execute.
+    pub fn next_iteration(&self) -> usize {
+        self.next_iteration
+    }
+
+    /// Aggregate statistics since construction.
+    pub fn total_stats(&self) -> IterStats {
+        self.total
+    }
+
+    /// Per-node page residency: how many pages each node currently holds
+    /// valid, and how many of those are writable (twinned or owned). A
+    /// cheap snapshot of replication state for observability.
+    pub fn page_residency(&self) -> Vec<(usize, usize)> {
+        self.nodes
+            .iter()
+            .map(|n| {
+                let valid = n.pages.iter().filter(|p| p.valid).count();
+                let writable = n
+                    .pages
+                    .iter()
+                    .filter(|p| p.prot == Protection::ReadWrite)
+                    .count();
+                (valid, writable)
+            })
+            .collect()
+    }
+
+    /// Cumulative remote misses per node since construction — exposes load
+    /// imbalance in the coherence traffic.
+    pub fn node_misses(&self) -> Vec<u64> {
+        self.nodes.iter().map(|n| n.remote_misses).collect()
+    }
+
+    /// Cumulative tracking faults per node since construction. §4.2 notes
+    /// that tracking cost is incurred locally and in parallel; this is the
+    /// per-node breakdown behind that claim.
+    pub fn node_tracking_faults(&self) -> Vec<u64> {
+        self.nodes.iter().map(|n| n.tracking_faults).collect()
+    }
+
+    /// Current global virtual time (all nodes are synchronized between
+    /// iterations).
+    pub fn now(&self) -> SimTime {
+        self.nodes.iter().map(|n| n.time).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Starts recording protocol events into a bounded trace (newest
+    /// `capacity` events are retained). Tracing is off by default and has
+    /// no cost while off.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.tracer = Some(Trace::new(capacity));
+    }
+
+    /// Stops tracing and returns the recorded events, if enabled.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.tracer.take()
+    }
+
+    /// Records `event` at node `i`'s current time, when tracing is on.
+    fn emit(&mut self, i: usize, event: Event) {
+        if let Some(tracer) = self.tracer.as_mut() {
+            let at = self.nodes[i].time;
+            tracer.record(at, event);
+        }
+    }
+
+    /// Starts recording passive observations: pages are attributed to
+    /// threads only when their access takes a *remote* fault.
+    pub fn enable_passive_tracking(&mut self) {
+        if self.passive.is_none() {
+            self.passive = Some(AccessMatrix::new(self.threads.len(), self.num_pages));
+        }
+    }
+
+    /// Stops passive tracking and returns the observations, if enabled.
+    pub fn take_passive_observations(&mut self) -> Option<AccessMatrix> {
+        self.passive.take()
+    }
+
+    /// Runs `n` ordinary iterations and returns their aggregate statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates script validation failures and deadlocks.
+    pub fn run_iterations(&mut self, n: usize) -> Result<IterStats, DsmError> {
+        let mut agg = IterStats::new();
+        for _ in 0..n {
+            agg += self.run_one(false)?;
+        }
+        Ok(agg)
+    }
+
+    /// Runs one iteration under active correlation tracking (§4.2) and
+    /// returns its statistics plus the per-thread access bitmaps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates script validation failures and deadlocks.
+    pub fn run_tracked_iteration(&mut self) -> Result<(IterStats, AccessMatrix), DsmError> {
+        let stats = self.run_one(true)?;
+        let matrix = self.tracking.take().expect("tracked run stores its matrix");
+        Ok((stats, matrix))
+    }
+
+    /// Reconfigures the running application to `new_mapping` by migrating
+    /// threads (stack copies) between iterations, as §5 describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsmError::MappingMismatch`] when the mapping covers a
+    /// different thread count.
+    pub fn migrate_to(&mut self, new_mapping: Mapping) -> Result<MigrationReport, DsmError> {
+        if new_mapping.num_threads() != self.threads.len() {
+            return Err(DsmError::MappingMismatch {
+                mapping_threads: new_mapping.num_threads(),
+                program_threads: self.threads.len(),
+            });
+        }
+        let stack = self.config.cost.migration_stack_bytes;
+        let mut moved = 0usize;
+        let mut incoming = vec![0u64; self.nodes.len()];
+        for t in 0..self.threads.len() {
+            let from = self.threads[t].node;
+            let to = new_mapping.node_of(t);
+            if from != to {
+                moved += 1;
+                incoming[to.idx()] += 1;
+                self.total.migrations += 1;
+                self.total.net.record(MessageKind::Migration, stack);
+                self.threads[t].node = to;
+                self.emit(to.idx(), Event::Migration { thread: t, to });
+            }
+        }
+        if moved > 0 {
+            // Each node receives its incoming stacks, then all nodes
+            // rendezvous (migration happens inside a barrier).
+            let per_stack = self.config.network.transfer_time(stack);
+            for (i, node) in self.nodes.iter_mut().enumerate() {
+                node.time += per_stack * incoming[i];
+            }
+            let release = self
+                .nodes
+                .iter()
+                .map(|n| n.time)
+                .max()
+                .expect("at least one node")
+                + self.config.cost.barrier(self.nodes.len() as u64);
+            for node in &mut self.nodes {
+                node.time = release;
+                node.threads.clear();
+                node.last_ran = None;
+            }
+            for t in 0..self.threads.len() {
+                let node = self.threads[t].node;
+                self.nodes[node.idx()].threads.push(t);
+            }
+        }
+        self.mapping = new_mapping;
+        Ok(MigrationReport {
+            moved,
+            bytes: moved as u64 * stack,
+        })
+    }
+
+    /// Unilateral thread export matched by an import (§5): swaps two
+    /// threads between their nodes, preserving every node's thread count.
+    /// A no-op (zero moves) when both threads already share a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsmError::MappingMismatch`] if either index is out of
+    /// range.
+    pub fn swap_threads(&mut self, a: usize, b: usize) -> Result<MigrationReport, DsmError> {
+        if a >= self.threads.len() || b >= self.threads.len() {
+            return Err(DsmError::MappingMismatch {
+                mapping_threads: a.max(b) + 1,
+                program_threads: self.threads.len(),
+            });
+        }
+        let mut target = self.mapping.clone();
+        let (na, nb) = (target.node_of(a), target.node_of(b));
+        target.set_node_of(a, nb);
+        target.set_node_of(b, na);
+        self.migrate_to(target)
+    }
+
+    // ------------------------------------------------------------------
+    // Iteration driver
+    // ------------------------------------------------------------------
+
+    fn run_one(&mut self, tracked: bool) -> Result<IterStats, DsmError> {
+        let iteration = self.next_iteration;
+        validate_iteration(&self.program, iteration)?;
+        let start = self.now();
+        // Load scripts with the implicit end-of-iteration barrier.
+        for t in 0..self.threads.len() {
+            let mut script = self.program.script(t, iteration);
+            script.push(Op::Barrier);
+            self.threads[t].load(script);
+        }
+        for node in &mut self.nodes {
+            node.ready.clear();
+            node.last_ran = None;
+            node.write_set.clear();
+            for &t in &node.threads {
+                node.ready.push_back(t);
+            }
+        }
+        self.cur = IterStats::new();
+        self.barrier_arrived = 0;
+        if tracked {
+            self.tracking = Some(AccessMatrix::new(self.threads.len(), self.num_pages));
+            let sweep = self.config.cost.protect_sweep(self.num_pages as u64);
+            for node in &mut self.nodes {
+                node.arm_all_pages();
+                node.time += sweep;
+                node.pinned = if node.threads.is_empty() { None } else { Some(0) };
+            }
+        } else {
+            self.tracking = None;
+            for node in &mut self.nodes {
+                node.pinned = None;
+            }
+        }
+
+        loop {
+            if self.threads.iter().all(|t| t.status == ThreadStatus::Done) {
+                break;
+            }
+            if self.barrier_arrived == self.threads.len() {
+                self.release_barrier(tracked);
+                continue;
+            }
+            match self.pick_node(tracked) {
+                Some(n) => self.step_node(n, tracked),
+                None => return Err(DsmError::Deadlock { iteration }),
+            }
+        }
+
+        if tracked {
+            let sweep = self.config.cost.protect_sweep(self.num_pages as u64);
+            for node in &mut self.nodes {
+                node.disarm_all_pages();
+                node.time += sweep;
+                node.pinned = None;
+            }
+        }
+        // Nodes finished at the final barrier release; align on the max
+        // (tracking disarm sweeps may have nudged them apart).
+        let end = self.now();
+        for node in &mut self.nodes {
+            node.time = end;
+        }
+        self.cur.elapsed = end.saturating_since(start);
+        self.total += self.cur;
+        self.next_iteration += 1;
+        Ok(self.cur)
+    }
+
+    /// Picks the progress-capable node with the smallest local time.
+    fn pick_node(&self, tracked: bool) -> Option<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.node_can_progress(i, tracked))
+            .min_by_key(|&i| (self.nodes[i].time, i))
+    }
+
+    fn node_can_progress(&self, i: usize, tracked: bool) -> bool {
+        let node = &self.nodes[i];
+        if tracked {
+            let Some(p) = node.pinned else { return false };
+            let t = node.threads[p];
+            match self.threads[t].status {
+                ThreadStatus::Ready => true,
+                ThreadStatus::Blocked => self.threads[t].wake_at < SimTime::MAX,
+                _ => false,
+            }
+        } else {
+            node.threads.iter().any(|&t| match self.threads[t].status {
+                ThreadStatus::Ready => true,
+                ThreadStatus::Blocked => self.threads[t].wake_at < SimTime::MAX,
+                _ => false,
+            })
+        }
+    }
+
+    fn step_node(&mut self, i: usize, tracked: bool) {
+        if tracked {
+            let p = self.nodes[i].pinned.expect("progressable pinned node");
+            let t = self.nodes[i].threads[p];
+            if self.threads[t].status == ThreadStatus::Blocked {
+                // No sibling may run: latency is exposed, not hidden.
+                let wake = self.threads[t].wake_at;
+                let node = &mut self.nodes[i];
+                node.time = node.time.max(wake);
+                self.threads[t].status = ThreadStatus::Ready;
+            }
+            self.run_thread(i, t, tracked);
+            return;
+        }
+        self.wake_eligible(i);
+        if self.nodes[i].ready.is_empty() {
+            // Advance to the earliest completion among blocked threads.
+            let min_wake = self.nodes[i]
+                .threads
+                .iter()
+                .filter(|&&t| {
+                    self.threads[t].status == ThreadStatus::Blocked
+                        && self.threads[t].wake_at < SimTime::MAX
+                })
+                .map(|&t| self.threads[t].wake_at)
+                .min()
+                .expect("progressable node has a finite wake");
+            let node = &mut self.nodes[i];
+            node.time = node.time.max(min_wake);
+            self.wake_eligible(i);
+        }
+        let Some(t) = self.nodes[i].ready.pop_front() else {
+            return;
+        };
+        if self.nodes[i].last_ran != Some(t) {
+            self.nodes[i].time += self.config.cost.context_switch;
+            self.nodes[i].last_ran = Some(t);
+        }
+        self.run_thread(i, t, tracked);
+    }
+
+    /// Moves blocked local threads whose wake time has passed to the ready
+    /// queue, in thread order.
+    fn wake_eligible(&mut self, i: usize) {
+        let now = self.nodes[i].time;
+        let locals = self.nodes[i].threads.clone();
+        for t in locals {
+            if self.threads[t].status == ThreadStatus::Blocked && self.threads[t].wake_at <= now {
+                self.threads[t].status = ThreadStatus::Ready;
+                self.nodes[i].ready.push_back(t);
+            }
+        }
+    }
+
+    /// Runs thread `t` on node `i` until it blocks, parks, or finishes.
+    fn run_thread(&mut self, i: usize, t: usize, tracked: bool) {
+        loop {
+            if self.threads[t].finished() {
+                self.threads[t].status = ThreadStatus::Done;
+                return;
+            }
+            let op = self.threads[t].script[self.threads[t].pc];
+            match op {
+                Op::Compute { ns } => {
+                    self.nodes[i].time += SimDuration::from_nanos(ns);
+                    self.threads[t].pc += 1;
+                }
+                Op::Read { addr, len } | Op::Write { addr, len } => {
+                    let kind = if matches!(op, Op::Write { .. }) {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    if self.threads[t].ongoing.is_none() {
+                        let spans: Vec<PageSpan> = span_pages(addr, len).collect();
+                        if spans.is_empty() {
+                            self.threads[t].pc += 1;
+                            continue;
+                        }
+                        self.threads[t].ongoing = Some(OngoingAccess {
+                            kind,
+                            spans,
+                            next: 0,
+                        });
+                    }
+                    loop {
+                        let ongoing = self.threads[t].ongoing.as_ref().expect("set above");
+                        if ongoing.next >= ongoing.spans.len() {
+                            self.threads[t].ongoing = None;
+                            self.threads[t].pc += 1;
+                            break;
+                        }
+                        let span = ongoing.spans[ongoing.next];
+                        let kind = ongoing.kind;
+                        match self.access_page(i, t, span, kind, tracked) {
+                            AccessOutcome::Proceed => {
+                                self.threads[t]
+                                    .ongoing
+                                    .as_mut()
+                                    .expect("still ongoing")
+                                    .next += 1;
+                            }
+                            AccessOutcome::Block(dur) => {
+                                self.cur.stall += dur;
+                                self.threads[t].wake_at = self.nodes[i].time + dur;
+                                self.threads[t].status = ThreadStatus::Blocked;
+                                return;
+                            }
+                            AccessOutcome::BlockCompleted(dur) => {
+                                self.threads[t]
+                                    .ongoing
+                                    .as_mut()
+                                    .expect("still ongoing")
+                                    .next += 1;
+                                self.cur.stall += dur;
+                                self.threads[t].wake_at = self.nodes[i].time + dur;
+                                self.threads[t].status = ThreadStatus::Blocked;
+                                return;
+                            }
+                        }
+                    }
+                }
+                Op::Barrier => {
+                    self.threads[t].status = ThreadStatus::AtBarrier;
+                    self.barrier_arrived += 1;
+                    if tracked {
+                        self.advance_pin(i);
+                    }
+                    return;
+                }
+                Op::Lock(l) => {
+                    if self.acquire_lock(i, t, l) {
+                        continue;
+                    }
+                    return;
+                }
+                Op::Unlock(l) => {
+                    self.release_lock(i, t, l);
+                    self.threads[t].pc += 1;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory access
+    // ------------------------------------------------------------------
+
+    fn access_page(
+        &mut self,
+        i: usize,
+        t: usize,
+        span: PageSpan,
+        kind: AccessKind,
+        tracked: bool,
+    ) -> AccessOutcome {
+        let page = span.page;
+        // Correlation fault (active tracking).
+        if tracked && self.nodes[i].pages[page.idx()].corr_armed {
+            self.nodes[i].pages[page.idx()].corr_armed = false;
+            self.tracking
+                .as_mut()
+                .expect("tracking matrix present while tracked")
+                .record(t, page);
+            self.nodes[i].time += self.config.cost.tracking_fault;
+            self.nodes[i].tracking_faults += 1;
+            self.cur.tracking_faults += 1;
+            self.emit(i, Event::CorrelationFault { thread: t, page });
+        }
+        if let WriteMode::SingleWriter { delta } = self.config.write_mode {
+            return self.access_page_sw(i, t, span, kind, delta);
+        }
+        // Coherence fault: fetch a current copy.
+        if !self.nodes[i].pages[page.idx()].valid {
+            self.record_miss(i, t, page);
+            let ps = &self.nodes[i].pages[page.idx()];
+            let plan = self.directory.fetch_plan(
+                page,
+                self.nodes[i].id,
+                ps.applied_version,
+                ps.has_copy,
+            );
+            let mut dur = SimDuration::ZERO;
+            if plan.full_page_from.is_some() {
+                self.cur
+                    .net
+                    .record(MessageKind::PageFetch, acorr_mem::PAGE_SIZE as u64);
+                dur += self
+                    .config
+                    .network
+                    .transfer_time(acorr_mem::PAGE_SIZE as u64);
+            }
+            for d in &plan.diffs {
+                self.cur.net.record(MessageKind::DiffFetch, d.bytes);
+                dur += self.config.network.transfer_time(d.bytes);
+            }
+            let apply = self.config.cost.diff_apply(plan.diff_bytes());
+            self.nodes[i].time += apply;
+            let ps = &mut self.nodes[i].pages[page.idx()];
+            ps.valid = true;
+            ps.has_copy = true;
+            ps.applied_version = plan.new_version;
+            if ps.prot == Protection::None {
+                ps.prot = Protection::Read;
+            }
+            return AccessOutcome::Block(dur);
+        }
+        // Write fault: twin on first write of the interval.
+        if kind == AccessKind::Write {
+            let needs_twin = !self.nodes[i].pages[page.idx()].twin;
+            if needs_twin {
+                self.cur.twin_faults += 1;
+                self.nodes[i].time += self.config.cost.twin_create;
+                let ps = &mut self.nodes[i].pages[page.idx()];
+                ps.twin = true;
+                ps.prot = Protection::ReadWrite;
+                self.nodes[i].write_set.push(page);
+                self.emit(
+                    i,
+                    Event::WriteFault {
+                        node: self.nodes[i].id,
+                        page,
+                    },
+                );
+            }
+            self.nodes[i].pages[page.idx()]
+                .dirty
+                .insert(span.start, span.end);
+            if !self.threads[t].held_locks.is_empty()
+                && !self.threads[t].lock_writes.contains(&page)
+            {
+                self.threads[t].lock_writes.push(page);
+            }
+        }
+        AccessOutcome::Proceed
+    }
+
+    /// Single-writer protocol access path (Mirage-style, §6): one writable
+    /// copy at a time, ownership migrates on write faults, and a freshly
+    /// transferred page is frozen at its owner for the delta interval.
+    fn access_page_sw(
+        &mut self,
+        i: usize,
+        t: usize,
+        span: PageSpan,
+        kind: AccessKind,
+        delta: SimDuration,
+    ) -> AccessOutcome {
+        let page = span.page;
+        let node_id = self.nodes[i].id;
+        let is_owner = self.directory.page(page).owner == node_id;
+        let valid = self.nodes[i].pages[page.idx()].valid;
+        match kind {
+            AccessKind::Read => {
+                if valid {
+                    return AccessOutcome::Proceed;
+                }
+                self.record_miss(i, t, page);
+                let now = self.nodes[i].time;
+                let stall = self.directory.page(page).sw_frozen_until.saturating_since(now);
+                self.cur
+                    .net
+                    .record(MessageKind::PageFetch, acorr_mem::PAGE_SIZE as u64);
+                let transfer = self
+                    .config
+                    .network
+                    .transfer_time(acorr_mem::PAGE_SIZE as u64);
+                // The owner is downgraded so its next write faults and
+                // re-invalidates this reader.
+                let owner = self.directory.page(page).owner;
+                if owner != node_id {
+                    let ops = &mut self.nodes[owner.idx()].pages[page.idx()];
+                    if ops.prot == Protection::ReadWrite {
+                        ops.prot = Protection::Read;
+                    }
+                }
+                let ps = &mut self.nodes[i].pages[page.idx()];
+                ps.valid = true;
+                ps.has_copy = true;
+                ps.prot = Protection::Read;
+                AccessOutcome::BlockCompleted(stall + transfer)
+            }
+            AccessKind::Write => {
+                if is_owner && valid {
+                    if self.nodes[i].pages[page.idx()].prot != Protection::ReadWrite {
+                        // Local re-upgrade: invalidate the reader copies.
+                        self.cur.twin_faults += 1;
+                        self.nodes[i].time += self.config.cost.twin_create;
+                        self.invalidate_others_sw(i, page);
+                        let ps = &mut self.nodes[i].pages[page.idx()];
+                        ps.prot = Protection::ReadWrite;
+                        self.nodes[i].write_set.push(page);
+                        self.emit(
+                            i,
+                            Event::WriteFault {
+                                node: self.nodes[i].id,
+                                page,
+                            },
+                        );
+                    }
+                    return AccessOutcome::Proceed;
+                }
+                // Ownership transfer (steal), delayed by the freeze.
+                self.record_miss(i, t, page);
+                self.cur.ownership_transfers += 1;
+                let now = self.nodes[i].time;
+                let stall = self.directory.page(page).sw_frozen_until.saturating_since(now);
+                self.cur
+                    .net
+                    .record(MessageKind::PageFetch, acorr_mem::PAGE_SIZE as u64);
+                let transfer = self
+                    .config
+                    .network
+                    .transfer_time(acorr_mem::PAGE_SIZE as u64);
+                self.invalidate_others_sw(i, page);
+                let wake = now + stall + transfer;
+                self.directory.transfer_ownership(page, node_id, wake + delta);
+                self.emit(i, Event::OwnershipTransfer { page, to: node_id });
+                let ps = &mut self.nodes[i].pages[page.idx()];
+                ps.valid = true;
+                ps.has_copy = true;
+                ps.prot = Protection::ReadWrite;
+                self.nodes[i].write_set.push(page);
+                AccessOutcome::BlockCompleted(stall + transfer)
+            }
+        }
+    }
+
+    /// Miss bookkeeping shared by both protocols.
+    fn record_miss(&mut self, i: usize, t: usize, page: PageId) {
+        self.cur.remote_misses += 1;
+        self.cur.coherence_faults += 1;
+        self.nodes[i].remote_misses += 1;
+        self.nodes[i].time += self.config.cost.coherence_fault;
+        if let Some(passive) = self.passive.as_mut() {
+            passive.record(t, page);
+        }
+        self.emit(
+            i,
+            Event::RemoteMiss {
+                node: self.nodes[i].id,
+                thread: t,
+                page,
+            },
+        );
+    }
+
+    /// Invalidates every other node's copy of `page` (single-writer
+    /// protocol), with write-notice accounting.
+    fn invalidate_others_sw(&mut self, i: usize, page: PageId) {
+        for (j, node) in self.nodes.iter_mut().enumerate() {
+            if j != i && node.pages[page.idx()].valid {
+                node.pages[page.idx()].valid = false;
+                node.pages[page.idx()].prot = Protection::None;
+                self.cur.net.record(MessageKind::WriteNotice, NOTICE_BYTES);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronization
+    // ------------------------------------------------------------------
+
+    fn release_barrier(&mut self, tracked: bool) {
+        self.cur.barriers += 1;
+        let barrier_index = self.total.barriers + self.cur.barriers - 1;
+        self.emit(0, Event::BarrierRelease {
+            index: barrier_index,
+        });
+        if matches!(self.config.write_mode, WriteMode::SingleWriter { .. }) {
+            // Single-writer invalidations are eager; nothing to finalize,
+            // and there are no diffs to garbage-collect. Write sets only
+            // drive a barrier version bump for the statistics.
+            for node in &mut self.nodes {
+                node.write_set.clear();
+            }
+        } else {
+            // Finalize every node's write intervals (creates diffs, sends
+            // write notices, invalidates remote copies).
+            for i in 0..self.nodes.len() {
+                let pages = std::mem::take(&mut self.nodes[i].write_set);
+                for page in pages {
+                    self.finalize_page(i, page);
+                }
+            }
+            if self.directory.pending_records() > self.config.gc_diff_threshold {
+                self.run_gc();
+            }
+        }
+        // Rendezvous.
+        let n = self.nodes.len() as u64;
+        for _ in 0..2 * (n.saturating_sub(1)) {
+            self.cur.net.record(MessageKind::Barrier, BARRIER_MSG_BYTES);
+        }
+        let release = self
+            .nodes
+            .iter()
+            .map(|nd| nd.time)
+            .max()
+            .expect("at least one node")
+            + self.config.cost.barrier(n);
+        for node in &mut self.nodes {
+            node.time = release;
+            node.ready.clear();
+        }
+        // Wake the world.
+        self.barrier_arrived = 0;
+        for t in 0..self.threads.len() {
+            if self.threads[t].status == ThreadStatus::AtBarrier {
+                self.threads[t].pc += 1;
+                if self.threads[t].finished() {
+                    self.threads[t].status = ThreadStatus::Done;
+                } else {
+                    self.threads[t].status = ThreadStatus::Ready;
+                    let node = self.threads[t].node;
+                    self.nodes[node.idx()].ready.push_back(t);
+                }
+            }
+        }
+        // Tracking: restart each node's sequential sweep at its first live
+        // thread and re-arm the correlation bits.
+        if tracked {
+            let sweep = self.config.cost.protect_sweep(self.num_pages as u64);
+            for node in &mut self.nodes {
+                let next = node
+                    .threads
+                    .iter()
+                    .position(|&t| self.threads[t].status != ThreadStatus::Done);
+                node.pinned = next;
+                if next.is_some() {
+                    node.arm_all_pages();
+                    node.time += sweep;
+                }
+            }
+        }
+    }
+
+    /// After the pinned thread parks at a barrier, hand the node to its next
+    /// live thread and re-arm the correlation bits (the per-switch
+    /// protection restore the paper charges for).
+    fn advance_pin(&mut self, i: usize) {
+        let node = &self.nodes[i];
+        let start = node.pinned.map_or(0, |p| p + 1);
+        let next = (start..node.threads.len()).find(|&p| {
+            let t = node.threads[p];
+            !matches!(
+                self.threads[t].status,
+                ThreadStatus::AtBarrier | ThreadStatus::Done
+            )
+        });
+        let node = &mut self.nodes[i];
+        node.pinned = next;
+        if next.is_some() {
+            node.arm_all_pages();
+            node.time += self.config.cost.protect_sweep(self.num_pages as u64)
+                + self.config.cost.context_switch;
+        }
+    }
+
+    /// Ends a node's write interval on one page: creates the diff, files the
+    /// write notice, invalidates other replicas.
+    fn finalize_page(&mut self, i: usize, page: PageId) {
+        if matches!(self.config.write_mode, WriteMode::SingleWriter { .. }) {
+            return; // single-writer invalidations are eager
+        }
+        let ps = &self.nodes[i].pages[page.idx()];
+        if !ps.twin && ps.dirty.is_empty() {
+            return; // already finalized (e.g. at an earlier unlock)
+        }
+        let bytes = ps.dirty.total_len()
+            + DIFF_RANGE_BYTES * ps.dirty.fragment_count() as u64
+            + DIFF_HEADER_BYTES;
+        self.nodes[i].time += self.config.cost.diff_create(bytes);
+        let ver = self.directory.record_diff(page, self.nodes[i].id, bytes);
+        self.cur.diffs_created += 1;
+        self.cur.diff_bytes_created += bytes;
+        self.emit(
+            i,
+            Event::DiffCreated {
+                node: self.nodes[i].id,
+                page,
+                bytes,
+            },
+        );
+        self.cur.net.record(MessageKind::WriteNotice, NOTICE_BYTES);
+        let ps = &mut self.nodes[i].pages[page.idx()];
+        ps.twin = false;
+        ps.dirty.clear();
+        if ps.prot == Protection::ReadWrite {
+            ps.prot = Protection::Read;
+        }
+        // Invalidate every other replica; a concurrent writer keeps its twin
+        // and will merge on its next fetch.
+        for (j, node) in self.nodes.iter_mut().enumerate() {
+            if j != i && node.pages[page.idx()].valid {
+                node.pages[page.idx()].valid = false;
+                node.pages[page.idx()].prot = Protection::None;
+            }
+        }
+        // A still-valid single writer now reflects the newest version.
+        let ps = &mut self.nodes[i].pages[page.idx()];
+        if ps.valid {
+            ps.applied_version = ver;
+        }
+    }
+
+    /// Garbage collection: consolidate every page's pending diffs at its
+    /// last writer and invalidate the other replicas (§2's source of extra
+    /// remote faults).
+    fn run_gc(&mut self) {
+        self.cur.gc_runs += 1;
+        for page in self.directory.pages_with_diffs() {
+            let owner = self
+                .directory
+                .page(page)
+                .diffs
+                .last()
+                .expect("page listed with diffs")
+                .node;
+            let oi = owner.idx();
+            let ps = &self.nodes[oi].pages[page.idx()];
+            let plan =
+                self.directory
+                    .fetch_plan(page, owner, ps.applied_version, ps.has_copy);
+            if plan.full_page_from.is_some() {
+                self.cur
+                    .net
+                    .record(MessageKind::Gc, acorr_mem::PAGE_SIZE as u64);
+                self.nodes[oi].time += self
+                    .config
+                    .network
+                    .transfer_time(acorr_mem::PAGE_SIZE as u64);
+            }
+            for d in &plan.diffs {
+                self.cur.net.record(MessageKind::Gc, d.bytes);
+                self.nodes[oi].time += self.config.network.transfer_time(d.bytes);
+            }
+            self.nodes[oi].time += self.config.cost.diff_apply(plan.diff_bytes());
+            let ps = &mut self.nodes[oi].pages[page.idx()];
+            ps.valid = true;
+            ps.has_copy = true;
+            ps.applied_version = plan.new_version;
+            if ps.prot == Protection::None {
+                ps.prot = Protection::Read;
+            }
+            self.directory.consolidate(page, owner);
+            self.cur.gc_pages += 1;
+            self.emit(oi, Event::GcConsolidated { page, owner });
+            for (j, node) in self.nodes.iter_mut().enumerate() {
+                if j != oi && node.pages[page.idx()].valid {
+                    node.pages[page.idx()].valid = false;
+                    node.pages[page.idx()].prot = Protection::None;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Locks
+    // ------------------------------------------------------------------
+
+    /// Attempts to acquire `l` for thread `t`. Returns `true` when the
+    /// thread may keep running synchronously; `false` when it blocked.
+    fn acquire_lock(&mut self, i: usize, t: usize, l: LockId) -> bool {
+        let node_id = self.nodes[i].id;
+        if self.locks[l.idx()].holder.is_some() {
+            self.locks[l.idx()].queue.push_back(t);
+            self.threads[t].status = ThreadStatus::Blocked;
+            self.threads[t].wake_at = SimTime::MAX;
+            return false;
+        }
+        self.cur.lock_acquires += 1;
+        let lock = &mut self.locks[l.idx()];
+        lock.holder = Some(t);
+        let remote = lock.last_node.is_some() && lock.last_node != Some(node_id);
+        lock.last_node = Some(node_id);
+        let grant_base = self.nodes[i].time.max(lock.free_at);
+        self.threads[t].held_locks.push(l);
+        self.threads[t].pc += 1;
+        self.emit(
+            i,
+            Event::LockGranted {
+                lock: l.idx(),
+                thread: t,
+                remote,
+            },
+        );
+        if remote {
+            self.cur.remote_lock_acquires += 1;
+            self.cur.net.record(MessageKind::Lock, LOCK_MSG_BYTES);
+            self.cur.net.record(MessageKind::Lock, LOCK_MSG_BYTES);
+            self.threads[t].status = ThreadStatus::Blocked;
+            let delay = self.config.network.control_time() * 2;
+            self.cur.stall += delay;
+            self.threads[t].wake_at = grant_base + delay;
+            false
+        } else {
+            let node = &mut self.nodes[i];
+            node.time = grant_base + self.config.cost.lock_local;
+            true
+        }
+    }
+
+    fn release_lock(&mut self, i: usize, t: usize, l: LockId) {
+        let popped = self.threads[t].held_locks.pop();
+        debug_assert_eq!(popped, Some(l), "validated scripts unlock in order");
+        // Eager-at-release: finalize the pages written under the lock so the
+        // next acquirer sees them (the engine's stand-in for carrying write
+        // notices with the lock grant).
+        let pages = std::mem::take(&mut self.threads[t].lock_writes);
+        for page in pages {
+            self.finalize_page(i, page);
+        }
+        let now = self.nodes[i].time;
+        let lock = &mut self.locks[l.idx()];
+        lock.holder = None;
+        lock.free_at = now;
+        if let Some(next) = self.locks[l.idx()].queue.pop_front() {
+            self.grant_queued(next, l, now);
+        }
+    }
+
+    fn grant_queued(&mut self, t: usize, l: LockId, unlock_time: SimTime) {
+        self.cur.lock_acquires += 1;
+        let node_id = self.threads[t].node;
+        let lock = &mut self.locks[l.idx()];
+        lock.holder = Some(t);
+        let remote = lock.last_node != Some(node_id);
+        lock.last_node = Some(node_id);
+        let delay = if remote {
+            self.cur.remote_lock_acquires += 1;
+            self.cur.net.record(MessageKind::Lock, LOCK_MSG_BYTES);
+            self.cur.net.record(MessageKind::Lock, LOCK_MSG_BYTES);
+            self.config.network.control_time() * 2
+        } else {
+            self.config.cost.lock_local
+        };
+        self.threads[t].held_locks.push(l);
+        self.threads[t].pc += 1;
+        self.threads[t].status = ThreadStatus::Blocked;
+        self.cur.stall += delay;
+        self.threads[t].wake_at = unlock_time + delay;
+        let node = self.threads[t].node.idx();
+        self.emit(
+            node,
+            Event::LockGranted {
+                lock: l.idx(),
+                thread: t,
+                remote,
+            },
+        );
+    }
+}

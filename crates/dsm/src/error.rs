@@ -1,0 +1,84 @@
+//! Engine error type.
+
+use crate::program::ScriptError;
+use acorr_sim::TopologyError;
+use std::fmt;
+
+/// Errors surfaced by the DSM engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DsmError {
+    /// The cluster or mapping was malformed.
+    Topology(TopologyError),
+    /// A program script failed validation.
+    Script(ScriptError),
+    /// The mapping covers a different number of threads than the program.
+    MappingMismatch {
+        /// Threads in the mapping.
+        mapping_threads: usize,
+        /// Threads declared by the program.
+        program_threads: usize,
+    },
+    /// Execution stalled: no thread can make progress but not all threads
+    /// have finished (e.g. a lock acquired and never released).
+    Deadlock {
+        /// The iteration during which the stall occurred.
+        iteration: usize,
+    },
+}
+
+impl fmt::Display for DsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DsmError::Topology(e) => write!(f, "topology error: {e}"),
+            DsmError::Script(e) => write!(f, "script error: {e}"),
+            DsmError::MappingMismatch {
+                mapping_threads,
+                program_threads,
+            } => write!(
+                f,
+                "mapping covers {mapping_threads} threads but program declares {program_threads}"
+            ),
+            DsmError::Deadlock { iteration } => {
+                write!(f, "deadlock detected during iteration {iteration}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DsmError::Topology(e) => Some(e),
+            DsmError::Script(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopologyError> for DsmError {
+    fn from(e: TopologyError) -> Self {
+        DsmError::Topology(e)
+    }
+}
+
+impl From<ScriptError> for DsmError {
+    fn from(e: ScriptError) -> Self {
+        DsmError::Script(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn displays_and_sources() {
+        let e: DsmError = TopologyError::NoNodes.into();
+        assert!(e.to_string().contains("topology"));
+        assert!(e.source().is_some());
+        let d = DsmError::Deadlock { iteration: 3 };
+        assert!(d.to_string().contains("iteration 3"));
+        assert!(d.source().is_none());
+    }
+}

@@ -1,0 +1,32 @@
+//! Thread identity.
+
+use std::fmt;
+
+/// Identifies one application thread (global across the cluster).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(pub u16);
+
+impl ThreadId {
+    /// The thread's index, for use with slices.
+    pub const fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_id_roundtrip() {
+        assert_eq!(ThreadId(5).idx(), 5);
+        assert_eq!(ThreadId(5).to_string(), "t5");
+        assert!(ThreadId(1) < ThreadId(2));
+    }
+}

@@ -1,0 +1,144 @@
+//! Per-node state: page tables and the local scheduler's bookkeeping.
+
+use acorr_mem::{PageId, Protection, RangeSet};
+use acorr_sim::{NodeId, SimTime};
+use std::collections::VecDeque;
+
+/// One node's view of one shared page.
+#[derive(Debug, Clone, Default)]
+pub struct PageState {
+    /// The local copy reflects the latest version it applied and no newer
+    /// version exists that it is missing.
+    pub valid: bool,
+    /// The node holds *some* image of the page (possibly stale); governs
+    /// whether a miss can be patched with diffs or needs the full page.
+    pub has_copy: bool,
+    /// Current protection.
+    pub prot: Protection,
+    /// The page version the local copy reflects.
+    pub applied_version: u64,
+    /// A twin exists: the page has been written this interval.
+    pub twin: bool,
+    /// Byte ranges written this interval (the future diff).
+    pub dirty: RangeSet,
+    /// Correlation bit: armed by active tracking; the next access by the
+    /// pinned thread takes a correlation fault.
+    pub corr_armed: bool,
+}
+
+impl PageState {
+    /// An invalid page with no local copy.
+    pub fn invalid() -> Self {
+        PageState::default()
+    }
+
+    /// A valid, read-protected copy at version 0 (the initial owner's view).
+    pub fn initial_owner() -> Self {
+        PageState {
+            valid: true,
+            has_copy: true,
+            prot: Protection::Read,
+            applied_version: 0,
+            twin: false,
+            dirty: RangeSet::new(),
+            corr_armed: false,
+        }
+    }
+}
+
+/// One node of the simulated cluster: page table, local virtual time, and
+/// scheduler bookkeeping.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    /// This node's identity.
+    pub id: NodeId,
+    /// The node's local virtual time.
+    pub time: SimTime,
+    /// Per-page state.
+    pub pages: Vec<PageState>,
+    /// Pages twinned this interval (candidates for diff finalization).
+    pub write_set: Vec<PageId>,
+    /// Local threads (global thread indices) in scheduling order.
+    pub threads: Vec<usize>,
+    /// Ready queue of local thread indices (positions in `threads`).
+    pub ready: VecDeque<usize>,
+    /// Active-tracking pin: only this local index may run, if set.
+    pub pinned: Option<usize>,
+    /// The local index that ran last (for context-switch accounting).
+    pub last_ran: Option<usize>,
+    /// Remote misses taken by this node's threads (cumulative).
+    pub remote_misses: u64,
+    /// Tracking faults taken by this node's threads (cumulative).
+    pub tracking_faults: u64,
+}
+
+impl NodeState {
+    /// Creates a node whose pages are all invalid (or all owned, for the
+    /// initial owner node).
+    pub fn new(id: NodeId, num_pages: usize, is_initial_owner: bool) -> Self {
+        let pages = (0..num_pages)
+            .map(|_| {
+                if is_initial_owner {
+                    PageState::initial_owner()
+                } else {
+                    PageState::invalid()
+                }
+            })
+            .collect();
+        NodeState {
+            id,
+            time: SimTime::ZERO,
+            pages,
+            write_set: Vec::new(),
+            threads: Vec::new(),
+            ready: VecDeque::new(),
+            pinned: None,
+            last_ran: None,
+            remote_misses: 0,
+            tracking_faults: 0,
+        }
+    }
+
+    /// Arms the correlation bit on every page (start of a tracking segment).
+    pub fn arm_all_pages(&mut self) {
+        for p in &mut self.pages {
+            p.corr_armed = true;
+        }
+    }
+
+    /// Clears every correlation bit (end of the tracking phase).
+    pub fn disarm_all_pages(&mut self) {
+        for p in &mut self.pages {
+            p.corr_armed = false;
+        }
+    }
+
+    /// Number of local threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_owner_pages_are_valid() {
+        let n = NodeState::new(NodeId(0), 3, true);
+        assert!(n.pages.iter().all(|p| p.valid && p.has_copy));
+        assert!(n.pages.iter().all(|p| p.prot == Protection::Read));
+        let m = NodeState::new(NodeId(1), 3, false);
+        assert!(m.pages.iter().all(|p| !p.valid && !p.has_copy));
+        assert!(m.pages.iter().all(|p| p.prot == Protection::None));
+    }
+
+    #[test]
+    fn arm_and_disarm_sweep_all_pages() {
+        let mut n = NodeState::new(NodeId(0), 5, false);
+        n.arm_all_pages();
+        assert!(n.pages.iter().all(|p| p.corr_armed));
+        n.disarm_all_pages();
+        assert!(n.pages.iter().all(|p| !p.corr_armed));
+    }
+}

@@ -1,0 +1,160 @@
+//! Execution statistics.
+//!
+//! Every quantity the paper's tables report is counted here: remote misses
+//! (Table 2/6), tracking and coherence faults (Table 5), data and diff bytes
+//! (Table 6), plus protocol internals (twins, diffs, GC, locks, migrations)
+//! used by the extended analyses.
+
+use acorr_sim::{NetStats, SimDuration};
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Counters for one iteration (or an aggregate of several).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IterStats {
+    /// Simulated time the iteration took (barrier-to-barrier).
+    pub elapsed: SimDuration,
+    /// Total time threads spent blocked on remote fetches and lock grants,
+    /// summed over threads. Compared against `elapsed`, this shows how much
+    /// latency per-node multithreading hid (§1's motivation for multiple
+    /// threads per node): stall far above elapsed means overlap worked.
+    pub stall: SimDuration,
+    /// Remote misses: accesses to invalid pages resolved by remote fetch.
+    pub remote_misses: u64,
+    /// Correlation faults taken while active tracking was armed.
+    pub tracking_faults: u64,
+    /// Coherence faults (same events as remote misses, kept separately for
+    /// Table 5's fault-column terminology).
+    pub coherence_faults: u64,
+    /// Write faults that created a twin (multi-writer) or re-upgraded an
+    /// owned page (single-writer).
+    pub twin_faults: u64,
+    /// Single-writer protocol: page-ownership transfers between nodes.
+    pub ownership_transfers: u64,
+    /// Diffs created at releases/barriers.
+    pub diffs_created: u64,
+    /// Bytes of diff payload created.
+    pub diff_bytes_created: u64,
+    /// Barriers the application crossed.
+    pub barriers: u64,
+    /// Lock acquisitions.
+    pub lock_acquires: u64,
+    /// Lock acquisitions that had to transfer ownership between nodes.
+    pub remote_lock_acquires: u64,
+    /// Garbage-collection rounds run.
+    pub gc_runs: u64,
+    /// Pages consolidated by GC.
+    pub gc_pages: u64,
+    /// Threads migrated.
+    pub migrations: u64,
+    /// Network traffic.
+    pub net: NetStats,
+}
+
+impl IterStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        IterStats::default()
+    }
+
+    /// Total megabytes of data traffic (the paper's "Total Mbytes").
+    pub fn total_mbytes(&self) -> f64 {
+        self.net.data_bytes() as f64 / 1e6
+    }
+
+    /// Megabytes moved as diffs (the paper's "Diff Mbytes").
+    pub fn diff_mbytes(&self) -> f64 {
+        self.net.diff_bytes() as f64 / 1e6
+    }
+}
+
+impl Add for IterStats {
+    type Output = IterStats;
+    fn add(self, rhs: IterStats) -> IterStats {
+        let mut out = self;
+        out += rhs;
+        out
+    }
+}
+
+impl AddAssign for IterStats {
+    fn add_assign(&mut self, rhs: IterStats) {
+        self.elapsed += rhs.elapsed;
+        self.stall += rhs.stall;
+        self.remote_misses += rhs.remote_misses;
+        self.tracking_faults += rhs.tracking_faults;
+        self.coherence_faults += rhs.coherence_faults;
+        self.twin_faults += rhs.twin_faults;
+        self.ownership_transfers += rhs.ownership_transfers;
+        self.diffs_created += rhs.diffs_created;
+        self.diff_bytes_created += rhs.diff_bytes_created;
+        self.barriers += rhs.barriers;
+        self.lock_acquires += rhs.lock_acquires;
+        self.remote_lock_acquires += rhs.remote_lock_acquires;
+        self.gc_runs += rhs.gc_runs;
+        self.gc_pages += rhs.gc_pages;
+        self.migrations += rhs.migrations;
+        self.net += rhs.net;
+    }
+}
+
+impl fmt::Display for IterStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} | misses {} | tracking {} | coherence {} | twins {} | diffs {} ({} B) | barriers {} | locks {} ({} remote) | gc {} | {:.2} MB total / {:.2} MB diff",
+            self.elapsed,
+            self.remote_misses,
+            self.tracking_faults,
+            self.coherence_faults,
+            self.twin_faults,
+            self.diffs_created,
+            self.diff_bytes_created,
+            self.barriers,
+            self.lock_acquires,
+            self.remote_lock_acquires,
+            self.gc_runs,
+            self.total_mbytes(),
+            self.diff_mbytes(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acorr_sim::MessageKind;
+
+    #[test]
+    fn aggregation_adds_fields() {
+        let mut a = IterStats::new();
+        a.remote_misses = 3;
+        a.elapsed = SimDuration::from_micros(10);
+        a.net.record(MessageKind::PageFetch, 4096);
+        let mut b = IterStats::new();
+        b.remote_misses = 4;
+        b.elapsed = SimDuration::from_micros(5);
+        b.net.record(MessageKind::DiffFetch, 100);
+        let c = a + b;
+        assert_eq!(c.remote_misses, 7);
+        assert_eq!(c.elapsed, SimDuration::from_micros(15));
+        assert_eq!(c.net.total_bytes(), 4196);
+    }
+
+    #[test]
+    fn mbyte_views() {
+        let mut s = IterStats::new();
+        s.net.record(MessageKind::PageFetch, 2_000_000);
+        s.net.record(MessageKind::DiffFetch, 1_000_000);
+        assert!((s.total_mbytes() - 3.0).abs() < 1e-9);
+        assert!((s.diff_mbytes() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_comprehensive() {
+        let s = IterStats::new();
+        let txt = s.to_string();
+        assert!(txt.contains("misses"));
+        assert!(txt.contains("MB diff"));
+    }
+}

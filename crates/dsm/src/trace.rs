@@ -1,0 +1,288 @@
+//! Protocol event tracing.
+//!
+//! A bounded, timestamped log of protocol-level events (faults, fetches,
+//! twins, diffs, ownership transfers, invalidations, barriers, locks,
+//! migrations). Disabled by default and allocation-bounded when enabled, so
+//! it can stay on in long experiments; the cap drops the *oldest* events,
+//! keeping the most recent window — what you want when a run misbehaves at
+//! the end.
+//!
+//! ```
+//! use acorr_dsm::trace::{Event, Trace};
+//! use acorr_sim::SimTime;
+//!
+//! let mut trace = Trace::new(2);
+//! trace.record(SimTime::ZERO, Event::BarrierRelease { index: 0 });
+//! trace.record(SimTime::ZERO, Event::BarrierRelease { index: 1 });
+//! trace.record(SimTime::ZERO, Event::BarrierRelease { index: 2 });
+//! assert_eq!(trace.len(), 2);
+//! assert_eq!(trace.dropped(), 1);
+//! ```
+
+use acorr_mem::PageId;
+use acorr_sim::{NodeId, SimTime};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One protocol event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Active tracking recorded a first touch.
+    CorrelationFault {
+        /// Faulting thread (global index).
+        thread: usize,
+        /// Page touched.
+        page: PageId,
+    },
+    /// A coherence fault resolved by remote fetch.
+    RemoteMiss {
+        /// Faulting node.
+        node: NodeId,
+        /// Faulting thread (global index).
+        thread: usize,
+        /// Page fetched.
+        page: PageId,
+    },
+    /// First write of an interval created a twin (or re-upgraded an owned
+    /// page under the single-writer protocol).
+    WriteFault {
+        /// Writing node.
+        node: NodeId,
+        /// Page twinned/upgraded.
+        page: PageId,
+    },
+    /// Single-writer protocol moved a page's ownership.
+    OwnershipTransfer {
+        /// Page transferred.
+        page: PageId,
+        /// New owner.
+        to: NodeId,
+    },
+    /// A diff was finalized at a release or barrier.
+    DiffCreated {
+        /// Writing node.
+        node: NodeId,
+        /// Page diffed.
+        page: PageId,
+        /// Diff payload bytes.
+        bytes: u64,
+    },
+    /// Garbage collection consolidated a page.
+    GcConsolidated {
+        /// Page consolidated.
+        page: PageId,
+        /// The consolidating owner.
+        owner: NodeId,
+    },
+    /// A global barrier released.
+    BarrierRelease {
+        /// Barrier ordinal within the run.
+        index: u64,
+    },
+    /// A lock was granted.
+    LockGranted {
+        /// Lock index.
+        lock: usize,
+        /// Receiving thread (global index).
+        thread: usize,
+        /// Whether the grant crossed nodes.
+        remote: bool,
+    },
+    /// A thread migrated.
+    Migration {
+        /// Thread (global index).
+        thread: usize,
+        /// Destination node.
+        to: NodeId,
+    },
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Event::CorrelationFault { thread, page } => {
+                write!(f, "corr-fault t{thread} {page}")
+            }
+            Event::RemoteMiss { node, thread, page } => {
+                write!(f, "miss {node} t{thread} {page}")
+            }
+            Event::WriteFault { node, page } => write!(f, "write-fault {node} {page}"),
+            Event::OwnershipTransfer { page, to } => write!(f, "own {page} -> {to}"),
+            Event::DiffCreated { node, page, bytes } => {
+                write!(f, "diff {node} {page} {bytes}B")
+            }
+            Event::GcConsolidated { page, owner } => write!(f, "gc {page} @ {owner}"),
+            Event::BarrierRelease { index } => write!(f, "barrier #{index}"),
+            Event::LockGranted {
+                lock,
+                thread,
+                remote,
+            } => write!(
+                f,
+                "lock l{lock} -> t{thread}{}",
+                if remote { " (remote)" } else { "" }
+            ),
+            Event::Migration { thread, to } => write!(f, "migrate t{thread} -> {to}"),
+        }
+    }
+}
+
+/// A bounded ring of timestamped protocol events.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: VecDeque<(SimTime, Event)>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace retaining at most `capacity` events (the newest).
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn record(&mut self, at: SimTime, event: Event) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back((at, event));
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted (or refused) due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over retained `(time, event)` pairs, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &(SimTime, Event)> {
+        self.events.iter()
+    }
+
+    /// Renders the trace as one line per event.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (at, ev) in &self.events {
+            let _ = writeln!(out, "{at:>16}  {ev}");
+        }
+        if self.dropped > 0 {
+            let _ = writeln!(out, "({} earlier events dropped)", self.dropped);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_ring_keeps_newest() {
+        let mut t = Trace::new(3);
+        for i in 0..5 {
+            t.record(SimTime::from_nanos(i), Event::BarrierRelease { index: i });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let indices: Vec<u64> = t
+            .iter()
+            .map(|(_, e)| match e {
+                Event::BarrierRelease { index } => *index,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(indices, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_counts_but_stores_nothing() {
+        let mut t = Trace::new(0);
+        t.record(SimTime::ZERO, Event::BarrierRelease { index: 0 });
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn render_is_one_line_per_event_plus_drop_note() {
+        let mut t = Trace::new(2);
+        for i in 0..3 {
+            t.record(
+                SimTime::from_nanos(1000 * i),
+                Event::RemoteMiss {
+                    node: NodeId(1),
+                    thread: 4,
+                    page: PageId(7),
+                },
+            );
+        }
+        let txt = t.render();
+        assert_eq!(txt.lines().count(), 3);
+        assert!(txt.contains("miss n1 t4 p7"));
+        assert!(txt.contains("1 earlier events dropped"));
+    }
+
+    #[test]
+    fn event_display_covers_all_variants() {
+        let samples = [
+            Event::CorrelationFault {
+                thread: 1,
+                page: PageId(2),
+            },
+            Event::RemoteMiss {
+                node: NodeId(0),
+                thread: 1,
+                page: PageId(2),
+            },
+            Event::WriteFault {
+                node: NodeId(0),
+                page: PageId(2),
+            },
+            Event::OwnershipTransfer {
+                page: PageId(2),
+                to: NodeId(1),
+            },
+            Event::DiffCreated {
+                node: NodeId(0),
+                page: PageId(2),
+                bytes: 64,
+            },
+            Event::GcConsolidated {
+                page: PageId(2),
+                owner: NodeId(1),
+            },
+            Event::BarrierRelease { index: 3 },
+            Event::LockGranted {
+                lock: 0,
+                thread: 2,
+                remote: true,
+            },
+            Event::Migration {
+                thread: 2,
+                to: NodeId(1),
+            },
+        ];
+        for ev in samples {
+            assert!(!ev.to_string().is_empty());
+        }
+    }
+}

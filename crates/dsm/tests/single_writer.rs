@@ -1,0 +1,218 @@
+//! The single-writer protocol mode (§6's Mirage-style comparison point):
+//! ownership migration, reader downgrades, and the delta interval.
+
+use acorr_dsm::{Dsm, DsmConfig, Op, Program, WriteMode};
+use acorr_mem::PAGE_SIZE;
+use acorr_sim::{ClusterConfig, Mapping, SimDuration};
+
+struct Scripted {
+    shared_pages: u64,
+    scripts: Vec<Vec<Op>>,
+}
+
+impl Program for Scripted {
+    fn name(&self) -> &str {
+        "sw-scripted"
+    }
+    fn shared_bytes(&self) -> u64 {
+        self.shared_pages * PAGE_SIZE as u64
+    }
+    fn num_threads(&self) -> usize {
+        self.scripts.len()
+    }
+    fn script(&self, thread: usize, _iteration: usize) -> Vec<Op> {
+        self.scripts[thread].clone()
+    }
+}
+
+fn sw_dsm(scripts: Vec<Vec<Op>>, pages: u64, delta: SimDuration) -> Dsm<Scripted> {
+    let threads = scripts.len();
+    let cluster = ClusterConfig::new(threads.min(4), threads).unwrap();
+    let config = DsmConfig::new(cluster).with_write_mode(WriteMode::SingleWriter { delta });
+    Dsm::new(
+        config,
+        Scripted {
+            shared_pages: pages,
+            scripts,
+        },
+        Mapping::stretch(&cluster),
+    )
+    .unwrap()
+}
+
+const PAGE: u64 = PAGE_SIZE as u64;
+
+#[test]
+fn write_steals_ownership_and_invalidates() {
+    // t0 (node 0, initial owner) and t1 (node 1) alternate writes to one
+    // page across iterations: every t1 write steals ownership; every t0
+    // write steals it back.
+    let scripts = vec![
+        vec![Op::write(0, 64), Op::Barrier],
+        vec![Op::Barrier, Op::write(64, 64)],
+    ];
+    let mut dsm = sw_dsm(scripts, 1, SimDuration::ZERO);
+    let first = dsm.run_iterations(1).unwrap();
+    assert_eq!(first.ownership_transfers, 1, "t1 steals once");
+    let second = dsm.run_iterations(1).unwrap();
+    // Steady state: two transfers per iteration — the ping-pong of §4.1/§6.
+    assert_eq!(second.ownership_transfers, 2);
+    assert_eq!(second.remote_misses, 2);
+    // Full pages move, no diffs.
+    assert_eq!(second.net.messages(acorr_sim::MessageKind::PageFetch), 2);
+    assert_eq!(second.net.messages(acorr_sim::MessageKind::DiffFetch), 0);
+    assert_eq!(second.diffs_created, 0);
+}
+
+#[test]
+fn readers_fetch_without_stealing() {
+    // t0 writes; t1 and t2 (other nodes) read. Ownership stays at node 0.
+    let scripts = vec![
+        vec![Op::write(0, 64), Op::Barrier],
+        vec![Op::Barrier, Op::read(0, 64)],
+        vec![Op::Barrier, Op::read(0, 64)],
+    ];
+    let mut dsm = sw_dsm(scripts, 1, SimDuration::ZERO);
+    let stats = dsm.run_iterations(2).unwrap();
+    assert_eq!(stats.ownership_transfers, 0);
+    assert!(stats.remote_misses >= 2, "both readers fault at least once");
+}
+
+#[test]
+fn owner_rewrite_after_reader_invalidates_again() {
+    // Iteration pattern: t0 writes, t1 reads. Each iteration t0's re-write
+    // must re-invalidate t1 (an upgrade fault), and t1 must re-miss.
+    let scripts = vec![
+        vec![Op::write(0, 64), Op::Barrier],
+        vec![Op::Barrier, Op::read(0, 64)],
+    ];
+    let mut dsm = sw_dsm(scripts, 1, SimDuration::ZERO);
+    dsm.run_iterations(1).unwrap();
+    let steady = dsm.run_iterations(3).unwrap();
+    assert_eq!(steady.remote_misses, 3, "t1 re-misses every iteration");
+    assert_eq!(steady.ownership_transfers, 0);
+    assert_eq!(steady.twin_faults, 3, "t0 upgrade-faults every iteration");
+}
+
+#[test]
+fn delta_interval_delays_steals() {
+    // Same alternating-writer ping-pong, with and without a freeze.
+    let build = |delta| {
+        sw_dsm(
+            vec![
+                vec![Op::write(0, 64), Op::Barrier],
+                vec![Op::Barrier, Op::write(64, 64)],
+            ],
+            1,
+            delta,
+        )
+    };
+    let mut fast = build(SimDuration::ZERO);
+    fast.run_iterations(1).unwrap();
+    let fast_stats = fast.run_iterations(2).unwrap();
+    let mut frozen = build(SimDuration::from_millis(5));
+    frozen.run_iterations(1).unwrap();
+    let frozen_stats = frozen.run_iterations(2).unwrap();
+    // Transfers still happen, but each steal waits out the freeze.
+    assert_eq!(
+        fast_stats.ownership_transfers,
+        frozen_stats.ownership_transfers
+    );
+    assert!(
+        frozen_stats.elapsed > fast_stats.elapsed + SimDuration::from_millis(5),
+        "freeze must show up as stall time: {} vs {}",
+        frozen_stats.elapsed,
+        fast_stats.elapsed
+    );
+}
+
+#[test]
+fn single_writer_pays_more_for_false_sharing_than_multi_writer() {
+    // The §6 argument: relaxed multi-writer consistency hides false sharing;
+    // a single-writer protocol ping-pongs the page instead. Two threads on
+    // different nodes write disjoint halves of the same page repeatedly.
+    let scripts = || {
+        vec![
+            vec![Op::write(0, 64), Op::compute(10_000), Op::write(128, 64)],
+            vec![Op::write(2048, 64), Op::compute(10_000), Op::write(2176, 64)],
+        ]
+    };
+    let cluster = ClusterConfig::new(2, 2).unwrap();
+    let mw = {
+        let config = DsmConfig::new(cluster);
+        let mut dsm = Dsm::new(
+            config,
+            Scripted {
+                shared_pages: 1,
+                scripts: scripts(),
+            },
+            Mapping::stretch(&cluster),
+        )
+        .unwrap();
+        dsm.run_iterations(1).unwrap();
+        dsm.run_iterations(4).unwrap()
+    };
+    let sw = {
+        let mut dsm = sw_dsm(scripts(), 1, SimDuration::ZERO);
+        dsm.run_iterations(1).unwrap();
+        dsm.run_iterations(4).unwrap()
+    };
+    assert!(
+        sw.remote_misses >= 2 * mw.remote_misses,
+        "false sharing: single-writer {} misses vs multi-writer {}",
+        sw.remote_misses,
+        mw.remote_misses
+    );
+    assert!(sw.ownership_transfers > 0);
+    assert_eq!(mw.ownership_transfers, 0);
+    // The page ping-pongs in full under single-writer, while multi-writer
+    // exchanges only word diffs: the byte ratio is the striking part.
+    assert!(
+        sw.net.data_bytes() > 10 * mw.net.data_bytes(),
+        "bytes: single-writer {} vs multi-writer {}",
+        sw.net.data_bytes(),
+        mw.net.data_bytes()
+    );
+}
+
+#[test]
+fn tracking_works_under_single_writer() {
+    let scripts = vec![
+        vec![Op::read(0, 64), Op::write(PAGE, 64)],
+        vec![Op::read(0, 64)],
+    ];
+    let mut dsm = sw_dsm(scripts, 2, SimDuration::from_micros(100));
+    let (stats, access) = dsm.run_tracked_iteration().unwrap();
+    assert!(stats.tracking_faults >= 3);
+    assert!(access.observed(0, acorr_mem::PageId(0)));
+    assert!(access.observed(0, acorr_mem::PageId(1)));
+    assert!(access.observed(1, acorr_mem::PageId(0)));
+    assert_eq!(access.shared_pages(0, 1), 1);
+}
+
+#[test]
+fn single_writer_never_garbage_collects() {
+    let scripts = vec![
+        vec![Op::write(0, 64)],
+        vec![Op::write(PAGE, 64)],
+    ];
+    let threads = scripts.len();
+    let cluster = ClusterConfig::new(2, threads).unwrap();
+    let config = DsmConfig::new(cluster)
+        .with_write_mode(WriteMode::SingleWriter {
+            delta: SimDuration::ZERO,
+        })
+        .with_gc_threshold(0);
+    let mut dsm = Dsm::new(
+        config,
+        Scripted {
+            shared_pages: 2,
+            scripts,
+        },
+        Mapping::stretch(&cluster),
+    )
+    .unwrap();
+    let stats = dsm.run_iterations(3).unwrap();
+    assert_eq!(stats.gc_runs, 0);
+    assert_eq!(stats.diffs_created, 0);
+}

@@ -1,0 +1,187 @@
+//! Shared-segment layout.
+//!
+//! Applications allocate their shared data structures (matrices, particle
+//! arrays, grids…) out of a single flat DSM address space, page-aligned so
+//! that distinct structures never false-share a page at the allocator level
+//! (CVM allocates shared data the same way). [`SharedLayout`] is a bump
+//! allocator that records every segment for later inspection.
+
+use crate::page::{pages_for, PAGE_SIZE};
+use std::fmt;
+
+/// One named, page-aligned allocation in the shared address space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    name: String,
+    base: u64,
+    len: u64,
+}
+
+impl Segment {
+    /// The segment's name (for reports and debugging).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// First byte address.
+    pub const fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Length in bytes as requested (the allocator reserves whole pages).
+    pub const fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the segment is zero-length.
+    pub const fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Address of byte `offset` within the segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= len` (debug builds only for speed).
+    #[inline]
+    pub fn addr(&self, offset: u64) -> u64 {
+        debug_assert!(offset < self.len.max(1), "offset {offset} beyond segment");
+        self.base + offset
+    }
+
+    /// Number of pages the segment occupies.
+    pub const fn pages(&self) -> u64 {
+        pages_for(self.len)
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @ {:#x} ({} B, {} pages)",
+            self.name,
+            self.base,
+            self.len,
+            self.pages()
+        )
+    }
+}
+
+/// A page-aligned bump allocator over the shared address space.
+///
+/// ```
+/// use acorr_mem::SharedLayout;
+/// let mut layout = SharedLayout::new();
+/// let grid = layout.alloc("grid", 10_000);
+/// let work = layout.alloc("work", 100);
+/// assert_eq!(grid.base() % 4096, 0);
+/// assert_eq!(work.base(), 3 * 4096); // grid took 3 pages
+/// assert_eq!(layout.total_pages(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharedLayout {
+    next: u64,
+    segments: Vec<Segment>,
+}
+
+impl SharedLayout {
+    /// Creates an empty layout starting at address 0.
+    pub fn new() -> Self {
+        SharedLayout::default()
+    }
+
+    /// Allocates `bytes` bytes, page-aligned, under `name`.
+    pub fn alloc(&mut self, name: &str, bytes: u64) -> Segment {
+        let seg = Segment {
+            name: name.to_owned(),
+            base: self.next,
+            len: bytes,
+        };
+        self.next += pages_for(bytes) * PAGE_SIZE as u64;
+        self.segments.push(seg.clone());
+        seg
+    }
+
+    /// Total pages reserved so far.
+    pub fn total_pages(&self) -> u64 {
+        self.next / PAGE_SIZE as u64
+    }
+
+    /// Total bytes reserved (whole pages).
+    pub fn total_bytes(&self) -> u64 {
+        self.next
+    }
+
+    /// The segments allocated so far, in allocation order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+}
+
+impl fmt::Display for SharedLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "shared layout: {} pages", self.total_pages())?;
+        for seg in &self.segments {
+            writeln!(f, "  {seg}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_page_aligned_and_disjoint() {
+        let mut l = SharedLayout::new();
+        let a = l.alloc("a", 1);
+        let b = l.alloc("b", 4096);
+        let c = l.alloc("c", 4097);
+        assert_eq!(a.base(), 0);
+        assert_eq!(b.base(), 4096);
+        assert_eq!(c.base(), 8192);
+        assert_eq!(l.total_pages(), 1 + 1 + 2);
+        assert_eq!(l.total_bytes(), 4 * 4096);
+    }
+
+    #[test]
+    fn zero_length_segment_takes_no_pages() {
+        let mut l = SharedLayout::new();
+        let z = l.alloc("z", 0);
+        let a = l.alloc("a", 8);
+        assert!(z.is_empty());
+        assert_eq!(z.pages(), 0);
+        assert_eq!(a.base(), 0);
+    }
+
+    #[test]
+    fn segment_addressing() {
+        let mut l = SharedLayout::new();
+        let _pad = l.alloc("pad", 4096);
+        let seg = l.alloc("data", 100);
+        assert_eq!(seg.addr(0), 4096);
+        assert_eq!(seg.addr(99), 4195);
+        assert_eq!(seg.len(), 100);
+        assert_eq!(seg.name(), "data");
+    }
+
+    #[test]
+    fn segments_are_recorded() {
+        let mut l = SharedLayout::new();
+        l.alloc("x", 10);
+        l.alloc("y", 20);
+        let names: Vec<&str> = l.segments().iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut l = SharedLayout::new();
+        l.alloc("grid", 10_000);
+        let txt = l.to_string();
+        assert!(txt.contains("3 pages"));
+        assert!(txt.contains("grid"));
+    }
+}

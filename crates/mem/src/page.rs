@@ -1,0 +1,160 @@
+//! Pages and address arithmetic.
+//!
+//! All consistency and tracking state is kept per 4 KiB page, matching the
+//! x86 page size of the paper's testbed. Applications address shared memory
+//! with flat byte addresses; [`span_pages`] splits a byte range into the
+//! per-page subranges the engine needs for fault checks and dirty-range
+//! recording.
+
+use std::fmt;
+
+/// Size of a virtual-memory page, in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifies one page of the shared address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// The page's index, for use with slices.
+    pub const fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The first byte address of this page.
+    pub const fn base_addr(self) -> u64 {
+        self.0 as u64 * PAGE_SIZE as u64
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// The page containing byte address `addr`.
+pub const fn page_of(addr: u64) -> PageId {
+    PageId((addr / PAGE_SIZE as u64) as u32)
+}
+
+/// One page's slice of a byte range: the page plus the in-page byte range
+/// `[start, end)` that the access covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageSpan {
+    /// The page touched.
+    pub page: PageId,
+    /// First byte within the page (0-4095).
+    pub start: u16,
+    /// One past the last byte within the page (1-4096).
+    pub end: u16,
+}
+
+impl PageSpan {
+    /// Number of bytes of the access falling on this page.
+    pub const fn len(&self) -> u16 {
+        self.end - self.start
+    }
+
+    /// Whether the span is empty (never produced by [`span_pages`]).
+    pub const fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Splits the byte range `[addr, addr + len)` into per-page spans, in
+/// ascending page order. A zero-length range yields nothing.
+///
+/// ```
+/// use acorr_mem::{span_pages, PAGE_SIZE};
+/// let spans: Vec<_> = span_pages(4090, 10).collect();
+/// assert_eq!(spans.len(), 2);
+/// assert_eq!(spans[0].page.idx(), 0);
+/// assert_eq!((spans[0].start, spans[0].end), (4090, 4096));
+/// assert_eq!(spans[1].page.idx(), 1);
+/// assert_eq!((spans[1].start, spans[1].end), (0, 4));
+/// assert_eq!(PAGE_SIZE, 4096);
+/// ```
+pub fn span_pages(addr: u64, len: u64) -> impl Iterator<Item = PageSpan> {
+    let end = addr + len;
+    let mut cur = addr;
+    std::iter::from_fn(move || {
+        if cur >= end {
+            return None;
+        }
+        let page = page_of(cur);
+        let page_end = page.base_addr() + PAGE_SIZE as u64;
+        let stop = end.min(page_end);
+        let span = PageSpan {
+            page,
+            start: (cur - page.base_addr()) as u16,
+            end: (stop - page.base_addr()) as u16,
+        };
+        cur = stop;
+        Some(span)
+    })
+}
+
+/// Number of pages needed to hold `bytes` bytes.
+pub const fn pages_for(bytes: u64) -> u64 {
+    bytes.div_ceil(PAGE_SIZE as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_of_boundaries() {
+        assert_eq!(page_of(0), PageId(0));
+        assert_eq!(page_of(4095), PageId(0));
+        assert_eq!(page_of(4096), PageId(1));
+        assert_eq!(PageId(3).base_addr(), 3 * 4096);
+    }
+
+    #[test]
+    fn span_within_one_page() {
+        let spans: Vec<_> = span_pages(100, 50).collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].page, PageId(0));
+        assert_eq!(spans[0].start, 100);
+        assert_eq!(spans[0].end, 150);
+        assert_eq!(spans[0].len(), 50);
+        assert!(!spans[0].is_empty());
+    }
+
+    #[test]
+    fn span_exact_page() {
+        let spans: Vec<_> = span_pages(4096, 4096).collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].page, PageId(1));
+        assert_eq!((spans[0].start, spans[0].end), (0, 4096));
+    }
+
+    #[test]
+    fn span_many_pages() {
+        let spans: Vec<_> = span_pages(10, 3 * 4096).collect();
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[0].page, PageId(0));
+        assert_eq!(spans[3].page, PageId(3));
+        let total: u64 = spans.iter().map(|s| s.len() as u64).sum();
+        assert_eq!(total, 3 * 4096);
+        // Spans are contiguous across page boundaries.
+        assert_eq!(spans[0].end, 4096);
+        assert_eq!(spans[1].start, 0);
+    }
+
+    #[test]
+    fn empty_span_yields_nothing() {
+        assert_eq!(span_pages(500, 0).count(), 0);
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        assert_eq!(pages_for(0), 0);
+        assert_eq!(pages_for(1), 1);
+        assert_eq!(pages_for(4096), 1);
+        assert_eq!(pages_for(4097), 2);
+        assert_eq!(pages_for(16 * 1024 * 1024), 4096);
+    }
+}

@@ -1,0 +1,103 @@
+//! Page protections and access kinds.
+//!
+//! CVM manipulates `mprotect` states to intercept the accesses it cares
+//! about; the simulated page tables do the same symbolically. A page is
+//! either inaccessible ([`Protection::None`]), readable, or fully mapped.
+//! [`Protection::permits`] is the predicate the engine uses to decide
+//! whether an access faults.
+
+use std::fmt;
+
+/// What an access attempts to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load from shared memory.
+    Read,
+    /// A store to shared memory.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "read"),
+            AccessKind::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// The protection state of one page on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Protection {
+    /// No access permitted (invalid page, or read-protected for tracking).
+    #[default]
+    None,
+    /// Reads permitted, writes trap (clean page, twin not yet created).
+    Read,
+    /// Reads and writes permitted (twinned/dirty page).
+    ReadWrite,
+}
+
+impl Protection {
+    /// Whether an access of `kind` proceeds without faulting.
+    ///
+    /// ```
+    /// use acorr_mem::{AccessKind, Protection};
+    /// assert!(Protection::Read.permits(AccessKind::Read));
+    /// assert!(!Protection::Read.permits(AccessKind::Write));
+    /// assert!(!Protection::None.permits(AccessKind::Read));
+    /// assert!(Protection::ReadWrite.permits(AccessKind::Write));
+    /// ```
+    pub const fn permits(self, kind: AccessKind) -> bool {
+        match (self, kind) {
+            (Protection::ReadWrite, _) => true,
+            (Protection::Read, AccessKind::Read) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Protection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protection::None => write!(f, "---"),
+            Protection::Read => write!(f, "r--"),
+            Protection::ReadWrite => write!(f, "rw-"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permission_lattice() {
+        assert!(!Protection::None.permits(AccessKind::Read));
+        assert!(!Protection::None.permits(AccessKind::Write));
+        assert!(Protection::Read.permits(AccessKind::Read));
+        assert!(!Protection::Read.permits(AccessKind::Write));
+        assert!(Protection::ReadWrite.permits(AccessKind::Read));
+        assert!(Protection::ReadWrite.permits(AccessKind::Write));
+    }
+
+    #[test]
+    fn ordering_matches_strength() {
+        assert!(Protection::None < Protection::Read);
+        assert!(Protection::Read < Protection::ReadWrite);
+    }
+
+    #[test]
+    fn default_is_inaccessible() {
+        assert_eq!(Protection::default(), Protection::None);
+    }
+
+    #[test]
+    fn display_is_ls_style() {
+        assert_eq!(Protection::None.to_string(), "---");
+        assert_eq!(Protection::Read.to_string(), "r--");
+        assert_eq!(Protection::ReadWrite.to_string(), "rw-");
+        assert_eq!(AccessKind::Read.to_string(), "read");
+        assert_eq!(AccessKind::Write.to_string(), "write");
+    }
+}

@@ -1,0 +1,266 @@
+//! Dirty-range sets.
+//!
+//! CVM's multi-writer protocol compares a dirty page against its *twin* to
+//! produce a *diff* — the set of modified words. The simulation does not
+//! hold page contents, so [`RangeSet`] records the byte ranges a node wrote
+//! within one page instead; the total length of the merged ranges is the
+//! diff size, which prices both diff creation and the "Diff Mbytes" traffic
+//! of Table 6.
+
+use std::fmt;
+
+/// A set of disjoint, sorted, half-open byte ranges within one page.
+///
+/// Inserting overlapping or adjacent ranges merges them, mirroring how a
+/// word-level diff would coalesce.
+///
+/// ```
+/// use acorr_mem::RangeSet;
+/// let mut set = RangeSet::new();
+/// set.insert(0, 8);
+/// set.insert(16, 24);
+/// set.insert(8, 16); // bridges the gap
+/// assert_eq!(set.total_len(), 24);
+/// assert_eq!(set.iter().count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RangeSet {
+    // Sorted, non-overlapping, non-adjacent (start, end) pairs.
+    ranges: Vec<(u16, u16)>,
+}
+
+impl RangeSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        RangeSet::default()
+    }
+
+    /// Inserts `[start, end)`, merging with overlapping or adjacent ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn insert(&mut self, start: u16, end: u16) {
+        assert!(start <= end, "inverted range {start}..{end}");
+        if start == end {
+            return;
+        }
+        // Find the insertion window: all ranges overlapping or adjacent to
+        // [start, end).
+        let lo = self.ranges.partition_point(|&(_, e)| e < start);
+        let hi = self.ranges.partition_point(|&(s, _)| s <= end);
+        if lo == hi {
+            self.ranges.insert(lo, (start, end));
+            return;
+        }
+        let new_start = start.min(self.ranges[lo].0);
+        let new_end = end.max(self.ranges[hi - 1].1);
+        self.ranges.drain(lo..hi);
+        self.ranges.insert(lo, (new_start, new_end));
+    }
+
+    /// Total bytes covered.
+    pub fn total_len(&self) -> u64 {
+        self.ranges.iter().map(|&(s, e)| (e - s) as u64).sum()
+    }
+
+    /// Number of disjoint ranges.
+    pub fn fragment_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Whether byte `b` is covered.
+    pub fn contains(&self, b: u16) -> bool {
+        self.ranges
+            .binary_search_by(|&(s, e)| {
+                if b < s {
+                    std::cmp::Ordering::Greater
+                } else if b >= e {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Removes every range.
+    pub fn clear(&mut self) {
+        self.ranges.clear();
+    }
+
+    /// Iterates over the disjoint `(start, end)` ranges in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, u16)> + '_ {
+        self.ranges.iter().copied()
+    }
+}
+
+impl fmt::Display for RangeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (s, e)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{s}..{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_inserts_stay_disjoint() {
+        let mut s = RangeSet::new();
+        s.insert(100, 200);
+        s.insert(0, 50);
+        s.insert(300, 400);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![(0, 50), (100, 200), (300, 400)]
+        );
+        assert_eq!(s.total_len(), 50 + 100 + 100);
+        assert_eq!(s.fragment_count(), 3);
+    }
+
+    #[test]
+    fn overlapping_inserts_merge() {
+        let mut s = RangeSet::new();
+        s.insert(10, 20);
+        s.insert(15, 30);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(10, 30)]);
+        s.insert(0, 100);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(0, 100)]);
+    }
+
+    #[test]
+    fn adjacent_inserts_coalesce() {
+        let mut s = RangeSet::new();
+        s.insert(0, 8);
+        s.insert(8, 16);
+        assert_eq!(s.fragment_count(), 1);
+        assert_eq!(s.total_len(), 16);
+    }
+
+    #[test]
+    fn bridging_insert_merges_many() {
+        let mut s = RangeSet::new();
+        for i in 0..10 {
+            s.insert(i * 20, i * 20 + 4);
+        }
+        assert_eq!(s.fragment_count(), 10);
+        s.insert(0, 200);
+        assert_eq!(s.fragment_count(), 1);
+        assert_eq!(s.total_len(), 200);
+    }
+
+    #[test]
+    fn empty_and_zero_length() {
+        let mut s = RangeSet::new();
+        assert!(s.is_empty());
+        s.insert(5, 5);
+        assert!(s.is_empty());
+        assert_eq!(s.total_len(), 0);
+    }
+
+    #[test]
+    fn contains_checks_membership() {
+        let mut s = RangeSet::new();
+        s.insert(10, 20);
+        s.insert(40, 50);
+        assert!(s.contains(10));
+        assert!(s.contains(19));
+        assert!(!s.contains(20));
+        assert!(!s.contains(30));
+        assert!(s.contains(45));
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = RangeSet::new();
+        s.insert(0, 4096);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn idempotent_reinsert() {
+        let mut s = RangeSet::new();
+        s.insert(10, 20);
+        s.insert(10, 20);
+        assert_eq!(s.total_len(), 10);
+        assert_eq!(s.fragment_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted range")]
+    fn inverted_range_panics() {
+        RangeSet::new().insert(10, 5);
+    }
+
+    #[test]
+    fn display_lists_ranges() {
+        let mut s = RangeSet::new();
+        s.insert(1, 3);
+        s.insert(7, 9);
+        assert_eq!(s.to_string(), "[1..3 7..9]");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reference_cover(ops: &[(u16, u16)]) -> Vec<bool> {
+        let mut cover = vec![false; 4096];
+        for &(s, e) in ops {
+            for item in cover.iter_mut().take(e as usize).skip(s as usize) {
+                *item = true;
+            }
+        }
+        cover
+    }
+
+    proptest! {
+        /// After arbitrary inserts, the set covers exactly the union of the
+        /// inserted ranges and its invariants (sorted, disjoint,
+        /// non-adjacent) hold.
+        #[test]
+        fn matches_boolean_reference(
+            raw in proptest::collection::vec((0u16..4096, 0u16..4096), 0..40)
+        ) {
+            let ops: Vec<(u16, u16)> = raw
+                .into_iter()
+                .map(|(a, b)| (a.min(b), a.max(b)))
+                .collect();
+            let mut set = RangeSet::new();
+            for &(s, e) in &ops {
+                set.insert(s, e);
+            }
+            let cover = reference_cover(&ops);
+            let expected_len: u64 = cover.iter().filter(|&&c| c).count() as u64;
+            prop_assert_eq!(set.total_len(), expected_len);
+            for b in 0..4096u16 {
+                prop_assert_eq!(set.contains(b), cover[b as usize], "byte {}", b);
+            }
+            // Structural invariants.
+            let rs: Vec<(u16, u16)> = set.iter().collect();
+            for w in rs.windows(2) {
+                prop_assert!(w[0].1 < w[1].0, "ranges {:?} not disjoint/sorted", rs);
+            }
+            for &(s, e) in &rs {
+                prop_assert!(s < e);
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for address arithmetic and access matrices.
+
+use acorr_mem::{pages_for, span_pages, AccessMatrix, PageId, PAGE_SIZE};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// span_pages partitions a byte range exactly: spans are contiguous,
+    /// page-ordered, cover every byte once, and agree with a naive loop.
+    #[test]
+    fn span_pages_partitions_exactly(addr in 0u64..1_000_000, len in 0u64..100_000) {
+        let spans: Vec<_> = span_pages(addr, len).collect();
+        let total: u64 = spans.iter().map(|s| s.len() as u64).sum();
+        prop_assert_eq!(total, len);
+        let mut cursor = addr;
+        for s in &spans {
+            prop_assert_eq!(s.page.base_addr() + s.start as u64, cursor);
+            prop_assert!(s.end as usize <= PAGE_SIZE);
+            prop_assert!(s.start < s.end);
+            cursor = s.page.base_addr() + s.end as u64;
+        }
+        if len > 0 {
+            prop_assert_eq!(cursor, addr + len);
+            // Page count matches the arithmetic bound.
+            let first = addr / PAGE_SIZE as u64;
+            let last = (addr + len - 1) / PAGE_SIZE as u64;
+            prop_assert_eq!(spans.len() as u64, last - first + 1);
+        }
+    }
+
+    /// pages_for is the exact inverse bound of page packing.
+    #[test]
+    fn pages_for_is_tight(bytes in 0u64..10_000_000) {
+        let pages = pages_for(bytes);
+        prop_assert!(pages * (PAGE_SIZE as u64) >= bytes);
+        if pages > 0 {
+            prop_assert!((pages - 1) * (PAGE_SIZE as u64) < bytes);
+        }
+    }
+
+    /// AccessMatrix CSV round-trips arbitrary observation sets.
+    #[test]
+    fn access_matrix_csv_round_trips(
+        obs in proptest::collection::hash_set((0usize..6, 0u32..64), 0..80)
+    ) {
+        let mut m = AccessMatrix::new(6, 64);
+        for &(t, p) in &obs {
+            m.record(t, PageId(p));
+        }
+        let back = AccessMatrix::from_csv(&m.to_csv()).expect("round trip");
+        prop_assert_eq!(back, m);
+    }
+
+    /// Completeness is monotone under merging and capped at 1.
+    #[test]
+    fn completeness_is_monotone(
+        truth_obs in proptest::collection::hash_set((0usize..4, 0u32..32), 1..60),
+        partial_obs in proptest::collection::vec((0usize..4, 0u32..32), 0..60),
+    ) {
+        let mut truth = AccessMatrix::new(4, 32);
+        for &(t, p) in &truth_obs {
+            truth.record(t, PageId(p));
+        }
+        let mut acc = AccessMatrix::new(4, 32);
+        let mut last = acc.completeness_vs(&truth);
+        for &(t, p) in &partial_obs {
+            acc.record(t, PageId(p));
+            let now = acc.completeness_vs(&truth);
+            prop_assert!(now >= last - 1e-12);
+            prop_assert!(now <= 1.0 + 1e-12);
+            last = now;
+        }
+        acc.merge(&truth);
+        prop_assert!((acc.completeness_vs(&truth) - 1.0).abs() < 1e-12);
+    }
+}

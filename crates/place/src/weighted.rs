@@ -1,0 +1,291 @@
+//! Load-aware placement for threads of unequal work.
+//!
+//! §5 of the paper assumes equal-work threads ("Load balance can only be
+//! maintained, however, if the number of exported threads matches the
+//! number imported² — ² Assuming that threads have equal work") and §5.1
+//! notes the general problem "is complicated by the fact that we must also
+//! address load balancing". This module takes that step: threads carry
+//! weights (e.g. measured compute time), node capacity is the mean load
+//! times a tolerance, and cut cost is minimized subject to staying within
+//! capacity.
+//!
+//! The pipeline mirrors [`min_cost`](crate::min_cost): greedy
+//! affinity-seeding under capacity, then Kernighan-Lin-style swaps *and
+//! single-thread moves* that only apply when both nodes stay within
+//! capacity.
+
+use acorr_sim::{ClusterConfig, Mapping, NodeId};
+use acorr_track::{cut_cost, CorrelationMatrix};
+
+/// Per-node total weight of a mapping.
+pub fn node_loads(mapping: &Mapping, weights: &[u64]) -> Vec<u64> {
+    let mut loads = vec![0u64; mapping.num_nodes()];
+    for (t, &w) in weights.iter().enumerate() {
+        loads[mapping.node_of(t).idx()] += w;
+    }
+    loads
+}
+
+/// The load imbalance of a mapping: `max node load / mean node load`.
+/// 1.0 is perfect balance.
+pub fn imbalance(mapping: &Mapping, weights: &[u64]) -> f64 {
+    let loads = node_loads(mapping, weights);
+    let total: u64 = loads.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let mean = total as f64 / loads.len() as f64;
+    loads.iter().copied().max().unwrap_or(0) as f64 / mean
+}
+
+/// Computes a placement minimizing cut cost subject to every node's total
+/// weight staying within `tolerance` times the mean load (e.g. 1.1 allows
+/// 10% overload).
+///
+/// # Panics
+///
+/// Panics if `weights` does not cover the cluster's threads, if all weights
+/// are zero, or if `tolerance < 1.0`.
+pub fn min_cost_weighted(
+    corr: &CorrelationMatrix,
+    cluster: &ClusterConfig,
+    weights: &[u64],
+    tolerance: f64,
+) -> Mapping {
+    assert_eq!(
+        corr.num_threads(),
+        cluster.num_threads(),
+        "matrix and cluster must cover the same threads"
+    );
+    assert_eq!(
+        weights.len(),
+        cluster.num_threads(),
+        "weights must cover every thread"
+    );
+    assert!(tolerance >= 1.0, "tolerance must be at least 1.0");
+    let total: u64 = weights.iter().sum();
+    assert!(total > 0, "at least one thread must have weight");
+    let nodes = cluster.num_nodes();
+    // Feasibility floor: some node must hold at least ceil(total/nodes).
+    let mean = total as f64 / nodes as f64;
+    let capacity = ((mean * tolerance).floor() as u64).max(total.div_ceil(nodes as u64));
+
+    // Greedy seeding: place threads in descending weight order (classic
+    // first-fit-decreasing for balance), choosing among feasible nodes the
+    // one with the highest affinity to the thread.
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| weights[b].cmp(&weights[a]).then(a.cmp(&b)));
+    let mut assignment: Vec<Option<NodeId>> = vec![None; weights.len()];
+    let mut loads = vec![0u64; nodes];
+    for &t in &order {
+        let affinity_to = |node: usize| -> u64 {
+            assignment
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| **a == Some(NodeId(node as u16)))
+                .map(|(other, _)| corr.get(t, other))
+                .sum()
+        };
+        // Feasible nodes first; fall back to the least-loaded node if the
+        // capacity is tight (keeps the function total).
+        let candidate = (0..nodes)
+            .filter(|&n| loads[n] + weights[t] <= capacity)
+            .max_by_key(|&n| (affinity_to(n), std::cmp::Reverse(loads[n])))
+            .or_else(|| (0..nodes).min_by_key(|&n| loads[n]));
+        let node = candidate.expect("at least one node");
+        assignment[t] = Some(NodeId(node as u16));
+        loads[node] += weights[t];
+    }
+    // Keep every node non-empty (Mapping invariant): pull the lightest
+    // thread from the fullest multi-thread node onto each empty one.
+    for node in 0..nodes {
+        if !assignment.iter().any(|a| *a == Some(NodeId(node as u16))) {
+            let donor = assignment
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| {
+                    let host = a.expect("all assigned");
+                    assignment.iter().filter(|x| **x == Some(host)).count() > 1
+                })
+                .min_by_key(|(t, _)| weights[*t])
+                .map(|(t, _)| t)
+                .expect("some node has two threads");
+            let old = assignment[donor].expect("assigned");
+            loads[old.idx()] -= weights[donor];
+            assignment[donor] = Some(NodeId(node as u16));
+            loads[node] += weights[donor];
+        }
+    }
+    let seeded = Mapping::from_assignment(
+        cluster,
+        assignment.into_iter().map(|a| a.expect("assigned")).collect(),
+    )
+    .expect("seeded mapping is valid");
+    refine_weighted(corr, seeded, weights, capacity)
+}
+
+/// Capacity-respecting refinement: best-improvement swaps and single moves
+/// until no cut-reducing, feasible change remains.
+fn refine_weighted(
+    corr: &CorrelationMatrix,
+    mut mapping: Mapping,
+    weights: &[u64],
+    capacity: u64,
+) -> Mapping {
+    let n = corr.num_threads();
+    let mut loads = node_loads(&mapping, weights);
+    loop {
+        let current_cut = cut_cost(corr, &mapping) as i64;
+        let mut best: Option<(Mapping, Vec<u64>, i64)> = None;
+        // Swaps.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let (na, nb) = (mapping.node_of(a), mapping.node_of(b));
+                if na == nb {
+                    continue;
+                }
+                let la = loads[na.idx()] - weights[a] + weights[b];
+                let lb = loads[nb.idx()] - weights[b] + weights[a];
+                if la > capacity || lb > capacity {
+                    continue;
+                }
+                let mut cand = mapping.clone();
+                cand.set_node_of(a, nb);
+                cand.set_node_of(b, na);
+                let gain = current_cut - cut_cost(corr, &cand) as i64;
+                if gain > best.as_ref().map_or(0, |(.., g)| *g) {
+                    let mut l = loads.clone();
+                    l[na.idx()] = la;
+                    l[nb.idx()] = lb;
+                    best = Some((cand, l, gain));
+                }
+            }
+        }
+        // Single moves (only weighted placement can use these — they change
+        // node populations but stay within capacity).
+        for t in 0..n {
+            let from = mapping.node_of(t);
+            if mapping.threads_on(from).count() <= 1 {
+                continue; // never empty a node
+            }
+            for node in 0..mapping.num_nodes() {
+                let to = NodeId(node as u16);
+                if to == from || loads[node] + weights[t] > capacity {
+                    continue;
+                }
+                let mut cand = mapping.clone();
+                cand.set_node_of(t, to);
+                let gain = current_cut - cut_cost(corr, &cand) as i64;
+                if gain > best.as_ref().map_or(0, |(.., g)| *g) {
+                    let mut l = loads.clone();
+                    l[from.idx()] -= weights[t];
+                    l[node] += weights[t];
+                    best = Some((cand, l, gain));
+                }
+            }
+        }
+        match best {
+            Some((next, l, _)) => {
+                mapping = next;
+                loads = l;
+            }
+            None => return mapping,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize, w: u64) -> CorrelationMatrix {
+        let mut c = CorrelationMatrix::zeros(n);
+        for i in 0..n - 1 {
+            c.set(i, i + 1, w);
+        }
+        c
+    }
+
+    #[test]
+    fn equal_weights_reduce_to_balanced_min_cost() {
+        let corr = chain(12, 5);
+        let cluster = ClusterConfig::new(3, 12).unwrap();
+        let weights = vec![1u64; 12];
+        let m = min_cost_weighted(&corr, &cluster, &weights, 1.01);
+        assert!(m.is_balanced(), "{m}");
+        // A contiguous split is optimal for a chain: cut 2 edges x2 orders.
+        assert_eq!(cut_cost(&corr, &m), 2 * 2 * 5);
+        assert!((imbalance(&m, &weights) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn heavy_threads_spread_across_nodes() {
+        // Two heavy threads (weight 10) and six light (weight 1) on two
+        // nodes: the heavies must not share a node, whatever the affinity.
+        let mut corr = CorrelationMatrix::zeros(8);
+        corr.set(0, 1, 100); // the heavies share a lot
+        let cluster = ClusterConfig::new(2, 8).unwrap();
+        let weights = vec![10, 10, 1, 1, 1, 1, 1, 1];
+        let m = min_cost_weighted(&corr, &cluster, &weights, 1.2);
+        assert_ne!(m.node_of(0), m.node_of(1), "{m}");
+        assert!(imbalance(&m, &weights) <= 1.2 + 1e-9);
+    }
+
+    #[test]
+    fn affinity_respected_within_capacity() {
+        // Two 4-thread cliques, mixed weights that still fit per node: the
+        // cliques must stay whole.
+        let mut corr = CorrelationMatrix::zeros(8);
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                corr.set(a, b, 9);
+                corr.set(a + 4, b + 4, 9);
+            }
+        }
+        let cluster = ClusterConfig::new(2, 8).unwrap();
+        let weights = vec![3, 1, 1, 1, 3, 1, 1, 1];
+        let m = min_cost_weighted(&corr, &cluster, &weights, 1.1);
+        assert_eq!(cut_cost(&corr, &m), 0, "{m}");
+    }
+
+    #[test]
+    fn unequal_populations_allowed_when_weights_demand() {
+        // One thread outweighs the other five combined: capacity forces it
+        // to sit alone while the rest pack the other node.
+        let corr = chain(6, 2);
+        let cluster = ClusterConfig::new(2, 6).unwrap();
+        let weights = vec![20, 1, 1, 1, 1, 1];
+        let m = min_cost_weighted(&corr, &cluster, &weights, 1.05);
+        let counts = m.node_counts();
+        assert!(counts.contains(&1) && counts.contains(&5), "{m}");
+        assert_eq!(m.threads_on(m.node_of(0)).count(), 1);
+    }
+
+    #[test]
+    fn never_leaves_a_node_empty() {
+        let corr = CorrelationMatrix::zeros(4);
+        let cluster = ClusterConfig::new(4, 4).unwrap();
+        // Wildly skewed weights would pack everything on one node without
+        // the non-empty repair.
+        let m = min_cost_weighted(&corr, &cluster, &[100, 1, 1, 1], 4.0);
+        assert!(m.node_counts().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn loads_and_imbalance_math() {
+        let cluster = ClusterConfig::new(2, 4).unwrap();
+        let m = Mapping::stretch(&cluster);
+        let weights = [4u64, 2, 1, 1];
+        assert_eq!(node_loads(&m, &weights), vec![6, 2]);
+        assert!((imbalance(&m, &weights) - 1.5).abs() < 1e-12);
+        assert_eq!(imbalance(&m, &[0, 0, 0, 0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn sub_unit_tolerance_rejected() {
+        let corr = CorrelationMatrix::zeros(4);
+        let cluster = ClusterConfig::new(2, 4).unwrap();
+        min_cost_weighted(&corr, &cluster, &[1, 1, 1, 1], 0.9);
+    }
+}

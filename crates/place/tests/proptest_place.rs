@@ -1,0 +1,87 @@
+//! Property tests: every placement strategy yields a valid, constraint-
+//! respecting mapping on arbitrary correlation matrices.
+
+use acorr_place::{
+    anneal, imbalance, jarvis_patrick, min_cost, min_cost_weighted, node_loads, optimal,
+    refine_kl, AnnealConfig,
+};
+use acorr_sim::{ClusterConfig, DetRng, Mapping};
+use acorr_track::{cut_cost, CorrelationMatrix};
+use proptest::prelude::*;
+
+fn matrix_strategy(n: usize) -> impl Strategy<Value = CorrelationMatrix> {
+    proptest::collection::vec(0u64..32, n * (n - 1) / 2).prop_map(move |vals| {
+        let mut c = CorrelationMatrix::zeros(n);
+        let mut it = vals.into_iter();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                c.set(a, b, it.next().expect("sized"));
+            }
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Clustering heuristics always produce balanced mappings covering
+    /// every node, and KL refinement never increases the cut.
+    #[test]
+    fn heuristics_produce_valid_balanced_mappings(
+        corr in matrix_strategy(12),
+        nodes in 2usize..=4,
+    ) {
+        let cluster = ClusterConfig::new(nodes, 12).expect("cluster");
+        for m in [min_cost(&corr, &cluster), jarvis_patrick(&corr, &cluster)] {
+            prop_assert!(m.is_balanced(), "{m}");
+            prop_assert!(m.node_counts().iter().all(|&c| c > 0));
+        }
+        let mut rng = DetRng::new(7);
+        let start = Mapping::random_balanced(&cluster, &mut rng);
+        let before = cut_cost(&corr, &start);
+        let refined = refine_kl(&corr, start);
+        prop_assert!(cut_cost(&corr, &refined) <= before);
+    }
+
+    /// The exact optimum lower-bounds every heuristic.
+    #[test]
+    fn optimal_lower_bounds_heuristics(corr in matrix_strategy(10)) {
+        let cluster = ClusterConfig::new(2, 10).expect("cluster");
+        let opt = cut_cost(&corr, &optimal(&corr, &cluster));
+        let mut rng = DetRng::new(1);
+        for cut in [
+            cut_cost(&corr, &min_cost(&corr, &cluster)),
+            cut_cost(&corr, &jarvis_patrick(&corr, &cluster)),
+            cut_cost(&corr, &anneal(&corr, &cluster, &AnnealConfig::default(), &mut rng)),
+            cut_cost(&corr, &Mapping::stretch(&cluster)),
+        ] {
+            prop_assert!(opt <= cut, "optimal {opt} vs heuristic {cut}");
+        }
+    }
+
+    /// Weighted placement respects its capacity bound whenever the bound is
+    /// satisfiable, and never leaves a node empty.
+    #[test]
+    fn weighted_respects_capacity(
+        corr in matrix_strategy(10),
+        weights in proptest::collection::vec(1u64..8, 10),
+        tol_pct in 5u32..60,
+    ) {
+        let cluster = ClusterConfig::new(2, 10).expect("cluster");
+        let tolerance = 1.0 + tol_pct as f64 / 100.0;
+        let m = min_cost_weighted(&corr, &cluster, &weights, tolerance);
+        prop_assert!(m.node_counts().iter().all(|&c| c > 0));
+        let total: u64 = weights.iter().sum();
+        let capacity = ((total as f64 / 2.0) * tolerance).floor() as u64;
+        let capacity = capacity.max(total.div_ceil(2));
+        // Satisfiable iff no single weight exceeds capacity (then first-fit
+        // decreasing over 2 nodes always fits within the floor+tolerance).
+        if weights.iter().all(|&w| w <= capacity) {
+            for load in node_loads(&m, &weights) {
+                prop_assert!(load <= capacity, "load {load} > capacity {capacity}");
+            }
+            prop_assert!(imbalance(&m, &weights) <= 2.0);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! CPU-side cost model.
+//!
+//! Everything the DSM engine does locally — delivering a segmentation
+//! violation to a handler, changing page protections, creating a twin,
+//! building or applying a diff, switching threads — takes simulated time
+//! drawn from this table. Values default to an era-plausible 266 MHz
+//! Pentium II running Linux 2.0 (the paper's testbed), but every field is
+//! public so experiments can run sensitivity sweeps.
+
+use crate::time::SimDuration;
+
+/// Per-operation CPU costs charged by the DSM engine.
+///
+/// ```
+/// use acorr_sim::{CostModel, SimDuration};
+/// let mut cost = CostModel::default();
+/// // Ablation: a machine with free page faults.
+/// cost.tracking_fault = SimDuration::ZERO;
+/// assert!(cost.coherence_fault > SimDuration::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Handling one *correlation fault* during active tracking: trap
+    /// delivery, setting the access-bitmap bit, restoring the protection.
+    pub tracking_fault: SimDuration,
+    /// Local part of handling a coherence fault (trap delivery and protocol
+    /// bookkeeping); the remote fetch itself is priced by the network model.
+    pub coherence_fault: SimDuration,
+    /// Creating a twin (copying a page before the first write).
+    pub twin_create: SimDuration,
+    /// Building a diff at a release point, per dirty byte.
+    pub diff_create_ns_per_byte: f64,
+    /// Applying a fetched diff, per byte.
+    pub diff_apply_ns_per_byte: f64,
+    /// Fixed cost of an `mprotect`-style protection sweep over the whole
+    /// shared region (one syscall)...
+    pub protect_sweep_base: SimDuration,
+    /// ...plus this much per page touched by the sweep.
+    pub protect_sweep_per_page: SimDuration,
+    /// Switching between runnable threads on one node.
+    pub context_switch: SimDuration,
+    /// Fixed barrier cost at the manager...
+    pub barrier_base: SimDuration,
+    /// ...plus this much per participating node.
+    pub barrier_per_node: SimDuration,
+    /// First-touch cost of accessing a mapped page (TLB/cache effects).
+    pub page_touch: SimDuration,
+    /// Granting a lock to a thread on the node that already holds it.
+    pub lock_local: SimDuration,
+    /// Bytes copied when migrating one thread (its stack), priced by the
+    /// network model.
+    pub migration_stack_bytes: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            tracking_fault: SimDuration::from_micros(60),
+            coherence_fault: SimDuration::from_micros(70),
+            twin_create: SimDuration::from_micros(30),
+            diff_create_ns_per_byte: 12.0,
+            diff_apply_ns_per_byte: 8.0,
+            protect_sweep_base: SimDuration::from_micros(15),
+            protect_sweep_per_page: SimDuration::from_nanos(400),
+            context_switch: SimDuration::from_micros(6),
+            barrier_base: SimDuration::from_micros(150),
+            barrier_per_node: SimDuration::from_micros(25),
+            page_touch: SimDuration::from_nanos(300),
+            lock_local: SimDuration::from_micros(2),
+            migration_stack_bytes: 64 * 1024,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of one protection sweep over `pages` pages (arming or disarming
+    /// the correlation-tracking read protection).
+    pub fn protect_sweep(&self, pages: u64) -> SimDuration {
+        self.protect_sweep_base + self.protect_sweep_per_page * pages
+    }
+
+    /// Cost of creating a diff of `bytes` dirty bytes.
+    pub fn diff_create(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_nanos((bytes as f64 * self.diff_create_ns_per_byte) as u64)
+    }
+
+    /// Cost of applying `bytes` of fetched diff data.
+    pub fn diff_apply(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_nanos((bytes as f64 * self.diff_apply_ns_per_byte) as u64)
+    }
+
+    /// Manager-side cost of releasing a barrier across `nodes` nodes.
+    pub fn barrier(&self, nodes: u64) -> SimDuration {
+        self.barrier_base + self.barrier_per_node * nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = CostModel::default();
+        assert!(c.tracking_fault < c.coherence_fault);
+        assert!(c.context_switch < c.tracking_fault);
+        assert!(c.migration_stack_bytes >= 4096);
+    }
+
+    #[test]
+    fn sweep_scales_with_pages() {
+        let c = CostModel::default();
+        let small = c.protect_sweep(10);
+        let large = c.protect_sweep(4000);
+        assert!(large > small);
+        assert_eq!(
+            (large - c.protect_sweep_base).as_nanos(),
+            c.protect_sweep_per_page.as_nanos() * 4000
+        );
+    }
+
+    #[test]
+    fn diff_costs_are_linear() {
+        let c = CostModel::default();
+        assert_eq!(c.diff_create(0), SimDuration::ZERO);
+        let one = c.diff_create(1000).as_nanos();
+        let two = c.diff_create(2000).as_nanos();
+        assert_eq!(two, one * 2);
+        assert!(c.diff_apply(1000) < c.diff_create(1000));
+    }
+
+    #[test]
+    fn barrier_scales_with_nodes() {
+        let c = CostModel::default();
+        assert!(c.barrier(8) > c.barrier(4));
+        assert_eq!(
+            (c.barrier(8) - c.barrier(4)).as_nanos(),
+            c.barrier_per_node.as_nanos() * 4
+        );
+    }
+}

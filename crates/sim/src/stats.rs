@@ -1,0 +1,171 @@
+//! Summary statistics.
+//!
+//! Table 2 of the paper fits `remote misses = slope * cut_cost + intercept`
+//! over 300 random configurations per application and reports the slope, the
+//! intercept and the correlation coefficient. [`linear_fit`] implements that
+//! ordinary least-squares fit; [`mean`] and [`stddev`] support the reports.
+
+use std::fmt;
+
+/// Result of an ordinary least-squares fit of `y = slope * x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted y-intercept.
+    pub intercept: f64,
+    /// Pearson correlation coefficient `r` between x and y.
+    pub r: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+impl fmt::Display for LinearFit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "y = {:.3}x + {:.1} (r = {:.3}, n = {})",
+            self.slope, self.intercept, self.r, self.n
+        )
+    }
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation; 0 for slices shorter than 2.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Least-squares fit of `ys` against `xs`, plus Pearson's r.
+///
+/// Returns `None` when there are fewer than two points, when the slices
+/// disagree in length, or when `xs` has zero variance (vertical fit).
+///
+/// ```
+/// use acorr_sim::linear_fit;
+/// let xs = [0.0, 1.0, 2.0, 3.0];
+/// let ys = [1.0, 3.0, 5.0, 7.0];
+/// let fit = linear_fit(&xs, &ys).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!((fit.r - 1.0).abs() < 1e-12);
+/// ```
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+        sxy += (x - mx) * (y - my);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r = if syy == 0.0 {
+        // y constant: perfectly predicted by any slope-0 line.
+        if sxy == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        sxy / (sxx.sqrt() * syy.sqrt())
+    };
+    let _ = n;
+    Some(LinearFit {
+        slope,
+        intercept,
+        r,
+        n: xs.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert!((stddev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_line_recovered() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 4.1 * x - 21.4).collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 4.1).abs() < 1e-9);
+        assert!((fit.intercept + 21.4).abs() < 1e-6);
+        assert!((fit.r - 1.0).abs() < 1e-12);
+        assert_eq!(fit.n, 100);
+    }
+
+    #[test]
+    fn anticorrelation_gives_negative_r() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [9.0, 6.0, 3.0, 0.0];
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!(fit.slope < 0.0);
+        assert!((fit.r + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_reduces_r() {
+        // Deterministic pseudo-noise.
+        let xs: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 * x + if i % 2 == 0 { 40.0 } else { -40.0 })
+            .collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!(fit.r < 1.0 && fit.r > 0.9);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(linear_fit(&[1.0], &[1.0]).is_none());
+        assert!(linear_fit(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(linear_fit(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn constant_y_is_perfectly_fit() {
+        let fit = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r, 1.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let fit = linear_fit(&[0.0, 1.0], &[0.0, 2.0]).unwrap();
+        let s = fit.to_string();
+        assert!(s.contains("2.000x"));
+        assert!(s.contains("n = 2"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the simulation substrate: mapping constructors and
+//! the regression fit.
+
+use acorr_sim::{linear_fit, ClusterConfig, DetRng, Mapping};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Stretch is always balanced and contiguous for any cluster shape.
+    #[test]
+    fn stretch_is_balanced_and_contiguous(
+        nodes in 1usize..12,
+        extra in 0usize..50,
+    ) {
+        let threads = nodes + extra;
+        let cluster = ClusterConfig::new(nodes, threads).expect("valid");
+        let m = Mapping::stretch(&cluster);
+        prop_assert!(m.is_balanced(), "{m}");
+        // Contiguity: node indices are non-decreasing over thread order.
+        for t in 1..threads {
+            prop_assert!(m.node_of(t - 1).idx() <= m.node_of(t).idx());
+        }
+        // Every node is populated.
+        prop_assert!(m.node_counts().iter().all(|&c| c > 0));
+    }
+
+    /// random_min_two honors the ≥2 floor for every satisfiable shape and
+    /// covers exactly the requested thread count.
+    #[test]
+    fn random_min_two_honors_floor(
+        nodes in 1usize..8,
+        extra in 0usize..40,
+        seed in 0u64..1000,
+    ) {
+        let threads = 2 * nodes + extra;
+        let cluster = ClusterConfig::new(nodes, threads).expect("valid");
+        let mut rng = DetRng::new(seed);
+        let m = Mapping::random_min_two(&cluster, &mut rng);
+        prop_assert!(m.node_counts().iter().all(|&c| c >= 2));
+        prop_assert_eq!(m.node_counts().iter().sum::<usize>(), threads);
+    }
+
+    /// Permutation preserves multiset of node counts and is a bijection on
+    /// threads.
+    #[test]
+    fn permutation_preserves_populations(
+        nodes in 1usize..6,
+        extra in 0usize..30,
+        seed in 0u64..1000,
+    ) {
+        let threads = nodes + extra;
+        let cluster = ClusterConfig::new(nodes, threads).expect("valid");
+        let base = Mapping::stretch(&cluster);
+        let mut rng = DetRng::new(seed);
+        let p = base.permuted(&mut rng);
+        let mut a = base.node_counts();
+        let mut b = p.node_counts();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The least-squares fit is scale-equivariant: scaling y scales the
+    /// slope and intercept, and leaves |r| unchanged.
+    #[test]
+    fn linear_fit_scale_equivariance(
+        points in proptest::collection::vec((0.0f64..1000.0, -500.0f64..500.0), 3..40),
+        scale in 1.0f64..50.0,
+    ) {
+        let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+        prop_assume!(xs.iter().any(|&x| (x - xs[0]).abs() > 1e-9));
+        let base = linear_fit(&xs, &ys).expect("x has spread");
+        let scaled_ys: Vec<f64> = ys.iter().map(|y| y * scale).collect();
+        let scaled = linear_fit(&xs, &scaled_ys).expect("same xs");
+        prop_assert!((scaled.slope - base.slope * scale).abs() < 1e-6 * scale.max(1.0));
+        prop_assert!((scaled.intercept - base.intercept * scale).abs() < 1e-4 * scale.max(1.0));
+        prop_assert!((scaled.r.abs() - base.r.abs()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,134 @@
+//! Predicting communication from cut costs.
+//!
+//! §2 establishes that remote misses are approximately linear in cut cost;
+//! §5 uses that to evaluate candidate mappings *without running them*. This
+//! module closes the loop: calibrate a [`MissModel`] from a few observed
+//! (cut, misses) points — e.g. a handful of configurations already run, or
+//! the Table 2 study — then rank arbitrary candidate mappings by predicted
+//! misses.
+
+use crate::correlation::CorrelationMatrix;
+use crate::cut::cut_cost;
+use acorr_sim::{linear_fit, LinearFit, Mapping};
+use std::fmt;
+
+/// A calibrated linear misses-from-cut-cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MissModel {
+    fit: LinearFit,
+}
+
+impl MissModel {
+    /// Calibrates from observed `(cut_cost, remote_misses)` points.
+    ///
+    /// Returns `None` with fewer than two distinct cut costs (no line to
+    /// fit).
+    pub fn calibrate(observations: &[(u64, u64)]) -> Option<MissModel> {
+        let xs: Vec<f64> = observations.iter().map(|&(c, _)| c as f64).collect();
+        let ys: Vec<f64> = observations.iter().map(|&(_, m)| m as f64).collect();
+        linear_fit(&xs, &ys).map(|fit| MissModel { fit })
+    }
+
+    /// The underlying least-squares fit.
+    pub fn fit(&self) -> LinearFit {
+        self.fit
+    }
+
+    /// Predicted remote misses at a given cut cost (clamped at zero).
+    pub fn predict(&self, cut_cost: u64) -> f64 {
+        (self.fit.slope * cut_cost as f64 + self.fit.intercept).max(0.0)
+    }
+
+    /// Predicted misses for a mapping under the given correlations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix and mapping cover different thread counts.
+    pub fn predict_mapping(&self, corr: &CorrelationMatrix, mapping: &Mapping) -> f64 {
+        self.predict(cut_cost(corr, mapping))
+    }
+
+    /// Ranks candidate mappings by predicted misses, ascending. Returns
+    /// `(index, predicted)` pairs into the input slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any mapping covers a different thread count than the
+    /// matrix.
+    pub fn rank<'a>(
+        &self,
+        corr: &CorrelationMatrix,
+        candidates: &'a [Mapping],
+    ) -> Vec<(usize, f64)> {
+        let mut ranked: Vec<(usize, f64)> = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (i, self.predict_mapping(corr, m)))
+            .collect();
+        ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        ranked
+    }
+}
+
+impl fmt::Display for MissModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "misses ≈ {}", self.fit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acorr_sim::{ClusterConfig, DetRng};
+
+    fn chain(n: usize, w: u64) -> CorrelationMatrix {
+        let mut c = CorrelationMatrix::zeros(n);
+        for i in 0..n - 1 {
+            c.set(i, i + 1, w);
+        }
+        c
+    }
+
+    #[test]
+    fn calibration_recovers_a_linear_relation() {
+        let obs: Vec<(u64, u64)> = (0..20).map(|i| (100 * i, 250 * i + 40)).collect();
+        let model = MissModel::calibrate(&obs).unwrap();
+        assert!((model.fit().slope - 2.5).abs() < 1e-9);
+        assert!((model.predict(1000) - 2540.0).abs() < 1e-6);
+        assert!((model.fit().r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predictions_clamp_at_zero() {
+        let model = MissModel::calibrate(&[(100, 10), (200, 40)]).unwrap();
+        assert_eq!(model.predict(0), 0.0, "negative extrapolation clamps");
+    }
+
+    #[test]
+    fn degenerate_calibration_is_rejected() {
+        assert!(MissModel::calibrate(&[]).is_none());
+        assert!(MissModel::calibrate(&[(5, 3)]).is_none());
+        assert!(MissModel::calibrate(&[(5, 3), (5, 9)]).is_none(), "no x spread");
+    }
+
+    #[test]
+    fn ranking_prefers_lower_cut_mappings() {
+        let corr = chain(8, 4);
+        let cluster = ClusterConfig::new(2, 8).unwrap();
+        let stretch = Mapping::stretch(&cluster);
+        let mut rng = DetRng::new(3);
+        let scrambled = stretch.permuted(&mut rng);
+        let model = MissModel::calibrate(&[(0, 5), (100, 105)]).unwrap();
+        let ranked = model.rank(&corr, &[scrambled.clone(), stretch.clone()]);
+        assert_eq!(ranked[0].0, 1, "stretch (lower cut) ranks first");
+        assert!(ranked[0].1 < ranked[1].1);
+        // Rank order must agree with raw cut order.
+        assert!(cut_cost(&corr, &stretch) < cut_cost(&corr, &scrambled));
+    }
+
+    #[test]
+    fn display_embeds_the_fit() {
+        let model = MissModel::calibrate(&[(0, 0), (10, 20)]).unwrap();
+        assert!(model.to_string().contains("misses ≈"));
+    }
+}

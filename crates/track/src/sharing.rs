@@ -1,0 +1,127 @@
+//! Sharing degree.
+//!
+//! Table 5 of the paper reports a per-application *sharing degree*: the
+//! number of tracking faults divided by the number of distinct shared pages
+//! touched per node — equivalently, *"the average number of local threads
+//! that access distinct shared pages that are touched locally"*. SOR's 1.08
+//! reflects boundary-row-only sharing; Water's 6.8 means almost all eight
+//! local threads touch every locally-used page.
+
+use acorr_mem::{AccessMatrix, FixedBitset};
+use acorr_sim::Mapping;
+
+/// Per-node unions of the threads' access bitmaps: which pages each node
+/// touches at all.
+///
+/// # Panics
+///
+/// Panics if the mapping covers a different thread count than the matrix.
+pub fn node_page_unions(access: &AccessMatrix, mapping: &Mapping) -> Vec<FixedBitset> {
+    assert_eq!(
+        access.num_threads(),
+        mapping.num_threads(),
+        "matrix and mapping must cover the same threads"
+    );
+    let mut unions: Vec<FixedBitset> = (0..mapping.num_nodes())
+        .map(|_| FixedBitset::new(access.num_pages()))
+        .collect();
+    for t in 0..access.num_threads() {
+        unions[mapping.node_of(t).idx()].union_with(access.bitmap(t));
+    }
+    unions
+}
+
+/// The sharing degree of Table 5: total per-thread page touches (= induced
+/// tracking faults) divided by the total number of distinct pages touched
+/// per node. Returns 0 when nothing was touched.
+///
+/// ```
+/// use acorr_mem::{AccessMatrix, PageId};
+/// use acorr_sim::{ClusterConfig, Mapping};
+/// use acorr_track::sharing_degree;
+/// // Two threads on one node, both touching the same page: degree 2.
+/// let mut access = AccessMatrix::new(2, 4);
+/// access.record(0, PageId(0));
+/// access.record(1, PageId(0));
+/// let cluster = ClusterConfig::new(1, 2)?;
+/// let d = sharing_degree(&access, &Mapping::stretch(&cluster));
+/// assert!((d - 2.0).abs() < 1e-12);
+/// # Ok::<(), acorr_sim::TopologyError>(())
+/// ```
+pub fn sharing_degree(access: &AccessMatrix, mapping: &Mapping) -> f64 {
+    let faults = access.total_observations();
+    let distinct: usize = node_page_unions(access, mapping)
+        .iter()
+        .map(|u| u.count())
+        .sum();
+    if distinct == 0 {
+        0.0
+    } else {
+        faults as f64 / distinct as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acorr_mem::PageId;
+    use acorr_sim::ClusterConfig;
+
+    #[test]
+    fn papers_worked_example() {
+        // §4.2: t1 → {x}, t2 → {x,y}, t3 → {y,z} on one node: 5 faults over
+        // 3 distinct pages = 1.67 ("1.7" in the paper).
+        let mut access = AccessMatrix::new(3, 4);
+        access.record(0, PageId(0));
+        access.record(1, PageId(0));
+        access.record(1, PageId(1));
+        access.record(2, PageId(1));
+        access.record(2, PageId(2));
+        let cluster = ClusterConfig::new(1, 3).unwrap();
+        let d = sharing_degree(&access, &Mapping::stretch(&cluster));
+        assert!((d - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_threads_have_degree_one() {
+        let mut access = AccessMatrix::new(4, 8);
+        for t in 0..4 {
+            access.record(t, PageId(t as u32));
+            access.record(t, PageId(4 + t as u32));
+        }
+        let cluster = ClusterConfig::new(2, 4).unwrap();
+        let d = sharing_degree(&access, &Mapping::stretch(&cluster));
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn degree_depends_on_placement() {
+        // Threads 0 and 1 share a page. Same node → 2 faults / 1 page = 2.
+        // Different nodes → 2 faults / 2 pages = 1.
+        let mut access = AccessMatrix::new(2, 2);
+        access.record(0, PageId(0));
+        access.record(1, PageId(0));
+        let one = ClusterConfig::new(1, 2).unwrap();
+        let two = ClusterConfig::new(2, 2).unwrap();
+        assert_eq!(sharing_degree(&access, &Mapping::stretch(&one)), 2.0);
+        assert_eq!(sharing_degree(&access, &Mapping::stretch(&two)), 1.0);
+    }
+
+    #[test]
+    fn empty_access_gives_zero() {
+        let access = AccessMatrix::new(2, 2);
+        let cluster = ClusterConfig::new(1, 2).unwrap();
+        assert_eq!(sharing_degree(&access, &Mapping::stretch(&cluster)), 0.0);
+    }
+
+    #[test]
+    fn unions_cover_exactly_touched_pages() {
+        let mut access = AccessMatrix::new(2, 4);
+        access.record(0, PageId(0));
+        access.record(1, PageId(3));
+        let cluster = ClusterConfig::new(2, 2).unwrap();
+        let unions = node_page_unions(&access, &Mapping::stretch(&cluster));
+        assert!(unions[0].contains(0) && !unions[0].contains(3));
+        assert!(unions[1].contains(3) && !unions[1].contains(0));
+    }
+}

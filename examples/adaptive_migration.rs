@@ -1,0 +1,113 @@
+//! Adapting to dynamic sharing patterns (the paper's §7 future work).
+//!
+//! The stretch heuristic only works for static sharing. This example builds
+//! an application whose partner structure *rotates* every few iterations,
+//! then compares three policies over the same run:
+//!
+//! 1. static stretch placement;
+//! 2. track once, place with min-cost, never adapt;
+//! 3. re-track periodically, age the correlations, re-place and migrate.
+//!
+//! Run with: `cargo run --release --example adaptive_migration`
+
+use active_correlation_tracking::dsm::{DsmError, Op, Program};
+use active_correlation_tracking::experiment::Workbench;
+use active_correlation_tracking::place::min_cost;
+use active_correlation_tracking::sim::Mapping;
+use active_correlation_tracking::track::{AgedCorrelation, CorrelationMatrix};
+
+/// Each thread owns one 2-page block and reads its current *partner*'s
+/// block; partners rotate every `phase_len` iterations.
+#[derive(Clone)]
+struct Rotating {
+    threads: usize,
+    phase_len: usize,
+}
+
+const BLOCK: u64 = 2 * 4096;
+
+impl Program for Rotating {
+    fn name(&self) -> &str {
+        "rotating-partners"
+    }
+    fn shared_bytes(&self) -> u64 {
+        self.threads as u64 * BLOCK
+    }
+    fn num_threads(&self) -> usize {
+        self.threads
+    }
+    fn script(&self, thread: usize, iteration: usize) -> Vec<Op> {
+        let phase = iteration / self.phase_len;
+        // Partner distance grows with the phase: 1, 2, 4, ... (cyclic).
+        let dist = 1usize << (phase % 4);
+        let partner = (thread + dist) % self.threads;
+        vec![
+            Op::read(partner as u64 * BLOCK, BLOCK),
+            Op::read(thread as u64 * BLOCK, BLOCK),
+            Op::compute(2_000_000),
+            Op::write(thread as u64 * BLOCK, BLOCK),
+        ]
+    }
+}
+
+fn main() -> Result<(), DsmError> {
+    let threads = 16;
+    let phase_len = 6;
+    let total_iters = 4 * phase_len; // four distinct phases
+    let bench = Workbench::new(4, threads)?;
+    let app = Rotating { threads, phase_len };
+
+    // Policy 1: static stretch.
+    let mut static_dsm = bench.dsm(app.clone(), Mapping::stretch(&bench.cluster))?;
+    let static_stats = static_dsm.run_iterations(total_iters)?;
+
+    // Policy 2: track once at the start, min-cost, never adapt.
+    let mut once_dsm = bench.dsm(app.clone(), Mapping::stretch(&bench.cluster))?;
+    let (_, access) = once_dsm.run_tracked_iteration()?;
+    let corr = CorrelationMatrix::from_access(&access);
+    once_dsm.migrate_to(min_cost(&corr, &bench.cluster))?;
+    let once_stats = once_dsm.run_iterations(total_iters - 1)?;
+
+    // Policy 3: re-track at each phase boundary, age, re-place, migrate.
+    let mut adaptive_dsm = bench.dsm(app, Mapping::stretch(&bench.cluster))?;
+    let mut aged = AgedCorrelation::new(threads, 0.25);
+    let mut adaptive_stats = active_correlation_tracking::dsm::IterStats::new();
+    let mut migrations = 0;
+    let mut iters_done = 0;
+    while iters_done < total_iters {
+        // One tracked iteration per phase (its cost is part of the total).
+        let (tracked, access) = adaptive_dsm.run_tracked_iteration()?;
+        adaptive_stats += tracked;
+        iters_done += 1;
+        aged.observe(&CorrelationMatrix::from_access(&access));
+        let target = min_cost(&aged.snapshot(), &bench.cluster);
+        migrations += adaptive_dsm.migrate_to(target)?.moved;
+        let rest = (phase_len - 1).min(total_iters - iters_done);
+        adaptive_stats += adaptive_dsm.run_iterations(rest)?;
+        iters_done += rest;
+    }
+
+    println!("rotating-partners, {threads} threads on 4 nodes, {total_iters} iterations:");
+    println!(
+        "  static stretch   : {:>8} remote misses, {}",
+        static_stats.remote_misses, static_stats.elapsed
+    );
+    println!(
+        "  track-once       : {:>8} remote misses, {}",
+        once_stats.remote_misses, once_stats.elapsed
+    );
+    println!(
+        "  adaptive (re-track every phase, {migrations} migrations): {:>8} remote misses, {}",
+        adaptive_stats.remote_misses, adaptive_stats.elapsed
+    );
+    assert!(
+        adaptive_stats.remote_misses < static_stats.remote_misses,
+        "adaptation must beat a static placement on a dynamic pattern"
+    );
+    println!(
+        "\nThe rotating pattern defeats any single placement; periodic\n\
+         re-tracking plus migration follows the phases — the min-cost path\n\
+         the paper prescribes for adaptive codes."
+    );
+    Ok(())
+}

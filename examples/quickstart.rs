@@ -1,0 +1,58 @@
+//! Quickstart: track an application, look at its sharing, and migrate it to
+//! a better placement.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use active_correlation_tracking::apps::Sor;
+use active_correlation_tracking::dsm::DsmError;
+use active_correlation_tracking::experiment::Workbench;
+use active_correlation_tracking::place::min_cost;
+use active_correlation_tracking::sim::Mapping;
+use active_correlation_tracking::track::{cut_cost, render_ascii, MapStyle};
+
+fn main() -> Result<(), DsmError> {
+    // A 16-thread SOR instance on a 4-node cluster.
+    let bench = Workbench::new(4, 16)?;
+    let app = || Sor::new(512, 512, 16);
+
+    // 1. One active-tracking phase yields exact per-thread access bitmaps
+    //    and the thread-correlation matrix.
+    let truth = bench.ground_truth(app)?;
+    println!("Correlation map (origin lower-left, darker = more sharing):");
+    println!("{}", render_ascii(&truth.corr, &MapStyle::default()));
+
+    // 2. Compare placements by cut cost before running anything.
+    let stretch = Mapping::stretch(&bench.cluster);
+    let scrambled = {
+        let mut rng = active_correlation_tracking::sim::DetRng::new(1);
+        stretch.permuted(&mut rng)
+    };
+    let better = min_cost(&truth.corr, &bench.cluster);
+    println!("cut(stretch)    = {}", cut_cost(&truth.corr, &stretch));
+    println!("cut(scrambled)  = {}", cut_cost(&truth.corr, &scrambled));
+    println!("cut(min-cost)   = {}", cut_cost(&truth.corr, &better));
+
+    // 3. Run the application under the scrambled placement, then migrate to
+    //    the min-cost mapping and watch remote misses drop.
+    let mut dsm = bench.dsm(app(), scrambled)?;
+    dsm.run_iterations(1)?; // cold start
+    let before = dsm.run_iterations(3)?;
+    let report = dsm.migrate_to(better)?;
+    dsm.run_iterations(1)?; // migrated threads re-cache their pages
+    let after = dsm.run_iterations(3)?;
+    println!(
+        "\nmigrated {} threads ({} KiB of stacks)",
+        report.moved,
+        report.bytes / 1024
+    );
+    println!(
+        "remote misses over 3 iterations: {} before -> {} after",
+        before.remote_misses, after.remote_misses
+    );
+    println!(
+        "simulated time over 3 iterations: {} -> {}",
+        before.elapsed, after.elapsed
+    );
+    assert!(after.remote_misses < before.remote_misses);
+    Ok(())
+}

@@ -1,0 +1,2 @@
+//! Root crate: re-exports the acorr facade for examples and integration tests.
+pub use acorr::*;

@@ -1,0 +1,71 @@
+//! The map-structure classifier (§3's by-eye judgement, mechanized) read
+//! against the real tracked applications at the paper's scale.
+
+use active_correlation_tracking::apps;
+use active_correlation_tracking::experiment::Workbench;
+use active_correlation_tracking::track::{compatible_node_sizes, profile_map, Structure};
+
+fn profile(name: &str, threads: usize) -> active_correlation_tracking::track::MapProfile {
+    let bench = Workbench::new(8, threads).unwrap();
+    let truth = bench
+        .ground_truth(|| apps::by_name(name, threads).unwrap())
+        .unwrap();
+    profile_map(&truth.corr)
+}
+
+#[test]
+fn sor_is_nearest_neighbor() {
+    let p = profile("SOR", 64);
+    assert!(
+        matches!(p.structure, Structure::NearestNeighbor { distance: 1 }),
+        "{p}"
+    );
+}
+
+#[test]
+fn fft_cluster_sizes_follow_the_input() {
+    // Table 4's progression, detected automatically.
+    let p6 = profile("FFT6", 64);
+    assert_eq!(p6.structure, Structure::Blocked { block: 8 }, "{p6}");
+    let p7 = profile("FFT7", 64);
+    assert_eq!(p7.structure, Structure::Blocked { block: 4 }, "{p7}");
+    let p8 = profile("FFT8", 64);
+    assert_eq!(p8.structure, Structure::Blocked { block: 2 }, "{p8}");
+}
+
+#[test]
+fn lu_blocks_are_grid_rows() {
+    let p = profile("LU2k", 64);
+    assert_eq!(p.structure, Structure::Blocked { block: 8 }, "{p}");
+}
+
+#[test]
+fn water_is_a_broad_band_not_blocks() {
+    let p = profile("Water", 64);
+    assert!(
+        !matches!(p.structure, Structure::Blocked { .. }),
+        "half-window sharing has no clean block edges: {p}"
+    );
+    assert!(p.density > 0.5, "most pairs share something: {p}");
+}
+
+#[test]
+fn ocean_has_dense_background() {
+    let p = profile("Ocean", 64);
+    assert!(p.density > 0.9, "{p}");
+}
+
+#[test]
+fn node_size_advice_matches_section3() {
+    // §3: a 32-thread LU2k with 8-thread sharing blocks communicates much
+    // more on 8 nodes (4 threads each) than on 4 nodes (8 threads each).
+    // The advisor must reject per-node sizes that split the blocks.
+    let p = profile("LU2k", 32);
+    if let Structure::Blocked { block } = p.structure {
+        let sizes = compatible_node_sizes(&p, 32);
+        assert!(sizes.contains(&8) || sizes.contains(&block));
+        assert!(!sizes.contains(&4) || block <= 4, "4/node splits {block}-blocks");
+    } else {
+        panic!("LU2k @32 threads should be blocked: {p}");
+    }
+}
