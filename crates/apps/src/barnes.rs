@@ -124,8 +124,7 @@ impl Program for Barnes {
         ops.push(Op::read(self.tree_base, TREE_BYTES));
         for d in 1..=2usize {
             for dir in [-1i64, 1] {
-                let nb = (thread as i64 + dir * d as i64)
-                    .rem_euclid(self.threads as i64) as usize;
+                let nb = (thread as i64 + dir * d as i64).rem_euclid(self.threads as i64) as usize;
                 if nb != thread {
                     let (a, l) = self.block_ops_for(nb);
                     ops.push(Op::read(a, l));

@@ -24,7 +24,7 @@ pub fn thread_grid(parts: usize) -> (usize, usize) {
     let mut best = (1, parts);
     let mut rows = 1;
     while rows * rows <= parts {
-        if parts % rows == 0 {
+        if parts.is_multiple_of(rows) {
             best = (rows, parts / rows);
         }
         rows += 1;

@@ -126,7 +126,7 @@ impl Program for Drift {
         ops.push(Op::read(own_addr, own_bytes));
         ops.push(Op::compute(own_particles * 1_500));
         ops.push(Op::write(own_addr, own_bytes));
-        if iteration % 4 == 0 {
+        if iteration.is_multiple_of(4) {
             let lock = LockId((thread % LOCKS) as u16);
             ops.push(Op::Lock(lock));
             ops.push(Op::read(self.globals_base, 64));

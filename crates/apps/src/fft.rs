@@ -123,13 +123,13 @@ impl Program for Fft {
         let row_bytes = self.block_bytes * t as u64;
         let own_src = self.block_addr(self.src_base, thread, 0);
         let own_dst = self.block_addr(self.dst_base, thread, 0);
-        let mut ops = Vec::new();
-
         // Phase 1: local FFT pass over the owned source row.
-        ops.push(Op::read(own_src, row_bytes));
-        ops.push(Op::compute(self.pass_ns()));
-        ops.push(Op::write(own_src, row_bytes));
-        ops.push(Op::Barrier);
+        let mut ops = vec![
+            Op::read(own_src, row_bytes),
+            Op::compute(self.pass_ns()),
+            Op::write(own_src, row_bytes),
+            Op::Barrier,
+        ];
 
         // Phase 2: transpose — read column `thread` of the source (one
         // block from every row), write the owned destination row.

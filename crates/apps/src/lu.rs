@@ -45,7 +45,10 @@ impl Lu {
     /// Panics if `n` is not a positive multiple of the 32-element block
     /// size, or if `threads` is zero.
     pub fn new(name: &str, n: usize, threads: usize) -> Self {
-        assert!(n > 0 && n % BLOCK == 0, "n must be a positive multiple of {BLOCK}");
+        assert!(
+            n > 0 && n.is_multiple_of(BLOCK),
+            "n must be a positive multiple of {BLOCK}"
+        );
         assert!(threads > 0, "threads must be positive");
         let (grid_rows, grid_cols) = crate::common::thread_grid(threads);
         let mut layout = SharedLayout::new();
@@ -84,8 +87,9 @@ impl Lu {
         let row_bytes = self.n as u64 * ELEM_BYTES;
         let seg = BLOCK as u64 * ELEM_BYTES;
         for r in 0..BLOCK {
-            let addr =
-                self.base + (bi * BLOCK + r) as u64 * row_bytes + bj as u64 * BLOCK as u64 * ELEM_BYTES;
+            let addr = self.base
+                + (bi * BLOCK + r) as u64 * row_bytes
+                + bj as u64 * BLOCK as u64 * ELEM_BYTES;
             if write {
                 ops.push(Op::write(addr, seg));
             } else {

@@ -53,7 +53,7 @@ impl Ocean {
     pub fn new(n: usize, threads: usize) -> Self {
         assert!(n > 0 && threads > 0, "degenerate Ocean");
         let dim = n + 2;
-        let (bands, cols) = if threads % 8 == 0 && threads >= 8 {
+        let (bands, cols) = if threads.is_multiple_of(8) && threads >= 8 {
             (8, threads / 8)
         } else {
             thread_grid(threads)
@@ -128,9 +128,7 @@ impl Ocean {
                 write_bytes,
             ));
         }
-        ops.push(Op::compute(
-            (rows.len() * cols.len()) as u64 * NS_PER_POINT,
-        ));
+        ops.push(Op::compute((rows.len() * cols.len()) as u64 * NS_PER_POINT));
     }
 
     /// Column-partition sweep: the thread reads and updates its column band

@@ -151,11 +151,7 @@ mod tests {
         let sor = Sor::new(64, 64, 8);
         let first = sor.script(0, 0);
         let last = sor.script(7, 0);
-        let count_reads = |s: &[Op]| {
-            s.iter()
-                .filter(|op| matches!(op, Op::Read { .. }))
-                .count()
-        };
+        let count_reads = |s: &[Op]| s.iter().filter(|op| matches!(op, Op::Read { .. })).count();
         let middle = sor.script(3, 0);
         assert_eq!(count_reads(&middle) - count_reads(&first), 2);
         assert_eq!(count_reads(&middle) - count_reads(&last), 2);

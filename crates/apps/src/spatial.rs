@@ -131,7 +131,10 @@ impl Spatial {
         for &cell in &owned_cells {
             ops.push(Op::write(self.cell_addr(cell), CELL_BYTES));
         }
-        for &cell in [owned_cells.first(), owned_cells.last()].into_iter().flatten() {
+        for &cell in [owned_cells.first(), owned_cells.last()]
+            .into_iter()
+            .flatten()
+        {
             let lock = LockId((cell % LOCKS) as u16);
             ops.push(Op::Lock(lock));
             ops.push(Op::write(self.cell_addr(cell) + 256, 64));
@@ -237,7 +240,8 @@ mod tests {
             ops.iter()
                 .filter_map(|op| match *op {
                     Op::Read { addr, len }
-                        if len == CELL_BYTES && addr >= s.cells_base
+                        if len == CELL_BYTES
+                            && addr >= s.cells_base
                             && addr < s.cells_base + CELLS as u64 * CELL_BYTES =>
                     {
                         Some(addr)
@@ -258,13 +262,9 @@ mod tests {
         for t in [0, 31, 63] {
             let script = s.script(t, 0);
             let locks = script.iter().filter(|o| matches!(o, Op::Lock(_))).count();
-            let unlocks = script
-                .iter()
-                .filter(|o| matches!(o, Op::Unlock(_)))
-                .count();
+            let unlocks = script.iter().filter(|o| matches!(o, Op::Unlock(_))).count();
             assert_eq!(locks, unlocks);
-            assert!(locks >
-                2, "per-cell locks plus the reduction");
+            assert!(locks > 2, "per-cell locks plus the reduction");
         }
     }
 

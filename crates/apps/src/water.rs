@@ -86,13 +86,13 @@ impl Program for Water {
         let own = block_range(self.mols, self.threads, thread);
         let own_addr = self.mol_addr(own.start);
         let own_bytes = own.len() as u64 * MOL_BYTES;
-        let mut ops = Vec::new();
-
         // Phase 1: predict — purely local update of owned molecules.
-        ops.push(Op::read(own_addr, own_bytes));
-        ops.push(Op::compute(own.len() as u64 * 2_000));
-        ops.push(Op::write(own_addr, own_bytes));
-        ops.push(Op::Barrier);
+        let mut ops = vec![
+            Op::read(own_addr, own_bytes),
+            Op::compute(own.len() as u64 * 2_000),
+            Op::write(own_addr, own_bytes),
+            Op::Barrier,
+        ];
 
         // Phase 2: intermolecular forces — half-interaction window. The
         // window is the cyclically-next half of the molecule array.
@@ -103,7 +103,10 @@ impl Program for Water {
         } else {
             let first = self.mols - start;
             ops.push(Op::read(self.mol_addr(start), first as u64 * MOL_BYTES));
-            ops.push(Op::read(self.mol_addr(0), (window - first) as u64 * MOL_BYTES));
+            ops.push(Op::read(
+                self.mol_addr(0),
+                (window - first) as u64 * MOL_BYTES,
+            ));
         }
         ops.push(Op::read(own_addr, own_bytes));
         let pairs = own.len() as u64 * window as u64;
@@ -115,7 +118,10 @@ impl Program for Water {
         } else {
             let first = self.mols - start;
             ops.push(Op::write(self.mol_addr(start), first as u64 * MOL_BYTES));
-            ops.push(Op::write(self.mol_addr(0), (window - first) as u64 * MOL_BYTES));
+            ops.push(Op::write(
+                self.mol_addr(0),
+                (window - first) as u64 * MOL_BYTES,
+            ));
         }
         ops.push(Op::write(own_addr, own_bytes));
         let lock = LockId((thread % LOCKS) as u16);
@@ -197,10 +203,7 @@ mod tests {
         for t in 0..16 {
             let script = w.script(t, 0);
             let locks = script.iter().filter(|o| matches!(o, Op::Lock(_))).count();
-            let unlocks = script
-                .iter()
-                .filter(|o| matches!(o, Op::Unlock(_)))
-                .count();
+            let unlocks = script.iter().filter(|o| matches!(o, Op::Unlock(_))).count();
             assert_eq!(locks, 1);
             assert_eq!(unlocks, 1);
         }

@@ -25,10 +25,17 @@ fn main() {
 
 fn tracking_fault_sweep() {
     println!("Ablation 1: tracking-fault cost vs tracked-iteration slowdown\n");
-    let mut table = Table::new(&["Fault cost", "SOR slowdown", "LU2k slowdown", "Water slowdown"]);
+    let mut table = Table::new(&[
+        "Fault cost",
+        "SOR slowdown",
+        "LU2k slowdown",
+        "Water slowdown",
+    ]);
     for us in [0u64, 20, 60, 120] {
-        let mut cost = CostModel::default();
-        cost.tracking_fault = SimDuration::from_micros(us);
+        let cost = CostModel {
+            tracking_fault: SimDuration::from_micros(us),
+            ..CostModel::default()
+        };
         let mut cells = vec![format!("{us} us")];
         for name in ["SOR", "LU2k", "Water"] {
             let bench = Workbench::new(8, 64).expect("cluster");
@@ -55,8 +62,10 @@ fn latency_sweep() {
         "time ratio",
     ]);
     for us in [20u64, 60, 180] {
-        let mut net = NetworkModel::default();
-        net.latency = SimDuration::from_micros(us);
+        let net = NetworkModel {
+            latency: SimDuration::from_micros(us),
+            ..NetworkModel::default()
+        };
         let bench = Workbench::new(8, 64).expect("cluster");
         let cluster = bench.cluster;
         let bench = bench.with_config(DsmConfig::new(cluster).with_network(net));
@@ -83,12 +92,17 @@ fn latency_sweep() {
 
 fn gc_sweep() {
     println!("Ablation 3: GC threshold vs Ocean coherence behaviour (8 iters)\n");
-    let mut table = Table::new(&["GC threshold", "GC runs", "Remote misses", "Diff MB", "Time"]);
+    let mut table = Table::new(&[
+        "GC threshold",
+        "GC runs",
+        "Remote misses",
+        "Diff MB",
+        "Time",
+    ]);
     for threshold in [2_000usize, 16_384, usize::MAX / 2] {
         let bench = Workbench::new(8, 64).expect("cluster");
         let cluster = bench.cluster;
-        let bench =
-            bench.with_config(DsmConfig::new(cluster).with_gc_threshold(threshold));
+        let bench = bench.with_config(DsmConfig::new(cluster).with_gc_threshold(threshold));
         let mapping = acorr::sim::Mapping::stretch(&cluster);
         let mut dsm = bench
             .dsm(apps::by_name("Ocean", 64).expect("known app"), mapping)

@@ -23,9 +23,14 @@ fn main() {
         "Drift: 2048 particles, 64 threads on 8 nodes, partner offset jumps\n\
          every {period} iterations, {total} iterations total\n"
     );
-    for (label, latency_us) in [("Myrinet-class (60 us latency)", 60u64), ("commodity Ethernet-class (400 us latency)", 400)] {
-        let mut net = NetworkModel::default();
-        net.latency = SimDuration::from_micros(latency_us);
+    for (label, latency_us) in [
+        ("Myrinet-class (60 us latency)", 60u64),
+        ("commodity Ethernet-class (400 us latency)", 400),
+    ] {
+        let net = NetworkModel {
+            latency: SimDuration::from_micros(latency_us),
+            ..NetworkModel::default()
+        };
         let bench = Workbench::new(8, 64).expect("8x64 cluster");
         let cluster = bench.cluster;
         let bench = bench.with_config(DsmConfig::new(cluster).with_network(net));
@@ -36,8 +41,8 @@ fn main() {
         println!("{study}");
         let vs_static = study.static_stats.remote_misses as f64
             / study.adaptive_stats.remote_misses.max(1) as f64;
-        let time_ratio = study.static_stats.elapsed.as_secs_f64()
-            / study.adaptive_stats.elapsed.as_secs_f64();
+        let time_ratio =
+            study.static_stats.elapsed.as_secs_f64() / study.adaptive_stats.elapsed.as_secs_f64();
         println!(
             "  -> adaptive: {vs_static:.1}x fewer remote misses, {time_ratio:.2}x end-to-end speedup\n"
         );

@@ -6,18 +6,28 @@
 //! information gathered after each round, plus the thread migrations per
 //! round — the "ping-ponging" the paper describes.
 //!
-//! Usage: `figure2 [--rounds N]` (default 10).
+//! The migration rounds of one study are inherently sequential (each round
+//! migrates before the next observes), so parallelism comes from fanning
+//! the applications out across pool workers; output is printed in app order
+//! and is bit-identical at any `--threads` value.
+//!
+//! Usage: `figure2 [--rounds N] [--threads T]` (defaults: 10 rounds, all
+//! available worker threads).
 
 use acorr::apps;
 use acorr::experiment::Workbench;
+use acorr::sim::{par_map_indexed, resolve_threads};
 use acorr_bench::{arg_usize, write_artifact, Table};
 
 const FIGURE2_APPS: [&str; 6] = ["Barnes", "FFT7", "LU2k", "Ocean", "SOR", "Water"];
 
 fn main() {
     let rounds = arg_usize("--rounds", 10);
-    let bench = Workbench::new(8, 64).expect("8x64 cluster");
-    println!("Figure 2: passive information-gathering ({rounds} migration rounds)\n");
+    let threads = resolve_threads(arg_usize("--threads", 0));
+    println!(
+        "Figure 2: passive information-gathering ({rounds} migration rounds, \
+         {threads} worker thread(s))\n"
+    );
 
     let mut header: Vec<String> = vec!["App".to_string()];
     header.extend((1..=rounds).map(|r| format!("r{r}")));
@@ -25,17 +35,21 @@ fn main() {
     let mut table = Table::new(&header_refs);
     let mut csv = String::from("app,round,completeness,moves\n");
 
-    for name in FIGURE2_APPS {
-        let study = bench
-            .passive_study(|| apps::by_name(name, 64).expect("known app"), rounds)
-            .expect("passive study");
+    let per_app = (threads / FIGURE2_APPS.len()).max(1);
+    let studies = par_map_indexed(
+        threads.min(FIGURE2_APPS.len()),
+        FIGURE2_APPS.to_vec(),
+        |_, name| {
+            Workbench::new(8, 64)
+                .expect("8x64 cluster")
+                .with_threads(per_app)
+                .passive_study(|| apps::by_name(name, 64).expect("known app"), rounds)
+                .expect("passive study")
+        },
+    );
+    for (name, study) in FIGURE2_APPS.into_iter().zip(studies) {
         let mut cells = vec![name.to_string()];
-        for (r, (c, m)) in study
-            .completeness
-            .iter()
-            .zip(&study.moves)
-            .enumerate()
-        {
+        for (r, (c, m)) in study.completeness.iter().zip(&study.moves).enumerate() {
             cells.push(format!("{:.0}%", c * 100.0));
             csv.push_str(&format!("{name},{},{c:.4},{m}\n", r + 1));
         }

@@ -19,7 +19,7 @@ fn main() {
 
     let four = ClusterConfig::new(4, 32).expect("4 nodes");
     let eight = ClusterConfig::new(8, 32).expect("8 nodes");
-    let mut rng = DetRng::new(0xF16_3);
+    let mut rng = DetRng::new(0xF163);
     let configs = [
         ("(a) 4 nodes, stretch", Mapping::stretch(&four)),
         ("(b) 8 nodes, stretch", Mapping::stretch(&eight)),

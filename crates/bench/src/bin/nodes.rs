@@ -18,6 +18,7 @@ use acorr_bench::arg_usize;
 
 fn main() {
     let iters = arg_usize("--iters", 10);
+    let jobs = arg_usize("--threads", 0); // 0 = available parallelism
     for name in ["LU2k", "FFT6"] {
         println!("--- {name}, 32 threads, stretch placement, {iters} iterations ---");
         let rows = node_count_study(
@@ -25,6 +26,7 @@ fn main() {
             32,
             &[2, 4, 8],
             iters,
+            jobs,
         )
         .expect("study");
         for row in &rows {

@@ -8,22 +8,29 @@
 //! Also writes the per-application Figure 1 scatter data to
 //! `results/figure1_<app>.csv`.
 //!
-//! Usage: `table2 [--samples N] [--iters M]` (defaults: 300 samples, 1
-//! measured iteration per sample, as one iteration is the app's natural
-//! unit of work).
+//! Applications fan out across pool workers and each application's samples
+//! fan out across its workbench's share of the remaining threads; output is
+//! bit-identical at any `--threads` value (see `acorr::sim::pool`).
+//!
+//! Usage: `table2 [--samples N] [--iters M] [--threads T]` (defaults: 300
+//! samples, 1 measured iteration per sample — one iteration is the app's
+//! natural unit of work — and all available worker threads; `--threads 1`
+//! is the exact sequential path).
 
 use acorr::apps;
 use acorr::experiment::Workbench;
+use acorr::sim::{par_map_indexed, resolve_threads};
 use acorr_bench::{arg_usize, write_artifact, Table};
 
 fn main() {
     let samples = arg_usize("--samples", 300);
     let iters = arg_usize("--iters", 1);
-    let bench = Workbench::new(8, 64).expect("8x64 cluster");
+    let threads = resolve_threads(arg_usize("--threads", 0));
 
     println!(
         "Table 2: remote misses as a function of cut cost\n\
-         ({samples} random configurations per application, {iters} measured iteration(s) each)\n"
+         ({samples} random configurations per application, {iters} measured iteration(s) each,\n\
+         {threads} worker thread(s))\n"
     );
     let mut table = Table::new(&[
         "App",
@@ -43,10 +50,25 @@ fn main() {
         ("SOR", 4.100, 0.961),
         ("Water", 0.402, 0.779),
     ];
-    for &(name, paper_slope, paper_r) in paper {
-        let study = bench
-            .cutcost_study(|| apps::by_name(name, 64).expect("known app"), samples, iters)
-            .expect("study");
+    // One pool worker per application; each application's workbench gets an
+    // equal share of the remaining threads for its sample fan-out.
+    let per_app = (threads / paper.len()).max(1);
+    let studies = par_map_indexed(
+        threads.min(paper.len()),
+        paper.to_vec(),
+        |_, (name, _, _)| {
+            Workbench::new(8, 64)
+                .expect("8x64 cluster")
+                .with_threads(per_app)
+                .cutcost_study(
+                    || apps::by_name(name, 64).expect("known app"),
+                    samples,
+                    iters,
+                )
+                .expect("study")
+        },
+    );
+    for (&(name, paper_slope, paper_r), study) in paper.iter().zip(studies) {
         let fit = study.fit.expect("non-degenerate fit");
         table.row(&[
             name.to_string(),

@@ -24,10 +24,16 @@ fn main() {
             println!("{}", render_ascii(&truth.corr, &MapStyle::default()));
             println!("  detected structure: {}", profile_map(&truth.corr));
             let stem = format!("{name}_{threads}");
-            std::fs::write(maps_dir.join(format!("{stem}.pgm")), render_pgm(&truth.corr))
-                .expect("write pgm");
-            std::fs::write(maps_dir.join(format!("{stem}.csv")), render_csv(&truth.corr))
-                .expect("write csv");
+            std::fs::write(
+                maps_dir.join(format!("{stem}.pgm")),
+                render_pgm(&truth.corr),
+            )
+            .expect("write pgm");
+            std::fs::write(
+                maps_dir.join(format!("{stem}.csv")),
+                render_csv(&truth.corr),
+            )
+            .expect("write csv");
             std::fs::write(
                 maps_dir.join(format!("{stem}.svg")),
                 render_svg(&truth.corr, &MapStyle::default()),

@@ -12,12 +12,14 @@ use acorr::mem::PAGE_SIZE;
 use acorr::track::{profile_map, render_ascii, render_pgm, MapStyle};
 use acorr_bench::results_dir;
 
+type FftVariant = (&'static str, fn(usize) -> Fft);
+
 fn main() {
     let maps_dir = results_dir().join("maps");
     std::fs::create_dir_all(&maps_dir).expect("create maps dir");
     let bench = Workbench::new(8, 64).expect("cluster");
     println!("Table 4: 64-thread FFT versus input set\n");
-    let variants: [(&str, fn(usize) -> Fft); 3] = [
+    let variants: [FftVariant; 3] = [
         ("FFT6", Fft::paper6),
         ("FFT7", Fft::paper7),
         ("FFT8", Fft::paper8),

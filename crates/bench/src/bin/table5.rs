@@ -4,10 +4,17 @@
 //! at the same iteration index on twin instances), the percent slowdown,
 //! tracking and coherence fault counts during the tracked iteration, and
 //! the sharing degree.
+//!
+//! Applications fan out across pool workers (each one also runs its twin
+//! instances on two workers when threads allow); rows are printed in suite
+//! order and are bit-identical at any `--threads` value.
+//!
+//! Usage: `table5 [--threads T]` (default: all available worker threads).
 
 use acorr::apps;
 use acorr::experiment::Workbench;
-use acorr_bench::Table;
+use acorr::sim::{par_map_indexed, resolve_threads};
+use acorr_bench::{arg_usize, Table};
 
 fn paper_row(name: &str) -> (f64, f64, u64, u64, f64) {
     // (off secs, slowdown %, tracking faults, coherence faults, degree)
@@ -27,8 +34,10 @@ fn paper_row(name: &str) -> (f64, f64, u64, u64, f64) {
 }
 
 fn main() {
-    let bench = Workbench::new(8, 64).expect("8x64 cluster");
-    println!("Table 5: 64-thread tracking overhead (8 threads per node)\n");
+    let threads = resolve_threads(arg_usize("--threads", 0));
+    println!(
+        "Table 5: 64-thread tracking overhead (8 threads per node, {threads} worker thread(s))\n"
+    );
     let mut table = Table::new(&[
         "App",
         "Off (s)",
@@ -39,10 +48,16 @@ fn main() {
         "Degree",
         "[paper: slow%/track/degree]",
     ]);
-    for name in apps::SUITE_NAMES {
-        let row = bench
+    let suite: Vec<&str> = apps::SUITE_NAMES.to_vec();
+    let per_app = (threads / suite.len()).max(1);
+    let rows = par_map_indexed(threads.min(suite.len()), suite.clone(), |_, name| {
+        Workbench::new(8, 64)
+            .expect("8x64 cluster")
+            .with_threads(per_app)
             .tracking_overhead(|| apps::by_name(name, 64).expect("known app"))
-            .expect("overhead run");
+            .expect("overhead run")
+    });
+    for (name, row) in suite.into_iter().zip(rows) {
         let (_, p_slow, p_track, _, p_deg) = paper_row(name);
         table.row(&[
             name.to_string(),

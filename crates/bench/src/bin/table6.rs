@@ -5,21 +5,29 @@
 //! placement ("ran"), reporting time, remote misses, total and diff
 //! megabytes, and the cut cost of the placement.
 //!
-//! Usage: `table6 [--iters N]` (default: each application's natural
-//! iteration count).
+//! Applications fan out across pool workers, and each application's two
+//! strategy runs fan out across its workbench's thread share; rows are
+//! printed in table order and are bit-identical at any `--threads` value.
+//!
+//! Usage: `table6 [--iters N] [--threads T]` (defaults: each application's
+//! natural iteration count, all available worker threads).
 
 use acorr::apps;
 use acorr::dsm::Program;
 use acorr::experiment::Workbench;
 use acorr::place::Strategy;
+use acorr::sim::{par_map_indexed, resolve_threads};
 use acorr_bench::{arg_usize, Table};
 
 const TABLE6_APPS: [&str; 7] = ["Barnes", "FFT7", "LU1k", "Ocean", "Spatial", "SOR", "Water"];
 
 fn main() {
     let iters_override = arg_usize("--iters", 0);
-    let bench = Workbench::new(8, 64).expect("8x64 cluster");
-    println!("Table 6: 8-node performance by heuristic (m-c = min-cost, ran = random)\n");
+    let threads = resolve_threads(arg_usize("--threads", 0));
+    println!(
+        "Table 6: 8-node performance by heuristic (m-c = min-cost, ran = random, \
+         {threads} worker thread(s))\n"
+    );
     let mut table = Table::new(&[
         "App",
         "Strategy",
@@ -29,20 +37,29 @@ fn main() {
         "Diff MB",
         "Cut cost",
     ]);
-    for name in TABLE6_APPS {
-        let app = apps::by_name(name, 64).expect("known app");
-        let iters = if iters_override > 0 {
-            iters_override
-        } else {
-            app.default_iterations()
-        };
-        let rows = bench
-            .heuristic_comparison(
-                || apps::by_name(name, 64).expect("known app"),
-                &[Strategy::MinCost, Strategy::RandomBalanced],
-                iters,
-            )
-            .expect("comparison run");
+    let per_app = (threads / TABLE6_APPS.len()).max(1);
+    let app_rows = par_map_indexed(
+        threads.min(TABLE6_APPS.len()),
+        TABLE6_APPS.to_vec(),
+        |_, name| {
+            let app = apps::by_name(name, 64).expect("known app");
+            let iters = if iters_override > 0 {
+                iters_override
+            } else {
+                app.default_iterations()
+            };
+            Workbench::new(8, 64)
+                .expect("8x64 cluster")
+                .with_threads(per_app)
+                .heuristic_comparison(
+                    || apps::by_name(name, 64).expect("known app"),
+                    &[Strategy::MinCost, Strategy::RandomBalanced],
+                    iters,
+                )
+                .expect("comparison run")
+        },
+    );
+    for (name, rows) in TABLE6_APPS.into_iter().zip(app_rows) {
         for row in rows {
             let label = match row.strategy {
                 Strategy::MinCost => "m-c",

@@ -19,6 +19,33 @@
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Wall-clock measurement of one call to `f`, returning its result and the
+/// elapsed time. The criterion micro-benches stay behind the `criterion`
+/// feature; this plain harness is what the offline `perf` binary and the
+/// PR-gating speedup checks use.
+pub fn time_fn<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let result = f();
+    (result, start.elapsed())
+}
+
+/// Runs `f` once to warm up, then `reps` measured times, returning the best
+/// (minimum) wall-clock duration — the standard noise-resistant estimator
+/// for a deterministic workload.
+///
+/// # Panics
+///
+/// Panics if `reps` is zero.
+pub fn best_of(reps: usize, mut f: impl FnMut()) -> Duration {
+    assert!(reps > 0, "need at least one measured rep");
+    f(); // warm-up: page in code and data, fill allocator pools
+    (0..reps)
+        .map(|_| time_fn(&mut f).1)
+        .min()
+        .expect("reps > 0")
+}
 
 /// Directory where binaries drop their artifacts (created on demand).
 ///
@@ -197,5 +224,25 @@ mod tests {
     #[test]
     fn arg_parsing_falls_back_to_default() {
         assert_eq!(arg_usize("--definitely-not-passed", 42), 42);
+    }
+
+    #[test]
+    fn time_fn_returns_result_and_duration() {
+        let (value, elapsed) = time_fn(|| 6 * 7);
+        assert_eq!(value, 42);
+        assert!(elapsed.as_nanos() > 0 || elapsed.is_zero());
+    }
+
+    #[test]
+    fn best_of_runs_warmup_plus_reps() {
+        let mut calls = 0;
+        let _ = best_of(3, || calls += 1);
+        assert_eq!(calls, 4, "one warm-up plus three measured reps");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one measured rep")]
+    fn best_of_rejects_zero_reps() {
+        best_of(0, || {});
     }
 }

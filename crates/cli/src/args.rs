@@ -59,9 +59,7 @@ impl Args {
     pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|e| format!("--{key} {v}: {e}")),
+            Some(v) => v.parse().map_err(|e| format!("--{key} {v}: {e}")),
         }
     }
 

@@ -14,6 +14,14 @@
 //!
 //! Every command is a thin composition of public library calls — the CLI is
 //! also living documentation of the API.
+//!
+//! Commands that run experiments accept `--jobs N`, the worker-thread count
+//! of the deterministic parallel runner (`--threads` already names the
+//! *simulated application* thread count, so the host-parallelism flag is
+//! spelled `--jobs`). The default `0` uses all available cores; `--jobs 1`
+//! is the exact sequential path. Results are bit-identical either way —
+//! every sample forks its own RNG stream and results are collected in
+//! index order (see `acorr::sim::pool`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -65,6 +73,9 @@ USAGE:
 
 Strategies: stretch, random, min-cost, jarvis-patrick, anneal, optimal
 Defaults: --threads 64 --nodes 8 --strategy min-cost --format ascii
+Parallelism: every experiment command takes --jobs N (worker threads for the
+deterministic parallel runner; 0 = all cores, 1 = sequential; --threads is
+the simulated app thread count). Output is bit-identical at any --jobs.
 "
     .to_owned()
 }
@@ -89,6 +100,11 @@ fn strategy_of(name: &str) -> Result<Strategy, String> {
         "optimal" => Strategy::Optimal,
         other => return Err(format!("unknown strategy `{other}`")),
     })
+}
+
+/// The `--jobs` option: pool worker threads (0 = available parallelism).
+fn jobs_of(args: &Args) -> Result<usize, String> {
+    args.get_usize("jobs", 0)
 }
 
 fn app_factory(args: &Args) -> Result<(String, usize), String> {
@@ -116,7 +132,9 @@ fn correlations(args: &Args) -> Result<(String, CorrelationMatrix), String> {
     } else {
         let (name, threads) = app_factory(args)?;
         let nodes = args.get_usize("nodes", 8)?;
-        let bench = Workbench::new(nodes, threads).map_err(|e| e.to_string())?;
+        let bench = Workbench::new(nodes, threads)
+            .map_err(|e| e.to_string())?
+            .with_threads(jobs_of(args)?);
         let truth = bench
             .ground_truth(|| build(&name, threads))
             .map_err(|e| e.to_string())?;
@@ -126,7 +144,7 @@ fn correlations(args: &Args) -> Result<(String, CorrelationMatrix), String> {
 
 fn track(args: &Args) -> Result<String, String> {
     if let Some(unknown) = args
-        .unknown_keys(&["app", "threads", "nodes", "format", "out"])
+        .unknown_keys(&["app", "threads", "nodes", "format", "out", "jobs"])
         .first()
     {
         return Err(format!("unknown flag --{unknown}"));
@@ -163,8 +181,8 @@ fn profile(args: &Args) -> Result<String, String> {
 fn place_cmd(args: &Args) -> Result<String, String> {
     let (label, corr) = correlations(args)?;
     let nodes = args.get_usize("nodes", 8)?;
-    let cluster = acorr::sim::ClusterConfig::new(nodes, corr.num_threads())
-        .map_err(|e| e.to_string())?;
+    let cluster =
+        acorr::sim::ClusterConfig::new(nodes, corr.num_threads()).map_err(|e| e.to_string())?;
     let strategy = strategy_of(args.get_or("strategy", "min-cost"))?;
     let mut rng = DetRng::new(args.get_usize("seed", 42)? as u64);
     let mapping = place(strategy, &corr, &cluster, &mut rng);
@@ -179,7 +197,9 @@ fn run_cmd(args: &Args) -> Result<String, String> {
     let nodes = args.get_usize("nodes", 8)?;
     let iters = args.get_usize("iters", 10)?;
     let strategy = strategy_of(args.get_or("strategy", "min-cost"))?;
-    let bench = Workbench::new(nodes, threads).map_err(|e| e.to_string())?;
+    let bench = Workbench::new(nodes, threads)
+        .map_err(|e| e.to_string())?
+        .with_threads(jobs_of(args)?);
     let rows = bench
         .heuristic_comparison(|| build(&name, threads), &[strategy], iters)
         .map_err(|e| e.to_string())?;
@@ -191,7 +211,9 @@ fn hot(args: &Args) -> Result<String, String> {
     let (name, threads) = app_factory(args)?;
     let nodes = args.get_usize("nodes", 8)?;
     let k = args.get_usize("k", 10)?;
-    let bench = Workbench::new(nodes, threads).map_err(|e| e.to_string())?;
+    let bench = Workbench::new(nodes, threads)
+        .map_err(|e| e.to_string())?
+        .with_threads(jobs_of(args)?);
     let truth = bench
         .ground_truth(|| build(&name, threads))
         .map_err(|e| e.to_string())?;
@@ -202,7 +224,9 @@ fn hot(args: &Args) -> Result<String, String> {
 fn overhead(args: &Args) -> Result<String, String> {
     let (name, threads) = app_factory(args)?;
     let nodes = args.get_usize("nodes", 8)?;
-    let bench = Workbench::new(nodes, threads).map_err(|e| e.to_string())?;
+    let bench = Workbench::new(nodes, threads)
+        .map_err(|e| e.to_string())?
+        .with_threads(jobs_of(args)?);
     let row = bench
         .tracking_overhead(|| build(&name, threads))
         .map_err(|e| e.to_string())?;
@@ -250,15 +274,30 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("corr.csv");
         let out = cli(&[
-            "track", "--app", "FFT6", "--threads", "16", "--nodes", "4", "--format", "csv",
-            "--out", path.to_str().unwrap(),
+            "track",
+            "--app",
+            "FFT6",
+            "--threads",
+            "16",
+            "--nodes",
+            "4",
+            "--format",
+            "csv",
+            "--out",
+            path.to_str().unwrap(),
         ])
         .unwrap();
         assert!(out.contains("wrote"));
         let prof = cli(&["profile", "--csv", path.to_str().unwrap()]).unwrap();
         assert!(prof.contains("compatible per-node thread counts"));
         let placed = cli(&[
-            "place", "--csv", path.to_str().unwrap(), "--nodes", "4", "--strategy", "min-cost",
+            "place",
+            "--csv",
+            path.to_str().unwrap(),
+            "--nodes",
+            "4",
+            "--strategy",
+            "min-cost",
         ])
         .unwrap();
         assert!(placed.contains("cut cost:"), "{placed}");
@@ -267,8 +306,17 @@ mod tests {
     #[test]
     fn run_reports_a_table6_style_row() {
         let out = cli(&[
-            "run", "--app", "Water", "--threads", "8", "--nodes", "2", "--iters", "2",
-            "--strategy", "stretch",
+            "run",
+            "--app",
+            "Water",
+            "--threads",
+            "8",
+            "--nodes",
+            "2",
+            "--iters",
+            "2",
+            "--strategy",
+            "stretch",
         ])
         .unwrap();
         assert!(out.contains("stretch"), "{out}");
@@ -283,8 +331,18 @@ mod tests {
 
     #[test]
     fn hot_lists_hot_pages() {
-        let out = cli(&["hot", "--app", "Water", "--threads", "8", "--nodes", "2", "--k", "3"])
-            .unwrap();
+        let out = cli(&[
+            "hot",
+            "--app",
+            "Water",
+            "--threads",
+            "8",
+            "--nodes",
+            "2",
+            "--k",
+            "3",
+        ])
+        .unwrap();
         assert!(out.contains("touched pages"), "{out}");
         assert!(out.contains("sharers"));
     }
@@ -299,7 +357,15 @@ mod tests {
     #[test]
     fn bad_strategy_is_reported() {
         let err = cli(&[
-            "place", "--app", "SOR", "--threads", "8", "--nodes", "2", "--strategy", "magic",
+            "place",
+            "--app",
+            "SOR",
+            "--threads",
+            "8",
+            "--nodes",
+            "2",
+            "--strategy",
+            "magic",
         ])
         .unwrap_err();
         assert!(err.contains("magic"));
@@ -307,8 +373,18 @@ mod tests {
 
     #[test]
     fn drift_is_available_to_the_cli() {
-        let out = cli(&["run", "--app", "Drift", "--threads", "8", "--nodes", "2", "--iters", "2"])
-            .unwrap();
+        let out = cli(&[
+            "run",
+            "--app",
+            "Drift",
+            "--threads",
+            "8",
+            "--nodes",
+            "2",
+            "--iters",
+            "2",
+        ])
+        .unwrap();
         assert!(out.contains("Drift"), "{out}");
     }
 }

@@ -16,7 +16,10 @@
 use acorr_dsm::{Dsm, DsmConfig, DsmError, IterStats, Program};
 use acorr_mem::AccessMatrix;
 use acorr_place::{min_cost, place, Strategy};
-use acorr_sim::{linear_fit, ClusterConfig, DetRng, LinearFit, Mapping, SimDuration};
+use acorr_sim::{
+    linear_fit, par_map_indexed, par_map_range, ClusterConfig, DetRng, LinearFit, Mapping,
+    SimDuration,
+};
 use acorr_track::{cut_cost, has_shifted, sharing_degree, AgedCorrelation, CorrelationMatrix};
 use std::fmt;
 
@@ -29,6 +32,11 @@ pub struct Workbench {
     pub config: DsmConfig,
     /// Root seed for randomized methodology (forked per use).
     pub seed: u64,
+    /// Worker threads for the randomized drivers (1 = sequential). Every
+    /// sample forks its own RNG stream from `seed` up-front and results are
+    /// collected in index order, so output is bit-identical at any worker
+    /// count (see [`acorr_sim::pool`]).
+    pub threads: usize,
 }
 
 impl Workbench {
@@ -43,7 +51,8 @@ impl Workbench {
         Ok(Workbench {
             cluster,
             config: DsmConfig::new(cluster),
-            seed: 0xAC0_44,
+            seed: 0x000A_C044,
+            threads: 1,
         })
     }
 
@@ -51,6 +60,15 @@ impl Workbench {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count for the randomized drivers (`0` means
+    /// the host's available parallelism, `1` exact sequential execution —
+    /// results are bit-identical either way).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = acorr_sim::resolve_threads(threads);
         self
     }
 
@@ -84,24 +102,47 @@ impl Workbench {
     /// difference is attributable to the tracking mechanism alone. (With a
     /// single instance, periodic GC makes adjacent iterations incomparable.)
     ///
+    /// The twins are fully independent DSM instances, so with `threads >= 2`
+    /// they run on two pool workers; the result is bit-identical to the
+    /// sequential order.
+    ///
     /// # Errors
     ///
     /// Propagates engine errors.
     pub fn ground_truth<P, F>(&self, factory: F) -> Result<GroundTruth, DsmError>
     where
         P: Program,
-        F: Fn() -> P,
+        F: Fn() -> P + Sync,
     {
+        enum Twin {
+            Off(Box<IterStats>),
+            On(Box<(IterStats, AccessMatrix, String)>),
+        }
         let mapping = Mapping::stretch(&self.cluster);
-        // Twin A: tracking off at the measured iteration.
-        let mut off_dsm = self.dsm(factory(), mapping.clone())?;
-        off_dsm.run_iterations(Self::WARMUP)?;
-        let baseline = off_dsm.run_iterations(1)?;
-        // Twin B: tracking on at the same iteration.
-        let mut on_dsm = self.dsm(factory(), mapping.clone())?;
-        on_dsm.run_iterations(Self::WARMUP)?;
-        let (tracked, access) = on_dsm.run_tracked_iteration()?;
-        let name = on_dsm.program().name().to_owned();
+        let mut twins = par_map_range(self.threads.min(2), 2, |which| -> Result<Twin, DsmError> {
+            if which == 0 {
+                // Twin A: tracking off at the measured iteration.
+                let mut off_dsm = self.dsm(factory(), mapping.clone())?;
+                off_dsm.run_iterations(Self::WARMUP)?;
+                Ok(Twin::Off(Box::new(off_dsm.run_iterations(1)?)))
+            } else {
+                // Twin B: tracking on at the same iteration.
+                let mut on_dsm = self.dsm(factory(), mapping.clone())?;
+                on_dsm.run_iterations(Self::WARMUP)?;
+                let (tracked, access) = on_dsm.run_tracked_iteration()?;
+                let name = on_dsm.program().name().to_owned();
+                Ok(Twin::On(Box::new((tracked, access, name))))
+            }
+        })
+        .into_iter();
+        let baseline = match twins.next().expect("two twins")? {
+            Twin::Off(stats) => *stats,
+            Twin::On(_) => unreachable!("index 0 is the tracking-off twin"),
+        };
+        let (tracked, access, name) = match twins.next().expect("two twins")? {
+            Twin::On(boxed) => *boxed,
+            Twin::Off(_) => unreachable!("index 1 is the tracking-on twin"),
+        };
         let corr = CorrelationMatrix::from_access(&access);
         Ok(GroundTruth {
             app: name,
@@ -122,7 +163,7 @@ impl Workbench {
     pub fn tracking_overhead<P, F>(&self, factory: F) -> Result<TrackingOverheadRow, DsmError>
     where
         P: Program,
-        F: Fn() -> P,
+        F: Fn() -> P + Sync,
     {
         let truth = self.ground_truth(&factory)?;
         let off = truth.baseline.elapsed;
@@ -152,6 +193,11 @@ impl Workbench {
     /// Each sample runs `measure_iters` measured iterations after one
     /// cold-start warm-up.
     ///
+    /// Samples are independent by construction — sample `s` draws only from
+    /// the RNG stream forked as `rng.fork(s)` — so they fan out across the
+    /// workbench's worker threads and are collected in index order; the
+    /// study (samples, fit, CSV) is bit-identical at any thread count.
+    ///
     /// # Errors
     ///
     /// Propagates engine errors.
@@ -163,22 +209,27 @@ impl Workbench {
     ) -> Result<CutCostStudy, DsmError>
     where
         P: Program,
-        F: Fn() -> P,
+        F: Fn() -> P + Sync,
     {
         let truth = self.ground_truth(&factory)?;
         let rng = DetRng::new(self.seed).fork(0x7AB2);
-        let mut points = Vec::with_capacity(samples);
-        for s in 0..samples {
-            let mapping = Mapping::random_min_two(&self.cluster, &mut rng.fork(s as u64));
-            let cut = cut_cost(&truth.corr, &mapping);
-            let mut dsm = self.dsm(factory(), mapping)?;
-            dsm.run_iterations(1)?; // cold-start warm-up
-            let stats = dsm.run_iterations(measure_iters)?;
-            points.push(CutCostSample {
-                cut_cost: cut,
-                remote_misses: stats.remote_misses,
-            });
-        }
+        let points: Vec<CutCostSample> = par_map_range(
+            self.threads,
+            samples,
+            |s| -> Result<CutCostSample, DsmError> {
+                let mapping = Mapping::random_min_two(&self.cluster, &mut rng.fork(s as u64));
+                let cut = cut_cost(&truth.corr, &mapping);
+                let mut dsm = self.dsm(factory(), mapping)?;
+                dsm.run_iterations(1)?; // cold-start warm-up
+                let stats = dsm.run_iterations(measure_iters)?;
+                Ok(CutCostSample {
+                    cut_cost: cut,
+                    remote_misses: stats.remote_misses,
+                })
+            },
+        )
+        .into_iter()
+        .collect::<Result<_, _>>()?;
         let xs: Vec<f64> = points.iter().map(|p| p.cut_cost as f64).collect();
         let ys: Vec<f64> = points.iter().map(|p| p.remote_misses as f64).collect();
         let fit = linear_fit(&xs, &ys);
@@ -192,6 +243,10 @@ impl Workbench {
     /// Table 6 methodology: run the application to completion under each
     /// strategy and report time, misses, traffic and cut cost.
     ///
+    /// Strategies are evaluated on independent DSM instances with
+    /// per-strategy forked RNG streams, so they fan out across the
+    /// workbench's worker threads; rows come back in strategy order.
+    ///
     /// # Errors
     ///
     /// Propagates engine errors.
@@ -203,28 +258,32 @@ impl Workbench {
     ) -> Result<Vec<HeuristicRow>, DsmError>
     where
         P: Program,
-        F: Fn() -> P,
+        F: Fn() -> P + Sync,
     {
         let truth = self.ground_truth(&factory)?;
-        let mut rows = Vec::with_capacity(strategies.len());
-        for (i, &strategy) in strategies.iter().enumerate() {
-            let mut rng = DetRng::new(self.seed).fork(0x6E1 + i as u64);
-            let mapping = place(strategy, &truth.corr, &self.cluster, &mut rng);
-            let cut = cut_cost(&truth.corr, &mapping);
-            let mut dsm = self.dsm(factory(), mapping)?;
-            dsm.run_iterations(1)?; // cold-start warm-up
-            let stats = dsm.run_iterations(iterations)?;
-            rows.push(HeuristicRow {
-                app: truth.app.clone(),
-                strategy,
-                time: stats.elapsed,
-                remote_misses: stats.remote_misses,
-                total_mbytes: stats.total_mbytes(),
-                diff_mbytes: stats.diff_mbytes(),
-                cut_cost: cut,
-            });
-        }
-        Ok(rows)
+        par_map_indexed(
+            self.threads,
+            strategies.to_vec(),
+            |i, strategy| -> Result<HeuristicRow, DsmError> {
+                let mut rng = DetRng::new(self.seed).fork(0x6E1 + i as u64);
+                let mapping = place(strategy, &truth.corr, &self.cluster, &mut rng);
+                let cut = cut_cost(&truth.corr, &mapping);
+                let mut dsm = self.dsm(factory(), mapping)?;
+                dsm.run_iterations(1)?; // cold-start warm-up
+                let stats = dsm.run_iterations(iterations)?;
+                Ok(HeuristicRow {
+                    app: truth.app.clone(),
+                    strategy,
+                    time: stats.elapsed,
+                    remote_misses: stats.remote_misses,
+                    total_mbytes: stats.total_mbytes(),
+                    diff_mbytes: stats.diff_mbytes(),
+                    cut_cost: cut,
+                })
+            },
+        )
+        .into_iter()
+        .collect()
     }
 
     /// Figure 2 methodology: passive tracking with migration rounds. Each
@@ -233,18 +292,22 @@ impl Workbench {
     /// correlations, and migrates. Completeness is measured against the
     /// active-tracking ground truth.
     ///
+    /// The migration rounds themselves form a dependency chain (each round
+    /// observes the mapping the previous round migrated to), so only the
+    /// ground-truth phase parallelizes here; per-application fan-out lives
+    /// in the callers (e.g. the `figure2` binary).
+    ///
     /// # Errors
     ///
     /// Propagates engine errors.
     pub fn passive_study<P, F>(&self, factory: F, rounds: usize) -> Result<PassiveStudy, DsmError>
     where
         P: Program,
-        F: Fn() -> P,
+        F: Fn() -> P + Sync,
     {
         let truth = self.ground_truth(&factory)?;
         let mut dsm = self.dsm(factory(), Mapping::stretch(&self.cluster))?;
-        let mut accumulated =
-            AccessMatrix::new(self.cluster.num_threads(), dsm.num_pages());
+        let mut accumulated = AccessMatrix::new(self.cluster.num_threads(), dsm.num_pages());
         let mut completeness = Vec::with_capacity(rounds);
         let mut moves = Vec::with_capacity(rounds);
         for _ in 0..rounds {
@@ -384,8 +447,7 @@ impl Workbench {
     {
         assert!(check_every >= 2, "check_every must be at least 2");
         // Policy A: scheduled (reuses the adaptive_study loop).
-        let scheduled_full =
-            self.adaptive_study(&factory, total_iterations, check_every, decay)?;
+        let scheduled_full = self.adaptive_study(&factory, total_iterations, check_every, decay)?;
         let scheduled_tracks = total_iterations.div_ceil(check_every);
 
         // Policy B: drift-triggered. One tracked placement up front, then
@@ -549,7 +611,9 @@ impl fmt::Display for NodeCountRow {
 /// one that it can end up slower on some clusters.
 ///
 /// Standalone function (not a [`Workbench`] method) because it varies the
-/// cluster itself.
+/// cluster itself. Node counts are independent runs, so they fan out over
+/// `jobs` pool workers (`0` = available parallelism, `1` = sequential);
+/// rows come back in `node_counts` order either way.
 ///
 /// # Errors
 ///
@@ -559,29 +623,34 @@ pub fn node_count_study<P, F>(
     threads: usize,
     node_counts: &[usize],
     iterations: usize,
+    jobs: usize,
 ) -> Result<Vec<NodeCountRow>, DsmError>
 where
     P: Program,
-    F: Fn() -> P,
+    F: Fn() -> P + Sync,
 {
-    let mut rows = Vec::with_capacity(node_counts.len());
-    for &nodes in node_counts {
-        let bench = Workbench::new(nodes, threads)?;
-        let truth = bench.ground_truth(&factory)?;
-        let mapping = Mapping::stretch(&bench.cluster);
-        let cut = cut_cost(&truth.corr, &mapping);
-        let mut dsm = bench.dsm(factory(), mapping)?;
-        dsm.run_iterations(1)?; // cold-start warm-up
-        let stats = dsm.run_iterations(iterations)?;
-        rows.push(NodeCountRow {
-            nodes,
-            time: stats.elapsed,
-            remote_misses: stats.remote_misses,
-            total_mbytes: stats.total_mbytes(),
-            cut_cost: cut,
-        });
-    }
-    Ok(rows)
+    par_map_indexed(
+        acorr_sim::resolve_threads(jobs),
+        node_counts.to_vec(),
+        |_, nodes| -> Result<NodeCountRow, DsmError> {
+            let bench = Workbench::new(nodes, threads)?;
+            let truth = bench.ground_truth(&factory)?;
+            let mapping = Mapping::stretch(&bench.cluster);
+            let cut = cut_cost(&truth.corr, &mapping);
+            let mut dsm = bench.dsm(factory(), mapping)?;
+            dsm.run_iterations(1)?; // cold-start warm-up
+            let stats = dsm.run_iterations(iterations)?;
+            Ok(NodeCountRow {
+                nodes,
+                time: stats.elapsed,
+                remote_misses: stats.remote_misses,
+                total_mbytes: stats.total_mbytes(),
+                cut_cost: cut,
+            })
+        },
+    )
+    .into_iter()
+    .collect()
 }
 
 /// Exact access information from one active-tracking phase, plus the
@@ -772,9 +841,7 @@ mod tests {
 
     #[test]
     fn passive_study_is_monotone_and_incomplete() {
-        let study = bench()
-            .passive_study(|| Water::new(64, 8), 5)
-            .unwrap();
+        let study = bench().passive_study(|| Water::new(64, 8), 5).unwrap();
         assert_eq!(study.completeness.len(), 5);
         for w in study.completeness.windows(2) {
             assert!(w[1] >= w[0] - 1e-12, "cumulative: {:?}", study.completeness);
@@ -790,5 +857,37 @@ mod tests {
         let a = bench().cutcost_study(|| Water::new(64, 8), 5, 1).unwrap();
         let b = bench().cutcost_study(|| Water::new(64, 8), 5, 1).unwrap();
         assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn parallel_studies_are_bit_identical_to_sequential() {
+        let seq = bench()
+            .with_threads(1)
+            .cutcost_study(|| Water::new(64, 8), 8, 1)
+            .unwrap();
+        let par = bench()
+            .with_threads(4)
+            .cutcost_study(|| Water::new(64, 8), 8, 1)
+            .unwrap();
+        assert_eq!(seq.samples, par.samples);
+        assert_eq!(seq.to_csv(), par.to_csv());
+        let strategies = [Strategy::MinCost, Strategy::RandomBalanced];
+        let rows_seq = bench()
+            .with_threads(1)
+            .heuristic_comparison(|| Sor::new(64, 64, 8), &strategies, 2)
+            .unwrap();
+        let rows_par = bench()
+            .with_threads(3)
+            .heuristic_comparison(|| Sor::new(64, 64, 8), &strategies, 2)
+            .unwrap();
+        assert_eq!(rows_seq, rows_par);
+    }
+
+    #[test]
+    fn node_count_study_parallel_matches_sequential() {
+        let app = || Sor::new(64, 64, 8);
+        let seq = node_count_study(app, 8, &[2, 4], 2, 1).unwrap();
+        let par = node_count_study(app, 8, &[2, 4], 2, 4).unwrap();
+        assert_eq!(seq, par);
     }
 }

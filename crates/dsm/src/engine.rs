@@ -224,7 +224,11 @@ impl<P: Program> Dsm<P> {
     /// Current global virtual time (all nodes are synchronized between
     /// iterations).
     pub fn now(&self) -> SimTime {
-        self.nodes.iter().map(|n| n.time).max().unwrap_or(SimTime::ZERO)
+        self.nodes
+            .iter()
+            .map(|n| n.time)
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Starts recording protocol events into a bounded trace (newest
@@ -397,7 +401,11 @@ impl<P: Program> Dsm<P> {
             for node in &mut self.nodes {
                 node.arm_all_pages();
                 node.time += sweep;
-                node.pinned = if node.threads.is_empty() { None } else { Some(0) };
+                node.pinned = if node.threads.is_empty() {
+                    None
+                } else {
+                    Some(0)
+                };
             }
         } else {
             self.tracking = None;
@@ -642,12 +650,9 @@ impl<P: Program> Dsm<P> {
         if !self.nodes[i].pages[page.idx()].valid {
             self.record_miss(i, t, page);
             let ps = &self.nodes[i].pages[page.idx()];
-            let plan = self.directory.fetch_plan(
-                page,
-                self.nodes[i].id,
-                ps.applied_version,
-                ps.has_copy,
-            );
+            let plan =
+                self.directory
+                    .fetch_plan(page, self.nodes[i].id, ps.applied_version, ps.has_copy);
             let mut dur = SimDuration::ZERO;
             if plan.full_page_from.is_some() {
                 self.cur
@@ -725,7 +730,11 @@ impl<P: Program> Dsm<P> {
                 }
                 self.record_miss(i, t, page);
                 let now = self.nodes[i].time;
-                let stall = self.directory.page(page).sw_frozen_until.saturating_since(now);
+                let stall = self
+                    .directory
+                    .page(page)
+                    .sw_frozen_until
+                    .saturating_since(now);
                 self.cur
                     .net
                     .record(MessageKind::PageFetch, acorr_mem::PAGE_SIZE as u64);
@@ -772,7 +781,11 @@ impl<P: Program> Dsm<P> {
                 self.record_miss(i, t, page);
                 self.cur.ownership_transfers += 1;
                 let now = self.nodes[i].time;
-                let stall = self.directory.page(page).sw_frozen_until.saturating_since(now);
+                let stall = self
+                    .directory
+                    .page(page)
+                    .sw_frozen_until
+                    .saturating_since(now);
                 self.cur
                     .net
                     .record(MessageKind::PageFetch, acorr_mem::PAGE_SIZE as u64);
@@ -782,7 +795,8 @@ impl<P: Program> Dsm<P> {
                     .transfer_time(acorr_mem::PAGE_SIZE as u64);
                 self.invalidate_others_sw(i, page);
                 let wake = now + stall + transfer;
-                self.directory.transfer_ownership(page, node_id, wake + delta);
+                self.directory
+                    .transfer_ownership(page, node_id, wake + delta);
                 self.emit(i, Event::OwnershipTransfer { page, to: node_id });
                 let ps = &mut self.nodes[i].pages[page.idx()];
                 ps.valid = true;
@@ -832,9 +846,12 @@ impl<P: Program> Dsm<P> {
     fn release_barrier(&mut self, tracked: bool) {
         self.cur.barriers += 1;
         let barrier_index = self.total.barriers + self.cur.barriers - 1;
-        self.emit(0, Event::BarrierRelease {
-            index: barrier_index,
-        });
+        self.emit(
+            0,
+            Event::BarrierRelease {
+                index: barrier_index,
+            },
+        );
         if matches!(self.config.write_mode, WriteMode::SingleWriter { .. }) {
             // Single-writer invalidations are eager; nothing to finalize,
             // and there are no diffs to garbage-collect. Write sets only
@@ -987,9 +1004,9 @@ impl<P: Program> Dsm<P> {
                 .node;
             let oi = owner.idx();
             let ps = &self.nodes[oi].pages[page.idx()];
-            let plan =
-                self.directory
-                    .fetch_plan(page, owner, ps.applied_version, ps.has_copy);
+            let plan = self
+                .directory
+                .fetch_plan(page, owner, ps.applied_version, ps.has_copy);
             if plan.full_page_from.is_some() {
                 self.cur
                     .net

@@ -453,7 +453,7 @@ mod tests {
         let boxed: Box<dyn Program> = Box::new(toy);
         assert_eq!(boxed.name(), "toy");
         assert_eq!(boxed.num_threads(), 1);
-        assert_eq!((&boxed).script(0, 0), vec![Op::Barrier]);
+        assert_eq!(boxed.script(0, 0), vec![Op::Barrier]);
         assert!(validate_iteration(&boxed, 0).is_ok());
     }
 

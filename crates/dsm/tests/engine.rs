@@ -50,10 +50,7 @@ impl Program for Scripted {
     }
 }
 
-fn dsm_for(
-    nodes: usize,
-    program: Scripted,
-) -> Dsm<Scripted> {
+fn dsm_for(nodes: usize, program: Scripted) -> Dsm<Scripted> {
     let threads = program.num_threads();
     let cluster = ClusterConfig::new(nodes, threads).unwrap();
     let mapping = Mapping::stretch(&cluster);
@@ -69,13 +66,19 @@ const PAGE: u64 = PAGE_SIZE as u64;
 #[test]
 fn local_reads_never_miss() {
     // Both threads on node 0, which owns all pages initially.
-    let p = Scripted::new(4, vec![vec![vec![Op::read(0, 2 * PAGE)], vec![Op::read(0, PAGE)]]]);
+    let p = Scripted::new(
+        4,
+        vec![vec![vec![Op::read(0, 2 * PAGE)], vec![Op::read(0, PAGE)]]],
+    );
     let cluster = ClusterConfig::new(1, 2).unwrap();
     let mapping = Mapping::stretch(&cluster);
     let mut dsm = Dsm::new(DsmConfig::new(cluster), p, mapping).unwrap();
     let stats = dsm.run_iterations(1).unwrap();
     assert_eq!(stats.remote_misses, 0);
-    assert_eq!(stats.net.total_bytes() - stats.net.bytes(acorr_sim::MessageKind::Barrier), 0);
+    assert_eq!(
+        stats.net.total_bytes() - stats.net.bytes(acorr_sim::MessageKind::Barrier),
+        0
+    );
 }
 
 #[test]
@@ -96,7 +99,10 @@ fn second_read_of_cached_page_is_free() {
     let first = dsm.run_iterations(1).unwrap();
     assert_eq!(first.remote_misses, 1);
     let second = dsm.run_iterations(1).unwrap();
-    assert_eq!(second.remote_misses, 0, "page stays cached across iterations");
+    assert_eq!(
+        second.remote_misses, 0,
+        "page stays cached across iterations"
+    );
 }
 
 #[test]
@@ -252,8 +258,7 @@ fn latency_hiding_overlaps_fetches_across_threads() {
     );
     let cluster = ClusterConfig::new(2, 4).unwrap();
     let run = |p: Scripted| {
-        let mut dsm =
-            Dsm::new(DsmConfig::new(cluster), p, Mapping::stretch(&cluster)).unwrap();
+        let mut dsm = Dsm::new(DsmConfig::new(cluster), p, Mapping::stretch(&cluster)).unwrap();
         dsm.run_iterations(1).unwrap()
     };
     let a = run(overlapped);
@@ -295,7 +300,10 @@ fn uncontended_local_lock_is_cheap() {
     let l = LockId(0);
     let p = Scripted::new(
         1,
-        vec![vec![vec![Op::Lock(l), Op::write(0, 8), Op::Unlock(l)], vec![]]],
+        vec![vec![
+            vec![Op::Lock(l), Op::write(0, 8), Op::Unlock(l)],
+            vec![],
+        ]],
     )
     .with_locks(1);
     let mut dsm = dsm_for(2, p);
@@ -329,7 +337,10 @@ fn release_publishes_locked_writes_to_next_acquirer() {
     // Whichever thread goes second takes a miss on the counter page even
     // though no barrier intervened.
     assert!(first.remote_misses >= 1);
-    assert!(first.diffs_created >= 1, "unlock finalizes the locked write");
+    assert!(
+        first.diffs_created >= 1,
+        "unlock finalizes the locked write"
+    );
 }
 
 #[test]
@@ -387,13 +398,18 @@ fn lock_across_barrier_rejected() {
     let l = LockId(0);
     let p = Scripted::new(
         1,
-        vec![vec![vec![Op::Lock(l), Op::Barrier, Op::Unlock(l)], vec![Op::Barrier]]],
+        vec![vec![
+            vec![Op::Lock(l), Op::Barrier, Op::Unlock(l)],
+            vec![Op::Barrier],
+        ]],
     )
     .with_locks(1);
     let mut dsm = dsm_for(2, p);
     assert!(matches!(
         dsm.run_iterations(1),
-        Err(DsmError::Script(acorr_dsm::ScriptError::LockAcrossBarrier { .. }))
+        Err(DsmError::Script(
+            acorr_dsm::ScriptError::LockAcrossBarrier { .. }
+        ))
     ));
 }
 
@@ -500,8 +516,7 @@ fn tracked_iteration_is_slower() {
             .collect();
         let p = Scripted::new(4, vec![scripts]);
         let cluster = ClusterConfig::new(2, 4).unwrap();
-        let mut dsm =
-            Dsm::new(DsmConfig::new(cluster), p, Mapping::stretch(&cluster)).unwrap();
+        let mut dsm = Dsm::new(DsmConfig::new(cluster), p, Mapping::stretch(&cluster)).unwrap();
         dsm.run_iterations(1).unwrap(); // warm caches
         dsm
     };
@@ -570,7 +585,12 @@ fn passive_tracking_sees_only_first_local_toucher() {
     // faults; the second reads the already-valid copy silently.
     let p = Scripted::new(
         1,
-        vec![vec![vec![], vec![], vec![Op::read(0, 8)], vec![Op::read(0, 8)]]],
+        vec![vec![
+            vec![],
+            vec![],
+            vec![Op::read(0, 8)],
+            vec![Op::read(0, 8)],
+        ]],
     );
     let cluster = ClusterConfig::new(2, 4).unwrap();
     let mut dsm = Dsm::new(DsmConfig::new(cluster), p, Mapping::stretch(&cluster)).unwrap();
@@ -603,10 +623,7 @@ fn passive_tracking_misses_node0_locals_entirely() {
 
 #[test]
 fn migration_moves_threads_and_charges_traffic() {
-    let p = Scripted::new(
-        2,
-        vec![vec![vec![Op::read(0, 8)], vec![Op::read(PAGE, 8)]]],
-    );
+    let p = Scripted::new(2, vec![vec![vec![Op::read(0, 8)], vec![Op::read(PAGE, 8)]]]);
     let cluster = ClusterConfig::new(2, 2).unwrap();
     let mut dsm = Dsm::new(DsmConfig::new(cluster), p, Mapping::stretch(&cluster)).unwrap();
     dsm.run_iterations(1).unwrap();
@@ -663,10 +680,7 @@ fn mapping_mismatch_rejected_at_construction() {
 
 #[test]
 fn swap_threads_is_a_balanced_export_import() {
-    let p = Scripted::new(
-        2,
-        vec![vec![vec![Op::read(0, 8)], vec![Op::read(PAGE, 8)]]],
-    );
+    let p = Scripted::new(2, vec![vec![vec![Op::read(0, 8)], vec![Op::read(PAGE, 8)]]]);
     let cluster = ClusterConfig::new(2, 2).unwrap();
     let mut dsm = Dsm::new(DsmConfig::new(cluster), p, Mapping::stretch(&cluster)).unwrap();
     dsm.run_iterations(1).unwrap();
@@ -703,7 +717,10 @@ fn per_node_counters_partition_the_totals() {
     let (tracked, _) = dsm.run_tracked_iteration().unwrap();
     let faults = dsm.node_tracking_faults();
     assert_eq!(faults.iter().sum::<u64>(), tracked.tracking_faults);
-    assert!(faults.iter().all(|&f| f > 0), "both nodes fault in parallel");
+    assert!(
+        faults.iter().all(|&f| f > 0),
+        "both nodes fault in parallel"
+    );
 }
 
 #[test]
@@ -766,10 +783,7 @@ fn tracing_is_off_by_default_and_bounded_when_on() {
 #[test]
 fn tracing_sees_migrations_and_tracked_faults() {
     use acorr_dsm::trace::Event;
-    let p = Scripted::new(
-        2,
-        vec![vec![vec![Op::read(0, 8)], vec![Op::read(PAGE, 8)]]],
-    );
+    let p = Scripted::new(2, vec![vec![vec![Op::read(0, 8)], vec![Op::read(PAGE, 8)]]]);
     let cluster = ClusterConfig::new(2, 2).unwrap();
     let mut dsm = Dsm::new(DsmConfig::new(cluster), p, Mapping::stretch(&cluster)).unwrap();
     dsm.enable_tracing(4096);

@@ -2,6 +2,10 @@
 //! aligned, lock balanced, ascending lock nesting) must run deadlock-free,
 //! deterministically, and uphold the protocol invariants.
 
+// Property tests require the external `proptest` crate, which the
+// offline default build cannot fetch; see the crate Cargo.toml.
+#![cfg(feature = "proptest")]
+
 use acorr_dsm::{Dsm, DsmConfig, LockId, Op, Program, WriteMode};
 use acorr_mem::PAGE_SIZE;
 use acorr_sim::{ClusterConfig, Mapping, SimDuration};
@@ -13,11 +17,22 @@ const LOCKS: usize = 3;
 /// One generated atom of work.
 #[derive(Debug, Clone)]
 enum Atom {
-    Read { page: u64, off: u64, len: u64 },
-    Write { page: u64, off: u64, len: u64 },
+    Read {
+        page: u64,
+        off: u64,
+        len: u64,
+    },
+    Write {
+        page: u64,
+        off: u64,
+        len: u64,
+    },
     Compute(u64),
     /// A critical section over `lock`, containing simple accesses.
-    Locked { lock: usize, body: Vec<(bool, u64)> },
+    Locked {
+        lock: usize,
+        body: Vec<(bool, u64)>,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -96,17 +111,13 @@ fn atom_strategy() -> impl Strategy<Value = Atom> {
 }
 
 fn program_strategy() -> impl Strategy<Value = GenProgram> {
-    (2usize..=5, 1usize..=3)
-        .prop_flat_map(|(threads, segments)| {
-            proptest::collection::vec(
-                proptest::collection::vec(
-                    proptest::collection::vec(atom_strategy(), 0..6),
-                    threads,
-                ),
-                segments,
-            )
-            .prop_map(move |segments| GenProgram { threads, segments })
-        })
+    (2usize..=5, 1usize..=3).prop_flat_map(|(threads, segments)| {
+        proptest::collection::vec(
+            proptest::collection::vec(proptest::collection::vec(atom_strategy(), 0..6), threads),
+            segments,
+        )
+        .prop_map(move |segments| GenProgram { threads, segments })
+    })
 }
 
 fn run(program: &GenProgram, nodes: usize, iterations: usize) -> acorr_dsm::IterStats {
@@ -117,7 +128,8 @@ fn run(program: &GenProgram, nodes: usize, iterations: usize) -> acorr_dsm::Iter
         Mapping::stretch(&cluster),
     )
     .expect("dsm");
-    dsm.run_iterations(iterations).expect("generated programs never deadlock")
+    dsm.run_iterations(iterations)
+        .expect("generated programs never deadlock")
 }
 
 proptest! {

@@ -85,10 +85,7 @@ fn reader_that_skips_an_interval_catches_up_on_all_diffs() {
     // iterations where a flag page says so... simplest: reader reads once
     // after several write-only iterations and must apply the accumulated
     // diff chain in one fetch.
-    let writer_only = Scripted::new(
-        1,
-        vec![vec![Op::write(0, 64)], vec![]],
-    );
+    let writer_only = Scripted::new(1, vec![vec![Op::write(0, 64)], vec![]]);
     let mut dsm = dsm_on(2, writer_only);
     dsm.run_iterations(1).unwrap();
     // Reader faults in iteration 2 after one warm write; make it read by
@@ -99,13 +96,7 @@ fn reader_that_skips_an_interval_catches_up_on_all_diffs() {
     // second program where the reader reads every 5th iteration is beyond
     // Scripted; use the fetch accounting instead: a brand-new instance
     // whose reader reads only in the measured iteration.
-    let p = Scripted::new(
-        1,
-        vec![
-            vec![Op::write(0, 64)],
-            vec![Op::read(0, 8)],
-        ],
-    );
+    let p = Scripted::new(1, vec![vec![Op::write(0, 64)], vec![Op::read(0, 8)]]);
     let mut dsm = dsm_on(2, p);
     let first = dsm.run_iterations(1).unwrap();
     assert_eq!(first.net.messages(MessageKind::PageFetch), 1, "cold");
@@ -138,11 +129,8 @@ fn migration_after_gc_forces_full_page_fetches() {
     let start = dsm.run_iterations(3).unwrap();
     assert!(start.gc_runs > 0, "gc must have fired");
     // Move the reader (thread 1) to node 2.
-    let remapped = Mapping::from_assignment(
-        &cluster,
-        vec![NodeId(0), NodeId(2), NodeId(1)],
-    )
-    .unwrap();
+    let remapped =
+        Mapping::from_assignment(&cluster, vec![NodeId(0), NodeId(2), NodeId(1)]).unwrap();
     dsm.migrate_to(remapped).unwrap();
     let after = dsm.run_iterations(1).unwrap();
     assert!(
@@ -197,8 +185,7 @@ fn tracked_iteration_counts_match_across_node_counts() {
     let total_faults = |nodes: usize| {
         let p = Scripted::new(4, scripts.clone());
         let cluster = ClusterConfig::new(nodes, 8).unwrap();
-        let mut dsm =
-            Dsm::new(DsmConfig::new(cluster), p, Mapping::stretch(&cluster)).unwrap();
+        let mut dsm = Dsm::new(DsmConfig::new(cluster), p, Mapping::stretch(&cluster)).unwrap();
         let (stats, _) = dsm.run_tracked_iteration().unwrap();
         stats.tracking_faults
     };
@@ -208,10 +195,7 @@ fn tracked_iteration_counts_match_across_node_counts() {
 
 #[test]
 fn passive_and_active_tracking_can_run_back_to_back() {
-    let p = Scripted::new(
-        2,
-        vec![vec![Op::read(PAGE, 64)], vec![Op::read(0, 64)]],
-    );
+    let p = Scripted::new(2, vec![vec![Op::read(PAGE, 64)], vec![Op::read(0, 64)]]);
     let mut dsm = dsm_on(2, p);
     dsm.enable_passive_tracking();
     let (_, active) = dsm.run_tracked_iteration().unwrap();
@@ -276,14 +260,22 @@ fn empty_iterations_cost_only_barriers() {
 fn node_zero_threads_never_cold_miss() {
     // All pages start at node 0: a single-node run has zero misses ever.
     let scripts: Vec<Vec<Op>> = (0..4)
-        .map(|t| vec![Op::read(t as u64 * PAGE, PAGE), Op::write(t as u64 * PAGE, 64)])
+        .map(|t| {
+            vec![
+                Op::read(t as u64 * PAGE, PAGE),
+                Op::write(t as u64 * PAGE, 64),
+            ]
+        })
         .collect();
     let p = Scripted::new(4, scripts);
     let cluster = ClusterConfig::new(1, 4).unwrap();
     let mut dsm = Dsm::new(DsmConfig::new(cluster), p, Mapping::stretch(&cluster)).unwrap();
     let stats = dsm.run_iterations(3).unwrap();
     assert_eq!(stats.remote_misses, 0);
-    assert_eq!(stats.net.data_bytes(), stats.net.bytes(MessageKind::WriteNotice));
+    assert_eq!(
+        stats.net.data_bytes(),
+        stats.net.bytes(MessageKind::WriteNotice)
+    );
 }
 
 #[test]
@@ -296,8 +288,20 @@ fn deadlock_error_is_contained_to_the_iteration() {
         4,
         vec![
             vec![],
-            vec![Op::Lock(a), Op::read(2 * PAGE, 8), Op::Lock(b), Op::Unlock(b), Op::Unlock(a)],
-            vec![Op::Lock(b), Op::read(3 * PAGE, 8), Op::Lock(a), Op::Unlock(a), Op::Unlock(b)],
+            vec![
+                Op::Lock(a),
+                Op::read(2 * PAGE, 8),
+                Op::Lock(b),
+                Op::Unlock(b),
+                Op::Unlock(a),
+            ],
+            vec![
+                Op::Lock(b),
+                Op::read(3 * PAGE, 8),
+                Op::Lock(a),
+                Op::Unlock(a),
+                Op::Unlock(b),
+            ],
         ],
     )
     .with_locks(2);

@@ -134,7 +134,11 @@ fn single_writer_pays_more_for_false_sharing_than_multi_writer() {
     let scripts = || {
         vec![
             vec![Op::write(0, 64), Op::compute(10_000), Op::write(128, 64)],
-            vec![Op::write(2048, 64), Op::compute(10_000), Op::write(2176, 64)],
+            vec![
+                Op::write(2048, 64),
+                Op::compute(10_000),
+                Op::write(2176, 64),
+            ],
         ]
     };
     let cluster = ClusterConfig::new(2, 2).unwrap();
@@ -192,10 +196,7 @@ fn tracking_works_under_single_writer() {
 
 #[test]
 fn single_writer_never_garbage_collects() {
-    let scripts = vec![
-        vec![Op::write(0, 64)],
-        vec![Op::write(PAGE, 64)],
-    ];
+    let scripts = vec![vec![Op::write(0, 64)], vec![Op::write(PAGE, 64)]];
     let threads = scripts.len();
     let cluster = ClusterConfig::new(2, threads).unwrap();
     let config = DsmConfig::new(cluster)

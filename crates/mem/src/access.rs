@@ -163,8 +163,14 @@ impl AccessMatrix {
             let (t, p) = line
                 .split_once(',')
                 .ok_or_else(|| format!("line {}: bad row {line}", i + 2))?;
-            let t: usize = t.trim().parse().map_err(|e| format!("line {}: {e}", i + 2))?;
-            let p: u32 = p.trim().parse().map_err(|e| format!("line {}: {e}", i + 2))?;
+            let t: usize = t
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: {e}", i + 2))?;
+            let p: u32 = p
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: {e}", i + 2))?;
             if t >= threads || p as usize >= pages {
                 return Err(format!("line {}: ({t},{p}) out of range", i + 2));
             }

@@ -123,7 +123,10 @@ impl FixedBitset {
     /// Panics if the sets have different lengths.
     pub fn is_subset(&self, other: &FixedBitset) -> bool {
         assert_eq!(self.len, other.len, "bitset lengths differ");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over the indices of set bits, ascending.
@@ -262,7 +265,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -49,11 +49,10 @@ impl Protection {
     /// assert!(Protection::ReadWrite.permits(AccessKind::Write));
     /// ```
     pub const fn permits(self, kind: AccessKind) -> bool {
-        match (self, kind) {
-            (Protection::ReadWrite, _) => true,
-            (Protection::Read, AccessKind::Read) => true,
-            _ => false,
-        }
+        matches!(
+            (self, kind),
+            (Protection::ReadWrite, _) | (Protection::Read, AccessKind::Read)
+        )
     }
 }
 

@@ -1,5 +1,9 @@
 //! Property tests for address arithmetic and access matrices.
 
+// Property tests require the external `proptest` crate, which the
+// offline default build cannot fetch; see the crate Cargo.toml.
+#![cfg(feature = "proptest")]
+
 use acorr_mem::{pages_for, span_pages, AccessMatrix, PageId, PAGE_SIZE};
 use proptest::prelude::*;
 

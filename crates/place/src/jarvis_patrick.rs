@@ -36,8 +36,7 @@ fn neighbor_lists(corr: &CorrelationMatrix, k: usize) -> Vec<Vec<usize>> {
 /// other's top-k lists they share, plus mutual membership bonuses.
 fn snn_similarity(lists: &[Vec<usize>], a: usize, b: usize) -> usize {
     let shared = lists[a].iter().filter(|t| lists[b].contains(t)).count();
-    let mutual =
-        usize::from(lists[a].contains(&b)) + usize::from(lists[b].contains(&a));
+    let mutual = usize::from(lists[a].contains(&b)) + usize::from(lists[b].contains(&a));
     shared + 2 * mutual
 }
 

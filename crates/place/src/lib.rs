@@ -47,7 +47,7 @@ pub mod weighted;
 
 pub use anneal::{anneal, AnnealConfig};
 pub use jarvis_patrick::jarvis_patrick;
-pub use mincost::{min_cost, refine_kl};
+pub use mincost::{min_cost, refine_kl, refine_kl_reference, DegreeCache};
 pub use optimal::optimal;
 pub use strategy::{place, Strategy};
 pub use weighted::{imbalance, min_cost_weighted, node_loads};

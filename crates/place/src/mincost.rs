@@ -17,9 +17,110 @@
 //!
 //! Both stages preserve balanced node populations, matching the paper's
 //! restriction to "a constant and equal number of threads on each node".
+//!
+//! Both stages are **incremental**: the seeding stage maintains a sorted
+//! pair list plus a running affinity accumulator instead of rescanning all
+//! pairs per node, and the refinement stage maintains the classic
+//! Kernighan-Lin *D-values* in a [`DegreeCache`] — each thread's
+//! connectivity to every node — updated in O(n) per accepted swap, making a
+//! refinement pass O(n²) instead of O(n³). The cached kernels are
+//! selection-for-selection identical to the direct implementations (kept as
+//! [`refine_kl_reference`] for equivalence tests and offline timing), so
+//! they return bit-identical mappings.
 
 use acorr_sim::{ClusterConfig, Mapping, NodeId};
 use acorr_track::CorrelationMatrix;
+
+/// Per-thread node-connectivity cache behind the incremental Kernighan-Lin
+/// kernels: `conn(t, node)` is the total correlation between thread `t` and
+/// the threads currently mapped to `node` (excluding `t` itself).
+///
+/// The classic KL *D-value* of moving `t` from its node `from` to `to` is
+/// `conn(t, to) - conn(t, from)`; a swap gain is evaluated in O(1) from two
+/// D-values, and an accepted swap updates the cache in O(n) instead of the
+/// O(n²) full rebuild. [`anneal`](crate::anneal()) shares the same cache to
+/// score its swap proposals in O(1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegreeCache {
+    nodes: usize,
+    conn: Vec<i64>,
+}
+
+impl DegreeCache {
+    /// Builds the cache for `mapping` in one O(n²) sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix covers a different thread count than the
+    /// mapping.
+    pub fn new(corr: &CorrelationMatrix, mapping: &Mapping) -> Self {
+        let n = corr.num_threads();
+        assert_eq!(n, mapping.num_threads(), "matrix and mapping must agree");
+        let nodes = mapping.node_counts().len();
+        let mut conn = vec![0i64; n * nodes];
+        for t in 0..n {
+            for u in 0..n {
+                if u != t {
+                    conn[t * nodes + mapping.node_of(u).idx()] += corr.get(t, u) as i64;
+                }
+            }
+        }
+        DegreeCache { nodes, conn }
+    }
+
+    /// The total correlation between `t` and the threads on `node`.
+    pub fn conn(&self, t: usize, node: NodeId) -> i64 {
+        self.conn[t * self.nodes + node.idx()]
+    }
+
+    /// The KL D-value of moving `t` from `from` to `to`: external-becomes-
+    /// internal minus internal-becomes-external connectivity.
+    pub fn d_value(&self, t: usize, from: NodeId, to: NodeId) -> i64 {
+        self.conn(t, to) - self.conn(t, from)
+    }
+
+    /// The cut reduction from swapping threads `a` and `b` (which must live
+    /// on different nodes under `mapping`): `D_a + D_b - 2*c(a,b)`.
+    pub fn gain(&self, corr: &CorrelationMatrix, mapping: &Mapping, a: usize, b: usize) -> i64 {
+        let na = mapping.node_of(a);
+        let nb = mapping.node_of(b);
+        // The (a,b) edge stays cut after the swap but was counted as a gain
+        // in both D terms.
+        self.d_value(a, na, nb) + self.d_value(b, nb, na) - 2 * corr.get(a, b) as i64
+    }
+
+    /// Applies the swap of `a` (moving `na` → `nb`) and `b` (moving `nb` →
+    /// `na`) to the cache in O(n). Call with the *pre-swap* nodes, in the
+    /// same breath as `Mapping::set_node_of`.
+    pub fn apply_swap(
+        &mut self,
+        corr: &CorrelationMatrix,
+        a: usize,
+        b: usize,
+        na: NodeId,
+        nb: NodeId,
+    ) {
+        let n = self.conn.len() / self.nodes;
+        for t in 0..n {
+            if t != a {
+                let v = corr.get(t, a) as i64;
+                self.conn[t * self.nodes + na.idx()] -= v;
+                self.conn[t * self.nodes + nb.idx()] += v;
+            }
+            if t != b {
+                let v = corr.get(t, b) as i64;
+                self.conn[t * self.nodes + nb.idx()] -= v;
+                self.conn[t * self.nodes + na.idx()] += v;
+            }
+        }
+    }
+
+    /// True when the cache equals a from-scratch rebuild for `mapping` —
+    /// the invariant the equivalence tests check after every swap.
+    pub fn matches_rebuild(&self, corr: &CorrelationMatrix, mapping: &Mapping) -> bool {
+        *self == DegreeCache::new(corr, mapping)
+    }
+}
 
 /// Computes a balanced placement minimizing cut cost heuristically.
 ///
@@ -45,29 +146,43 @@ fn greedy_seed(corr: &CorrelationMatrix, cluster: &ClusterConfig) -> Mapping {
     let n = corr.num_threads();
     let mut assignment: Vec<Option<NodeId>> = vec![None; n];
     let mut unassigned: Vec<usize> = (0..n).collect();
+    // All pairs sorted once (weight desc, then lexicographic) with a
+    // monotone cursor, replacing the per-node O(u²) rescan of the original
+    // seeding loop: a pair skipped because an endpoint is already assigned
+    // stays invalid forever, so the cursor never moves backwards. The
+    // (weight desc, a asc, b asc) order reproduces the rescan's "first
+    // maximum over an ascending unassigned list" tie-break exactly.
+    let mut pairs: Vec<(u64, usize, usize)> = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            pairs.push((corr.get(a, b), a, b));
+        }
+    }
+    pairs.sort_unstable_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)).then(x.2.cmp(&y.2)));
+    let mut cursor = 0usize;
+    // Running affinity of every thread to the cluster under construction,
+    // updated in O(n) per added member instead of recomputed per candidate.
+    // Assigned threads accumulate garbage (including diagonal self-counts)
+    // but are never candidates again.
+    let mut affinity: Vec<u64> = vec![0; n];
     for (node_idx, quota) in quotas(cluster).iter().copied().enumerate() {
         let node = NodeId(node_idx as u16);
         let mut members: Vec<usize> = Vec::with_capacity(quota);
+        affinity.iter_mut().for_each(|v| *v = 0);
         // Seed with the strongest remaining pair (or the lone remaining
         // thread for a quota of one).
         if quota >= 2 && unassigned.len() >= 2 {
-            let mut best = (0usize, 1usize, 0u64);
-            let mut found = false;
-            for (i, &a) in unassigned.iter().enumerate() {
-                for (j, &b) in unassigned.iter().enumerate().skip(i + 1) {
-                    let v = corr.get(a, b);
-                    if !found || v > best.2 {
-                        best = (i, j, v);
-                        found = true;
-                    }
-                }
+            while assignment[pairs[cursor].1].is_some() || assignment[pairs[cursor].2].is_some() {
+                cursor += 1;
             }
-            let (i, j, _) = best;
-            // Remove higher index first.
-            let b = unassigned.remove(j);
-            let a = unassigned.remove(i);
+            let (_, a, b) = pairs[cursor];
+            cursor += 1;
+            unassigned.retain(|&t| t != a && t != b);
             members.push(a);
             members.push(b);
+            for (t, slot) in affinity.iter_mut().enumerate() {
+                *slot = corr.get(t, a) + corr.get(t, b);
+            }
         }
         // Grow: always take the unassigned thread with the highest affinity
         // to the cluster (ties: lowest thread id, for determinism).
@@ -75,13 +190,14 @@ fn greedy_seed(corr: &CorrelationMatrix, cluster: &ClusterConfig) -> Mapping {
             let (pos, _) = unassigned
                 .iter()
                 .enumerate()
-                .map(|(pos, &t)| {
-                    let affinity: u64 = members.iter().map(|&m| corr.get(t, m)).sum();
-                    (pos, affinity)
-                })
+                .map(|(pos, &t)| (pos, affinity[t]))
                 .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
                 .expect("unassigned is non-empty");
-            members.push(unassigned.remove(pos));
+            let added = unassigned.remove(pos);
+            members.push(added);
+            for (t, slot) in affinity.iter_mut().enumerate() {
+                *slot += corr.get(t, added);
+            }
         }
         for m in members {
             assignment[m] = Some(node);
@@ -98,11 +214,49 @@ fn greedy_seed(corr: &CorrelationMatrix, cluster: &ClusterConfig) -> Mapping {
 /// highest-positive-gain swap of two threads on different nodes, until no
 /// swap reduces the cut. Returns the refined mapping (node populations are
 /// preserved).
+///
+/// Gains are read from a [`DegreeCache`] maintained incrementally (O(1) per
+/// candidate pair, O(n) per accepted swap), so one pass is O(n²) where the
+/// direct [`refine_kl_reference`] pays O(n³). The scan order, strict-`>`
+/// selection and termination condition are identical, so the two return
+/// **bit-identical** mappings.
 pub fn refine_kl(corr: &CorrelationMatrix, mut mapping: Mapping) -> Mapping {
     let n = corr.num_threads();
-    // External-minus-internal connectivity per thread, maintained
-    // incrementally would be O(n); with n ≤ a few hundred the direct O(n³)
-    // loop per pass is fine and far easier to audit.
+    let mut cache = DegreeCache::new(corr, &mapping);
+    loop {
+        let mut best_gain = 0i64;
+        let mut best_pair: Option<(usize, usize)> = None;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if mapping.node_of(a) == mapping.node_of(b) {
+                    continue;
+                }
+                let gain = cache.gain(corr, &mapping, a, b);
+                if gain > best_gain {
+                    best_gain = gain;
+                    best_pair = Some((a, b));
+                }
+            }
+        }
+        match best_pair {
+            Some((a, b)) => {
+                let na = mapping.node_of(a);
+                let nb = mapping.node_of(b);
+                cache.apply_swap(corr, a, b, na, nb);
+                mapping.set_node_of(a, nb);
+                mapping.set_node_of(b, na);
+            }
+            None => return mapping,
+        }
+    }
+}
+
+/// The pre-cache refinement kernel: identical selection logic to
+/// [`refine_kl`] but recomputing every gain from scratch with
+/// [`swap_gain`], O(n³) per pass. Kept as the equivalence-test oracle and
+/// the "before" side of the `perf` timing harness.
+pub fn refine_kl_reference(corr: &CorrelationMatrix, mut mapping: Mapping) -> Mapping {
+    let n = corr.num_threads();
     loop {
         let mut best_gain = 0i64;
         let mut best_pair: Option<(usize, usize)> = None;
@@ -194,7 +348,10 @@ mod tests {
         let m = min_cost(&corr, &cluster);
         // A contiguous split cuts exactly 3 edges → ordered cut 18; min-cost
         // must match the stretch optimum.
-        assert_eq!(cut_cost(&corr, &m), cut_cost(&corr, &Mapping::stretch(&cluster)));
+        assert_eq!(
+            cut_cost(&corr, &m),
+            cut_cost(&corr, &Mapping::stretch(&cluster))
+        );
         assert!(m.is_balanced());
     }
 
@@ -309,6 +466,53 @@ mod tests {
                 // cut_cost uses the ordered (doubled) convention.
                 assert_eq!(delta, 2 * gain, "pair ({a},{b})");
             }
+        }
+    }
+
+    #[test]
+    fn cached_gain_matches_direct_gain() {
+        let mut rng = DetRng::new(11);
+        let n = 12;
+        let mut corr = CorrelationMatrix::zeros(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                corr.set(a, b, rng.next_below(13));
+            }
+        }
+        let cluster = ClusterConfig::new(3, n).unwrap();
+        let m = Mapping::random_balanced(&cluster, &mut rng);
+        let cache = DegreeCache::new(&corr, &m);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if m.node_of(a) == m.node_of(b) {
+                    continue;
+                }
+                assert_eq!(
+                    cache.gain(&corr, &m, a, b),
+                    swap_gain(&corr, &m, a, b),
+                    "pair ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_refine_matches_reference() {
+        let rng = DetRng::new(23);
+        for seed in 0..8 {
+            let n = 14;
+            let mut r = rng.fork(seed);
+            let mut corr = CorrelationMatrix::zeros(n);
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    corr.set(a, b, r.next_below(17));
+                }
+            }
+            let cluster = ClusterConfig::new(2, n).unwrap();
+            let start = Mapping::random_balanced(&cluster, &mut r);
+            let fast = refine_kl(&corr, start.clone());
+            let slow = refine_kl_reference(&corr, start);
+            assert_eq!(fast, slow, "seed {seed}: mappings must be bit-identical");
         }
     }
 }

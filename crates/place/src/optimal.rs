@@ -36,6 +36,7 @@ pub fn optimal(corr: &CorrelationMatrix, cluster: &ClusterConfig) -> Mapping {
     let mut best: Vec<u16> = Vec::new();
 
     // Unordered running cut (we double at the end to match cut_cost).
+    #[allow(clippy::too_many_arguments)] // explicit DFS state beats a context struct here
     fn dfs(
         t: usize,
         running_cut: u64,

@@ -99,7 +99,7 @@ pub fn min_cost_weighted(
     // Keep every node non-empty (Mapping invariant): pull the lightest
     // thread from the fullest multi-thread node onto each empty one.
     for node in 0..nodes {
-        if !assignment.iter().any(|a| *a == Some(NodeId(node as u16))) {
+        if !assignment.contains(&Some(NodeId(node as u16))) {
             let donor = assignment
                 .iter()
                 .enumerate()
@@ -118,7 +118,10 @@ pub fn min_cost_weighted(
     }
     let seeded = Mapping::from_assignment(
         cluster,
-        assignment.into_iter().map(|a| a.expect("assigned")).collect(),
+        assignment
+            .into_iter()
+            .map(|a| a.expect("assigned"))
+            .collect(),
     )
     .expect("seeded mapping is valid");
     refine_weighted(corr, seeded, weights, capacity)
@@ -163,6 +166,7 @@ fn refine_weighted(
         }
         // Single moves (only weighted placement can use these — they change
         // node populations but stay within capacity).
+        #[allow(clippy::needless_range_loop)] // t also indexes the mapping
         for t in 0..n {
             let from = mapping.node_of(t);
             if mapping.threads_on(from).count() <= 1 {

@@ -1,9 +1,13 @@
 //! Property tests: every placement strategy yields a valid, constraint-
 //! respecting mapping on arbitrary correlation matrices.
 
+// Property tests require the external `proptest` crate, which the
+// offline default build cannot fetch; see the crate Cargo.toml.
+#![cfg(feature = "proptest")]
+
 use acorr_place::{
-    anneal, imbalance, jarvis_patrick, min_cost, min_cost_weighted, node_loads, optimal,
-    refine_kl, AnnealConfig,
+    anneal, imbalance, jarvis_patrick, min_cost, min_cost_weighted, node_loads, optimal, refine_kl,
+    AnnealConfig,
 };
 use acorr_sim::{ClusterConfig, DetRng, Mapping};
 use acorr_track::{cut_cost, CorrelationMatrix};

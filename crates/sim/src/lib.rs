@@ -7,6 +7,9 @@
 //!   the simulator never consults a wall clock.
 //! * [`rng`] — a seedable, fork-able xoshiro256** generator ([`DetRng`]) so a
 //!   run is a pure function of its seed.
+//! * [`pool`] — deterministic scoped-thread parallelism
+//!   ([`par_map_indexed`]): seeds forked up-front, results collected in
+//!   index order, bit-identical to sequential execution at any worker count.
 //! * [`topology`] — cluster shape ([`ClusterConfig`]), node identities
 //!   ([`NodeId`]) and thread-to-node assignments ([`Mapping`]).
 //! * [`network`] — a LogP-style message cost model ([`NetworkModel`]) with
@@ -39,6 +42,7 @@
 
 pub mod cost;
 pub mod network;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -46,6 +50,7 @@ pub mod topology;
 
 pub use cost::CostModel;
 pub use network::{MessageKind, NetStats, NetworkModel};
+pub use pool::{available_threads, par_map_indexed, par_map_range, resolve_threads};
 pub use rng::DetRng;
 pub use stats::{linear_fit, mean, stddev, LinearFit};
 pub use time::{SimDuration, SimTime};

@@ -203,9 +203,7 @@ impl Mapping {
         // distributes any remainder one-per-node.
         let n = cluster.num_nodes();
         let total = cluster.num_threads();
-        let assignment = (0..total)
-            .map(|t| NodeId((t * n / total) as u16))
-            .collect();
+        let assignment = (0..total).map(|t| NodeId((t * n / total) as u16)).collect();
         Mapping {
             nodes: n,
             assignment,
@@ -313,7 +311,7 @@ impl Mapping {
         let counts = self.node_counts();
         let min = counts.iter().min().copied().unwrap_or(0);
         let max = counts.iter().max().copied().unwrap_or(0);
-        max - min <= usize::from(self.assignment.len() % self.nodes != 0)
+        max - min <= usize::from(!self.assignment.len().is_multiple_of(self.nodes))
     }
 
     /// Number of threads whose host differs between `self` and `other` — the
@@ -458,10 +456,10 @@ mod tests {
     #[test]
     fn moves_from_counts_migrations() {
         let c = cluster(2, 4);
-        let a = Mapping::from_assignment(&c, vec![NodeId(0), NodeId(0), NodeId(1), NodeId(1)])
-            .unwrap();
-        let b = Mapping::from_assignment(&c, vec![NodeId(0), NodeId(1), NodeId(0), NodeId(1)])
-            .unwrap();
+        let a =
+            Mapping::from_assignment(&c, vec![NodeId(0), NodeId(0), NodeId(1), NodeId(1)]).unwrap();
+        let b =
+            Mapping::from_assignment(&c, vec![NodeId(0), NodeId(1), NodeId(0), NodeId(1)]).unwrap();
         assert_eq!(a.moves_from(&b), 2);
         assert_eq!(a.moves_from(&a), 0);
     }

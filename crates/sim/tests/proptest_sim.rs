@@ -1,6 +1,10 @@
 //! Property tests for the simulation substrate: mapping constructors and
 //! the regression fit.
 
+// Property tests require the external `proptest` crate, which the
+// offline default build cannot fetch; see the crate Cargo.toml.
+#![cfg(feature = "proptest")]
+
 use acorr_sim::{linear_fit, ClusterConfig, DetRng, Mapping};
 use proptest::prelude::*;
 

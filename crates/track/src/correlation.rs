@@ -249,8 +249,14 @@ mod tests {
     #[test]
     fn from_csv_rejects_garbage() {
         assert!(CorrelationMatrix::from_csv("1,2\n3").is_err(), "ragged");
-        assert!(CorrelationMatrix::from_csv("1,x\n2,3").is_err(), "non-numeric");
-        assert!(CorrelationMatrix::from_csv("0,1\n2,0").is_err(), "asymmetric");
+        assert!(
+            CorrelationMatrix::from_csv("1,x\n2,3").is_err(),
+            "non-numeric"
+        );
+        assert!(
+            CorrelationMatrix::from_csv("0,1\n2,0").is_err(),
+            "asymmetric"
+        );
         assert_eq!(CorrelationMatrix::from_csv("").unwrap().num_threads(), 0);
     }
 
@@ -263,7 +269,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use acorr_mem::PageId;

@@ -83,7 +83,10 @@ mod tests {
         let m = mapping(vec![0, 0, 1, 1]);
         assert_eq!(cut_cost(&c, &m), 4); // edge (1,2), 2 pages, ordered
         assert_eq!(internal_cost(&c, &m), 8);
-        assert_eq!(cut_cost(&c, &m) + internal_cost(&c, &m), c.total_correlation());
+        assert_eq!(
+            cut_cost(&c, &m) + internal_cost(&c, &m),
+            c.total_correlation()
+        );
     }
 
     #[test]

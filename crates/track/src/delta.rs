@@ -52,7 +52,11 @@ pub fn correlation_delta(a: &CorrelationMatrix, b: &CorrelationMatrix) -> f64 {
 ///
 /// A threshold around 0.3-0.5 works well in practice: intensity wiggle
 /// stays below it, a structural rotation exceeds it.
-pub fn has_shifted(reference: &CorrelationMatrix, current: &CorrelationMatrix, threshold: f64) -> bool {
+pub fn has_shifted(
+    reference: &CorrelationMatrix,
+    current: &CorrelationMatrix,
+    threshold: f64,
+) -> bool {
     correlation_delta(reference, current) > threshold
 }
 

@@ -55,11 +55,7 @@ impl MissModel {
     ///
     /// Panics if any mapping covers a different thread count than the
     /// matrix.
-    pub fn rank<'a>(
-        &self,
-        corr: &CorrelationMatrix,
-        candidates: &'a [Mapping],
-    ) -> Vec<(usize, f64)> {
+    pub fn rank(&self, corr: &CorrelationMatrix, candidates: &[Mapping]) -> Vec<(usize, f64)> {
         let mut ranked: Vec<(usize, f64)> = candidates
             .iter()
             .enumerate()
@@ -108,7 +104,10 @@ mod tests {
     fn degenerate_calibration_is_rejected() {
         assert!(MissModel::calibrate(&[]).is_none());
         assert!(MissModel::calibrate(&[(5, 3)]).is_none());
-        assert!(MissModel::calibrate(&[(5, 3), (5, 9)]).is_none(), "no x spread");
+        assert!(
+            MissModel::calibrate(&[(5, 3), (5, 9)]).is_none(),
+            "no x spread"
+        );
     }
 
     #[test]

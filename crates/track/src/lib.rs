@@ -56,6 +56,8 @@ pub use cut::{cut_cost, internal_cost, pair_is_cut};
 pub use delta::{correlation_delta, has_shifted};
 pub use estimate::MissModel;
 pub use map::{render_ascii, render_csv, render_pgm, render_svg, MapStyle};
-pub use pages::{hottest_pages, page_report, page_sharers, sharer_histogram, sharers_of, PageReport, PageSharers};
+pub use pages::{
+    hottest_pages, page_report, page_sharers, sharer_histogram, sharers_of, PageReport, PageSharers,
+};
 pub use sharing::{node_page_unions, sharing_degree};
 pub use structure::{compatible_node_sizes, profile_map, MapProfile, Structure};

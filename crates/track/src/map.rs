@@ -122,7 +122,10 @@ pub fn render_svg(corr: &CorrelationMatrix, style: &MapStyle) -> String {
     const CELL: usize = 8;
     let n = corr.num_threads();
     let size = n * CELL;
-    let max = style.scale_max.unwrap_or_else(|| corr.max_off_diagonal()).max(1);
+    let max = style
+        .scale_max
+        .unwrap_or_else(|| corr.max_off_diagonal())
+        .max(1);
     let mut out = String::new();
     let _ = writeln!(
         out,

@@ -77,9 +77,7 @@ impl fmt::Display for MapProfile {
 /// `d`.
 fn mass_at_distance(corr: &CorrelationMatrix, d: usize) -> u64 {
     let n = corr.num_threads();
-    (0..n.saturating_sub(d))
-        .map(|a| corr.get(a, a + d))
-        .sum()
+    (0..n.saturating_sub(d)).map(|a| corr.get(a, a + d)).sum()
 }
 
 /// Detects an aligned contiguous block size: the smallest divisor `b` such
@@ -95,7 +93,7 @@ fn best_block(corr: &CorrelationMatrix) -> Option<usize> {
     }
     let mut b = 2;
     while b <= n / 2 {
-        if n % b == 0 {
+        if n.is_multiple_of(b) {
             // Contrast: mean in-block pair value must dominate the mean
             // cross-block pair value (robust to broad weak backgrounds,
             // like LU's perimeter sharing).
@@ -221,12 +219,11 @@ pub fn profile_map(corr: &CorrelationMatrix) -> MapProfile {
 /// the block; for nearest-neighbor, any node size ≥ 2·distance works; for
 /// all-to-all or independent sharing every size is equivalent.
 pub fn compatible_node_sizes(profile: &MapProfile, threads: usize) -> Vec<usize> {
-    let divisors: Vec<usize> = (1..=threads).filter(|d| threads % d == 0).collect();
+    let divisors: Vec<usize> = (1..=threads)
+        .filter(|d| threads.is_multiple_of(*d))
+        .collect();
     match profile.structure {
-        Structure::Blocked { block } => divisors
-            .into_iter()
-            .filter(|&d| d % block == 0)
-            .collect(),
+        Structure::Blocked { block } => divisors.into_iter().filter(|&d| d % block == 0).collect(),
         Structure::NearestNeighbor { distance } => divisors
             .into_iter()
             .filter(|&d| d >= 2 * distance)

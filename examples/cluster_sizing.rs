@@ -26,8 +26,9 @@ fn main() -> Result<(), DsmError> {
     let sizes = compatible_node_sizes(&profile, threads);
     println!("advisor: compatible per-node thread counts: {sizes:?}");
 
-    // 2. Verify by running 2/4/8-node configurations.
-    let rows = node_count_study(app, threads, &[2, 4, 8], 6)?;
+    // 2. Verify by running 2/4/8-node configurations (in parallel: each
+    //    node count is an independent, deterministic run).
+    let rows = node_count_study(app, threads, &[2, 4, 8], 6, 0)?;
     println!("\nmeasured ({} threads, stretch placement):", threads);
     for row in &rows {
         println!("  {row}");

@@ -11,9 +11,11 @@
 use active_correlation_tracking::apps::{Fft, Ocean};
 use active_correlation_tracking::dsm::DsmError;
 use active_correlation_tracking::experiment::Workbench;
-use active_correlation_tracking::track::{internal_cost, render_ascii, CorrelationMatrix, MapStyle};
-use active_correlation_tracking::track::cut_cost;
 use active_correlation_tracking::sim::Mapping;
+use active_correlation_tracking::track::cut_cost;
+use active_correlation_tracking::track::{
+    internal_cost, render_ascii, CorrelationMatrix, MapStyle,
+};
 
 fn show(corr: &CorrelationMatrix, label: &str) {
     println!("--- {label} ---");

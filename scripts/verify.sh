@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# The full PR gate, identical to .github/workflows/ci.yml — run before
+# pushing. Uses only the default feature set (zero external dependencies,
+# works offline); proptest/criterion extras need a networked machine and
+# the commented dev-dependencies restored (see the workspace Cargo.toml).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> OK"

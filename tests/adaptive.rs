@@ -12,7 +12,10 @@ fn drift_correlations_change_between_phases() {
     let bench = Workbench::new(4, 16).unwrap();
     let make = || Drift::new(512, 16, 2);
     let mut dsm = bench
-        .dsm(make(), active_correlation_tracking::sim::Mapping::stretch(&bench.cluster))
+        .dsm(
+            make(),
+            active_correlation_tracking::sim::Mapping::stretch(&bench.cluster),
+        )
         .unwrap();
     let (_, early) = dsm.run_tracked_iteration().unwrap();
     dsm.run_iterations(7).unwrap(); // cross several phase boundaries
@@ -87,11 +90,13 @@ fn drift_triggered_retracking_spends_fewer_tracked_iterations() {
         study.on_demand_tracks,
         study.scheduled_tracks
     );
-    assert!(study.on_demand_tracks >= 1, "it must react to phase changes");
+    assert!(
+        study.on_demand_tracks >= 1,
+        "it must react to phase changes"
+    );
     // Traffic stays in the same regime as the scheduled policy.
     assert!(
-        (study.on_demand.remote_misses as f64)
-            < study.scheduled.remote_misses as f64 * 1.6 + 100.0,
+        (study.on_demand.remote_misses as f64) < study.scheduled.remote_misses as f64 * 1.6 + 100.0,
         "on-demand {} vs scheduled {}",
         study.on_demand.remote_misses,
         study.scheduled.remote_misses

@@ -1,0 +1,44 @@
+//! The parallel experiment harness's determinism contract, end to end:
+//! every study must be **byte-identical** at any worker count, because the
+//! pool forks per-sample seeds up-front and collects results in index
+//! order (see `acorr_sim::pool`).
+
+use active_correlation_tracking::apps;
+use active_correlation_tracking::experiment::Workbench;
+use active_correlation_tracking::place::Strategy;
+
+fn bench(jobs: usize) -> Workbench {
+    Workbench::new(4, 16).unwrap().with_threads(jobs)
+}
+
+#[test]
+fn cutcost_study_is_bit_identical_across_worker_counts() {
+    let app = || apps::by_name("SOR", 16).expect("known app");
+    let seq = bench(1).cutcost_study(app, 12, 1).unwrap();
+    for jobs in [2, 4] {
+        let par = bench(jobs).cutcost_study(app, 12, 1).unwrap();
+        // Full sample list, least-squares fit, and the CSV artifact the
+        // bench binaries write must all match byte-for-byte.
+        assert_eq!(seq.samples, par.samples, "jobs={jobs}");
+        assert_eq!(seq.fit, par.fit, "jobs={jobs}");
+        assert_eq!(seq.to_csv(), par.to_csv(), "jobs={jobs}");
+    }
+}
+
+#[test]
+fn heuristic_comparison_is_bit_identical_across_worker_counts() {
+    let app = || apps::by_name("Water", 16).expect("known app");
+    let strategies = [Strategy::MinCost, Strategy::RandomBalanced];
+    let seq = bench(1).heuristic_comparison(app, &strategies, 2).unwrap();
+    let par = bench(4).heuristic_comparison(app, &strategies, 2).unwrap();
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn passive_study_is_bit_identical_across_worker_counts() {
+    let app = || apps::by_name("FFT7", 16).expect("known app");
+    let seq = bench(1).passive_study(app, 3).unwrap();
+    let par = bench(4).passive_study(app, 3).unwrap();
+    assert_eq!(seq.completeness, par.completeness);
+    assert_eq!(seq.moves, par.moves);
+}

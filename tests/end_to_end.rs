@@ -25,7 +25,8 @@ fn full_pipeline_reduces_misses() {
     let mut dsm = bench.dsm(app(), scrambled).unwrap();
     dsm.run_iterations(1).unwrap();
     let before = dsm.run_iterations(3).unwrap();
-    dsm.migrate_to(min_cost(&truth.corr, &bench.cluster)).unwrap();
+    dsm.migrate_to(min_cost(&truth.corr, &bench.cluster))
+        .unwrap();
     dsm.run_iterations(1).unwrap(); // re-cache
     let after = dsm.run_iterations(3).unwrap();
     assert!(
@@ -63,10 +64,7 @@ fn tracked_access_information_is_exhaustive_and_exact() {
             observed.insert((t, p as u32));
         }
     }
-    let expected: std::collections::BTreeSet<(usize, u32)> = expected
-        .into_iter()
-        .map(|(t, p)| (t, p))
-        .collect();
+    let expected: std::collections::BTreeSet<(usize, u32)> = expected.into_iter().collect();
     assert_eq!(observed, expected);
 }
 
@@ -74,7 +72,9 @@ fn tracked_access_information_is_exhaustive_and_exact() {
 fn correlation_pipeline_is_deterministic() {
     let run = || {
         let bench = bench();
-        let truth = bench.ground_truth(|| Fft::new("fft", 16, 16, 16, 16)).unwrap();
+        let truth = bench
+            .ground_truth(|| Fft::new("fft", 16, 16, 16, 16))
+            .unwrap();
         (
             render_pgm(&truth.corr),
             truth.baseline.remote_misses,
@@ -199,7 +199,11 @@ fn weighted_placement_trades_balance_for_affinity() {
     let truth = bench.ground_truth(|| Water::new(256, 16)).unwrap();
     let weights: Vec<u64> = (0..16).map(|t| if t < 4 { 2 } else { 1 }).collect();
     let m = min_cost_weighted(&truth.corr, &bench.cluster, &weights, 1.15);
-    assert!(imbalance(&m, &weights) <= 1.16, "{:?}", node_loads(&m, &weights));
+    assert!(
+        imbalance(&m, &weights) <= 1.16,
+        "{:?}",
+        node_loads(&m, &weights)
+    );
     // Still a sane mapping for the DSM.
     let mut dsm = bench.dsm(Water::new(256, 16), m).unwrap();
     dsm.run_iterations(1).unwrap();

@@ -60,7 +60,11 @@ fn claim2_cut_cost_predicts_remote_misses() {
     let water = bench
         .cutcost_study(|| apps::by_name("Water", 16).unwrap(), 30, 1)
         .unwrap();
-    assert!(water.fit.unwrap().r > 0.3, "Water r = {}", water.fit.unwrap().r);
+    assert!(
+        water.fit.unwrap().r > 0.3,
+        "Water r = {}",
+        water.fit.unwrap().r
+    );
 }
 
 #[test]
@@ -144,8 +148,7 @@ fn suite_runs_clean_at_reduced_scale() {
             assert!(truth.tracked.elapsed > truth.baseline.elapsed, "{name}");
         } else {
             assert!(
-                truth.tracked.elapsed.as_secs_f64()
-                    > truth.baseline.elapsed.as_secs_f64() * 0.85,
+                truth.tracked.elapsed.as_secs_f64() > truth.baseline.elapsed.as_secs_f64() * 0.85,
                 "{name}: tracked {} vs baseline {}",
                 truth.tracked.elapsed,
                 truth.baseline.elapsed

@@ -64,7 +64,10 @@ fn node_size_advice_matches_section3() {
     if let Structure::Blocked { block } = p.structure {
         let sizes = compatible_node_sizes(&p, 32);
         assert!(sizes.contains(&8) || sizes.contains(&block));
-        assert!(!sizes.contains(&4) || block <= 4, "4/node splits {block}-blocks");
+        assert!(
+            !sizes.contains(&4) || block <= 4,
+            "4/node splits {block}-blocks"
+        );
     } else {
         panic!("LU2k @32 threads should be blocked: {p}");
     }
