@@ -31,7 +31,7 @@ pub mod args;
 use acorr::apps;
 use acorr::experiment::Workbench;
 use acorr::place::{place, Strategy};
-use acorr::sim::DetRng;
+use acorr::sim::{DetRng, FaultPlan};
 use acorr::track::{
     compatible_node_sizes, cut_cost, page_report, profile_map, render_ascii, render_csv,
     render_pgm, render_svg, CorrelationMatrix, MapStyle,
@@ -52,6 +52,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "run" => run_cmd(args),
         "overhead" => overhead(args),
         "hot" => hot(args),
+        "verify" => verify(args),
         "help" | "--help" => Ok(usage()),
         other => Err(format!("unknown command `{other}`\n\n{}", usage())),
     }
@@ -67,12 +68,17 @@ USAGE:
   acorr track    --app NAME [--threads N] [--nodes N] [--format ascii|pgm|csv|svg] [--out FILE]
   acorr profile  --app NAME [--threads N] | --csv FILE
   acorr place    --app NAME [--threads N] [--nodes N] [--strategy S] | --csv FILE --nodes N
-  acorr run      --app NAME [--threads N] [--nodes N] [--strategy S] [--iters N]
-  acorr overhead --app NAME [--threads N] [--nodes N]
+  acorr run      --app NAME [--threads N] [--nodes N] [--strategy S] [--iters N] [--faults SPEC]
+  acorr overhead --app NAME [--threads N] [--nodes N] [--faults SPEC]
   acorr hot      --app NAME [--threads N] [--k N]
+  acorr verify   --app NAME [--threads N] [--nodes N] [--iters N] [--faults SPEC]
 
 Strategies: stretch, random, min-cost, jarvis-patrick, anneal, optimal
 Defaults: --threads 64 --nodes 8 --strategy min-cost --format ascii
+Fault specs: a preset (none, light, moderate, heavy) and/or key=value
+overrides, comma-separated — e.g. `moderate`, `heavy,seed=7`,
+`drop_prob=0.05,max_retries=6`. Plans are deterministic per seed; `verify`
+additionally shadows the run with the coherence conformance oracle.
 Parallelism: every experiment command takes --jobs N (worker threads for the
 deterministic parallel runner; 0 = all cores, 1 = sequential; --threads is
 the simulated app thread count). Output is bit-identical at any --jobs.
@@ -105,6 +111,15 @@ fn strategy_of(name: &str) -> Result<Strategy, String> {
 /// The `--jobs` option: pool worker threads (0 = available parallelism).
 fn jobs_of(args: &Args) -> Result<usize, String> {
     args.get_usize("jobs", 0)
+}
+
+/// The `--faults` option: a deterministic fault-plan spec (see
+/// [`FaultPlan::parse`]); absent means no faults.
+fn faults_of(args: &Args) -> Result<FaultPlan, String> {
+    match args.get("faults") {
+        None => Ok(FaultPlan::none()),
+        Some(spec) => FaultPlan::parse(spec).map_err(|e| e.to_string()),
+    }
 }
 
 fn app_factory(args: &Args) -> Result<(String, usize), String> {
@@ -199,12 +214,26 @@ fn run_cmd(args: &Args) -> Result<String, String> {
     let strategy = strategy_of(args.get_or("strategy", "min-cost"))?;
     let bench = Workbench::new(nodes, threads)
         .map_err(|e| e.to_string())?
-        .with_threads(jobs_of(args)?);
+        .with_threads(jobs_of(args)?)
+        .with_faults(faults_of(args)?);
     let rows = bench
         .heuristic_comparison(|| build(&name, threads), &[strategy], iters)
         .map_err(|e| e.to_string())?;
     let row = rows.first().ok_or("no result")?;
     Ok(format!("{row}\n"))
+}
+
+fn verify(args: &Args) -> Result<String, String> {
+    let (name, threads) = app_factory(args)?;
+    let nodes = args.get_usize("nodes", 8)?;
+    let iters = args.get_usize("iters", 3)?;
+    let bench = Workbench::new(nodes, threads)
+        .map_err(|e| e.to_string())?
+        .with_faults(faults_of(args)?);
+    let run = bench
+        .conformance_run(build(&name, threads), iters)
+        .map_err(|e| e.to_string())?;
+    Ok(format!("{run}\nconformance OK\n"))
 }
 
 fn hot(args: &Args) -> Result<String, String> {
@@ -226,7 +255,8 @@ fn overhead(args: &Args) -> Result<String, String> {
     let nodes = args.get_usize("nodes", 8)?;
     let bench = Workbench::new(nodes, threads)
         .map_err(|e| e.to_string())?
-        .with_threads(jobs_of(args)?);
+        .with_threads(jobs_of(args)?)
+        .with_faults(faults_of(args)?);
     let row = bench
         .tracking_overhead(|| build(&name, threads))
         .map_err(|e| e.to_string())?;
@@ -345,6 +375,62 @@ mod tests {
         .unwrap();
         assert!(out.contains("touched pages"), "{out}");
         assert!(out.contains("sharers"));
+    }
+
+    #[test]
+    fn verify_reports_conformance_with_and_without_faults() {
+        let clean = cli(&["verify", "--app", "SOR", "--threads", "8", "--nodes", "2"]).unwrap();
+        assert!(clean.contains("conformance OK"), "{clean}");
+        assert!(clean.contains("oracle"));
+        let faulty = cli(&[
+            "verify",
+            "--app",
+            "SOR",
+            "--threads",
+            "8",
+            "--nodes",
+            "2",
+            "--iters",
+            "3",
+            "--faults",
+            "heavy,seed=9",
+        ])
+        .unwrap();
+        assert!(faulty.contains("conformance OK"), "{faulty}");
+    }
+
+    #[test]
+    fn run_accepts_a_fault_spec_and_rejects_bad_ones() {
+        let out = cli(&[
+            "run",
+            "--app",
+            "Water",
+            "--threads",
+            "8",
+            "--nodes",
+            "2",
+            "--iters",
+            "2",
+            "--strategy",
+            "stretch",
+            "--faults",
+            "moderate,seed=3",
+        ])
+        .unwrap();
+        assert!(out.contains("misses"), "{out}");
+        let err = cli(&[
+            "run",
+            "--app",
+            "Water",
+            "--threads",
+            "8",
+            "--nodes",
+            "2",
+            "--faults",
+            "bogus",
+        ])
+        .unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
     }
 
     #[test]

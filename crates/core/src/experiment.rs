@@ -13,12 +13,12 @@
 //! * [`Workbench::passive_study`] — Figure 2: passive tracking with
 //!   migration rounds, measuring information completeness per round.
 
-use acorr_dsm::{Dsm, DsmConfig, DsmError, IterStats, Program};
+use acorr_dsm::{Dsm, DsmConfig, DsmError, IterStats, OracleReport, Program};
 use acorr_mem::AccessMatrix;
 use acorr_place::{min_cost, place, Strategy};
 use acorr_sim::{
-    linear_fit, par_map_indexed, par_map_range, ClusterConfig, DetRng, LinearFit, Mapping,
-    SimDuration,
+    linear_fit, par_map_indexed, par_map_range, ClusterConfig, DetRng, FaultPlan, LinearFit,
+    Mapping, SimDuration,
 };
 use acorr_track::{cut_cost, has_shifted, sharing_degree, AgedCorrelation, CorrelationMatrix};
 use std::fmt;
@@ -80,6 +80,13 @@ impl Workbench {
         self
     }
 
+    /// Replaces the network fault plan every DSM instance runs under.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.config.faults = faults;
+        self
+    }
+
     /// Builds a DSM instance for `program` under `mapping`.
     ///
     /// # Errors
@@ -87,6 +94,31 @@ impl Workbench {
     /// Propagates construction errors.
     pub fn dsm<P: Program>(&self, program: P, mapping: Mapping) -> Result<Dsm<P>, DsmError> {
         Dsm::new(self.config.clone(), program, mapping)
+    }
+
+    /// Runs `program` for `iterations` under the stretch placement with the
+    /// coherence oracle shadowing every protocol action (and whatever fault
+    /// plan the workbench carries), returning the aggregate statistics and
+    /// the oracle's checking summary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors; an oracle violation surfaces as
+    /// [`DsmError::OracleViolation`].
+    pub fn conformance_run<P: Program>(
+        &self,
+        program: P,
+        iterations: usize,
+    ) -> Result<ConformanceRun, DsmError> {
+        let mut dsm = self.dsm(program, Mapping::stretch(&self.cluster))?;
+        dsm.enable_oracle();
+        let stats = dsm.run_iterations(iterations)?;
+        let report = dsm.oracle_report().expect("oracle was enabled");
+        Ok(ConformanceRun {
+            app: dsm.program().name().to_owned(),
+            stats,
+            report,
+        })
     }
 
     /// Warm-up iterations run before any measurement (cold misses and GC
@@ -653,6 +685,34 @@ where
     .collect()
 }
 
+/// Outcome of a conformance run: aggregate statistics plus the oracle's
+/// checking summary (see [`Workbench::conformance_run`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConformanceRun {
+    /// Application name.
+    pub app: String,
+    /// Aggregate statistics over the checked iterations.
+    pub stats: IterStats,
+    /// What the oracle checked (violations abort the run instead).
+    pub report: OracleReport,
+}
+
+impl fmt::Display for ConformanceRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<8} {} | oracle: {} barriers, {} releases, {} fetches, {:.1} MB compared, {} hazy",
+            self.app,
+            self.stats,
+            self.report.barriers_checked,
+            self.report.lock_releases_checked,
+            self.report.fetches_checked,
+            self.report.bytes_compared as f64 / 1e6,
+            self.report.hazy_bytes,
+        )
+    }
+}
+
 /// Exact access information from one active-tracking phase, plus the
 /// baseline and tracked iteration statistics.
 #[derive(Debug, Clone)]
@@ -881,6 +941,40 @@ mod tests {
             .heuristic_comparison(|| Sor::new(64, 64, 8), &strategies, 2)
             .unwrap();
         assert_eq!(rows_seq, rows_par);
+    }
+
+    #[test]
+    fn conformance_run_is_clean_and_faults_slow_it_down() {
+        let clean = bench().conformance_run(Sor::new(64, 64, 8), 3).unwrap();
+        assert_eq!(clean.report.violations, 0);
+        assert!(clean.report.barriers_checked >= 3);
+        assert_eq!(clean.stats.retries, 0);
+        let faulty = bench()
+            .with_faults(FaultPlan::heavy(17))
+            .conformance_run(Sor::new(64, 64, 8), 3)
+            .unwrap();
+        assert_eq!(faulty.report.violations, 0);
+        assert!(faulty.stats.retries > 0, "heavy plan must drop something");
+        assert!(faulty.stats.elapsed > clean.stats.elapsed);
+        // The paper-reproduction counters are unchanged by faults.
+        assert_eq!(faulty.stats.remote_misses, clean.stats.remote_misses);
+        assert_eq!(
+            faulty.stats.net.total_bytes(),
+            clean.stats.net.total_bytes()
+        );
+        assert!(clean.to_string().contains("oracle"));
+    }
+
+    #[test]
+    fn faulty_workbench_studies_are_deterministic() {
+        let make = || {
+            bench()
+                .with_faults(FaultPlan::moderate(5))
+                .cutcost_study(|| Water::new(64, 8), 4, 1)
+                .unwrap()
+        };
+        let (a, b) = (make(), make());
+        assert_eq!(a.samples, b.samples);
     }
 
     #[test]

@@ -79,6 +79,6 @@ pub mod track {
 }
 
 pub use experiment::{
-    node_count_study, AdaptiveStudy, CutCostSample, CutCostStudy, GroundTruth, HeuristicRow,
-    NodeCountRow, OnDemandStudy, PassiveStudy, TrackingOverheadRow, Workbench,
+    node_count_study, AdaptiveStudy, ConformanceRun, CutCostSample, CutCostStudy, GroundTruth,
+    HeuristicRow, NodeCountRow, OnDemandStudy, PassiveStudy, TrackingOverheadRow, Workbench,
 };

@@ -1,6 +1,6 @@
 //! Engine configuration.
 
-use acorr_sim::{ClusterConfig, CostModel, NetworkModel, SimDuration};
+use acorr_sim::{ClusterConfig, CostModel, FaultPlan, NetworkModel, SimDuration};
 
 /// Which write-sharing protocol the DSM runs.
 ///
@@ -53,6 +53,9 @@ pub struct DsmConfig {
     pub seed: u64,
     /// Write-sharing protocol.
     pub write_mode: WriteMode,
+    /// Deterministic network fault plan applied at every send; the default
+    /// ([`FaultPlan::none`]) perturbs nothing and adds zero cost.
+    pub faults: FaultPlan,
 }
 
 impl DsmConfig {
@@ -65,6 +68,7 @@ impl DsmConfig {
             gc_diff_threshold: 16 * 1024,
             seed: 0,
             write_mode: WriteMode::MultiWriter,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -102,6 +106,13 @@ impl DsmConfig {
         self.write_mode = mode;
         self
     }
+
+    /// Replaces the network fault plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -124,5 +135,15 @@ mod tests {
             delta: SimDuration::from_millis(1),
         });
         assert!(matches!(sw.write_mode, WriteMode::SingleWriter { .. }));
+    }
+
+    #[test]
+    fn faults_default_to_none_and_chain() {
+        let cluster = ClusterConfig::new(2, 4).unwrap();
+        let c = DsmConfig::new(cluster);
+        assert!(c.faults.is_none());
+        let f = c.with_faults(FaultPlan::moderate(3));
+        assert!(!f.faults.is_none());
+        assert_eq!(f.faults.seed, 3);
     }
 }

@@ -26,13 +26,14 @@ use crate::config::{DsmConfig, WriteMode};
 use crate::error::DsmError;
 use crate::locks::LockState;
 use crate::node::NodeState;
+use crate::oracle::{CoherenceOracle, OracleReport};
 use crate::program::{validate_iteration, LockId, Op, Program};
 use crate::protocol::PageDirectory;
 use crate::stats::IterStats;
 use crate::thread::{OngoingAccess, ThreadState, ThreadStatus};
 use crate::trace::{Event, Trace};
 use acorr_mem::{pages_for, span_pages, AccessKind, AccessMatrix, PageId, PageSpan, Protection};
-use acorr_sim::{Mapping, MessageKind, NodeId, SimDuration, SimTime};
+use acorr_sim::{FaultInjector, Mapping, MessageKind, NodeId, SimDuration, SimTime};
 
 /// Fixed framing overhead charged per diff, on top of the dirty bytes.
 const DIFF_HEADER_BYTES: u64 = 16;
@@ -113,6 +114,8 @@ pub struct Dsm<P: Program> {
     passive: Option<AccessMatrix>,
     tracer: Option<Trace>,
     barrier_arrived: usize,
+    faults: FaultInjector,
+    oracle: Option<CoherenceOracle>,
 }
 
 impl<P: Program> Dsm<P> {
@@ -146,6 +149,7 @@ impl<P: Program> Dsm<P> {
             threads.push(ThreadState::new(node));
         }
         let locks = (0..program.num_locks()).map(|_| LockState::new()).collect();
+        let faults = FaultInjector::new(config.faults.clone(), num_nodes);
         Ok(Dsm {
             directory: PageDirectory::new(num_pages, NodeId(0)),
             program,
@@ -162,6 +166,8 @@ impl<P: Program> Dsm<P> {
             passive: None,
             tracer: None,
             barrier_arrived: 0,
+            faults,
+            oracle: None,
         })
     }
 
@@ -264,6 +270,70 @@ impl<P: Program> Dsm<P> {
         self.passive.take()
     }
 
+    /// Enables the conformance oracle: a sequential reference memory that
+    /// shadows the protocol and checks release-consistency visibility at
+    /// every fetch, finalization, lock release and barrier. Violations
+    /// surface as [`DsmError::OracleViolation`] from the run methods.
+    ///
+    /// The oracle is observation-only: enabling it changes no simulated
+    /// time, traffic or scheduling.
+    pub fn enable_oracle(&mut self) {
+        if self.oracle.is_none() {
+            let sw = matches!(self.config.write_mode, WriteMode::SingleWriter { .. });
+            self.oracle = Some(CoherenceOracle::new(self.nodes.len(), self.num_pages, sw));
+        }
+    }
+
+    /// The oracle's checking summary, if the oracle is enabled.
+    pub fn oracle_report(&self) -> Option<OracleReport> {
+        self.oracle.as_ref().map(|o| o.report())
+    }
+
+    /// Sends one protocol message charged to node `i`: records it, lets the
+    /// fault injector perturb it (possibly timing out and retransmitting),
+    /// and returns the total delivery latency. With no fault plan this is
+    /// exactly `base`.
+    fn net_send(
+        &mut self,
+        i: usize,
+        kind: MessageKind,
+        bytes: u64,
+        base: SimDuration,
+    ) -> SimDuration {
+        self.cur.net.record(kind, bytes);
+        if self.faults.is_none() {
+            return base;
+        }
+        let d = self
+            .faults
+            .deliver(self.nodes[i].id, self.nodes[i].time, base);
+        if d.retries > 0 {
+            self.cur.retries += d.retries as u64;
+            self.cur.net.record_retrans(kind, bytes, d.retries as u64);
+        }
+        d.latency
+    }
+
+    /// Like [`Dsm::net_send`] for messages the baseline cost model treats as
+    /// free (write notices, barrier control): only the fault-induced *extra*
+    /// latency beyond the nominal cost is charged, so a zero-fault run stays
+    /// byte-identical to one without the injector.
+    fn net_send_extra(&mut self, i: usize, kind: MessageKind, bytes: u64) -> SimDuration {
+        self.cur.net.record(kind, bytes);
+        if self.faults.is_none() {
+            return SimDuration::ZERO;
+        }
+        let base = self.config.network.control_time();
+        let d = self
+            .faults
+            .deliver(self.nodes[i].id, self.nodes[i].time, base);
+        if d.retries > 0 {
+            self.cur.retries += d.retries as u64;
+            self.cur.net.record_retrans(kind, bytes, d.retries as u64);
+        }
+        d.latency.saturating_sub(base)
+    }
+
     /// Runs `n` ordinary iterations and returns their aggregate statistics.
     ///
     /// # Errors
@@ -322,8 +392,25 @@ impl<P: Program> Dsm<P> {
             // Each node receives its incoming stacks, then all nodes
             // rendezvous (migration happens inside a barrier).
             let per_stack = self.config.network.transfer_time(stack);
-            for (i, node) in self.nodes.iter_mut().enumerate() {
-                node.time += per_stack * incoming[i];
+            for (i, &arriving) in incoming.iter().enumerate() {
+                if self.faults.is_none() {
+                    self.nodes[i].time += per_stack * arriving;
+                    continue;
+                }
+                for _ in 0..arriving {
+                    let d = self
+                        .faults
+                        .deliver(self.nodes[i].id, self.nodes[i].time, per_stack);
+                    if d.retries > 0 {
+                        self.total.retries += d.retries as u64;
+                        self.total.net.record_retrans(
+                            MessageKind::Migration,
+                            stack,
+                            d.retries as u64,
+                        );
+                    }
+                    self.nodes[i].time += d.latency;
+                }
             }
             let release = self
                 .nodes
@@ -395,6 +482,9 @@ impl<P: Program> Dsm<P> {
         }
         self.cur = IterStats::new();
         self.barrier_arrived = 0;
+        if let Some(o) = self.oracle.as_mut() {
+            o.begin_iteration(iteration);
+        }
         if tracked {
             self.tracking = Some(AccessMatrix::new(self.threads.len(), self.num_pages));
             let sweep = self.config.cost.protect_sweep(self.num_pages as u64);
@@ -445,6 +535,12 @@ impl<P: Program> Dsm<P> {
         self.cur.elapsed = end.saturating_since(start);
         self.total += self.cur;
         self.next_iteration += 1;
+        if let Some(detail) = self.oracle.as_ref().and_then(|o| o.first_violation()) {
+            return Err(DsmError::OracleViolation {
+                iteration,
+                detail: detail.to_string(),
+            });
+        }
         Ok(self.cur)
     }
 
@@ -655,17 +751,13 @@ impl<P: Program> Dsm<P> {
                     .fetch_plan(page, self.nodes[i].id, ps.applied_version, ps.has_copy);
             let mut dur = SimDuration::ZERO;
             if plan.full_page_from.is_some() {
-                self.cur
-                    .net
-                    .record(MessageKind::PageFetch, acorr_mem::PAGE_SIZE as u64);
-                dur += self
-                    .config
-                    .network
-                    .transfer_time(acorr_mem::PAGE_SIZE as u64);
+                let bytes = acorr_mem::PAGE_SIZE as u64;
+                let base = self.config.network.transfer_time(bytes);
+                dur += self.net_send(i, MessageKind::PageFetch, bytes, base);
             }
             for d in &plan.diffs {
-                self.cur.net.record(MessageKind::DiffFetch, d.bytes);
-                dur += self.config.network.transfer_time(d.bytes);
+                let base = self.config.network.transfer_time(d.bytes);
+                dur += self.net_send(i, MessageKind::DiffFetch, d.bytes, base);
             }
             let apply = self.config.cost.diff_apply(plan.diff_bytes());
             self.nodes[i].time += apply;
@@ -675,6 +767,9 @@ impl<P: Program> Dsm<P> {
             ps.applied_version = plan.new_version;
             if ps.prot == Protection::None {
                 ps.prot = Protection::Read;
+            }
+            if let Some(o) = self.oracle.as_mut() {
+                o.on_fetch(i, page, plan.new_version);
             }
             return AccessOutcome::Block(dur);
         }
@@ -699,6 +794,9 @@ impl<P: Program> Dsm<P> {
             self.nodes[i].pages[page.idx()]
                 .dirty
                 .insert(span.start, span.end);
+            if let Some(o) = self.oracle.as_mut() {
+                o.on_write(i, t, span);
+            }
             if !self.threads[t].held_locks.is_empty()
                 && !self.threads[t].lock_writes.contains(&page)
             {
@@ -735,13 +833,9 @@ impl<P: Program> Dsm<P> {
                     .page(page)
                     .sw_frozen_until
                     .saturating_since(now);
-                self.cur
-                    .net
-                    .record(MessageKind::PageFetch, acorr_mem::PAGE_SIZE as u64);
-                let transfer = self
-                    .config
-                    .network
-                    .transfer_time(acorr_mem::PAGE_SIZE as u64);
+                let bytes = acorr_mem::PAGE_SIZE as u64;
+                let base = self.config.network.transfer_time(bytes);
+                let transfer = self.net_send(i, MessageKind::PageFetch, bytes, base);
                 // The owner is downgraded so its next write faults and
                 // re-invalidates this reader.
                 let owner = self.directory.page(page).owner;
@@ -755,6 +849,9 @@ impl<P: Program> Dsm<P> {
                 ps.valid = true;
                 ps.has_copy = true;
                 ps.prot = Protection::Read;
+                if let Some(o) = self.oracle.as_mut() {
+                    o.on_fetch_sw(i, page);
+                }
                 AccessOutcome::BlockCompleted(stall + transfer)
             }
             AccessKind::Write => {
@@ -775,6 +872,9 @@ impl<P: Program> Dsm<P> {
                             },
                         );
                     }
+                    if let Some(o) = self.oracle.as_mut() {
+                        o.on_write(i, t, span);
+                    }
                     return AccessOutcome::Proceed;
                 }
                 // Ownership transfer (steal), delayed by the freeze.
@@ -786,13 +886,9 @@ impl<P: Program> Dsm<P> {
                     .page(page)
                     .sw_frozen_until
                     .saturating_since(now);
-                self.cur
-                    .net
-                    .record(MessageKind::PageFetch, acorr_mem::PAGE_SIZE as u64);
-                let transfer = self
-                    .config
-                    .network
-                    .transfer_time(acorr_mem::PAGE_SIZE as u64);
+                let bytes = acorr_mem::PAGE_SIZE as u64;
+                let base = self.config.network.transfer_time(bytes);
+                let transfer = self.net_send(i, MessageKind::PageFetch, bytes, base);
                 self.invalidate_others_sw(i, page);
                 let wake = now + stall + transfer;
                 self.directory
@@ -803,6 +899,10 @@ impl<P: Program> Dsm<P> {
                 ps.has_copy = true;
                 ps.prot = Protection::ReadWrite;
                 self.nodes[i].write_set.push(page);
+                if let Some(o) = self.oracle.as_mut() {
+                    o.on_fetch_sw(i, page);
+                    o.on_write(i, t, span);
+                }
                 AccessOutcome::BlockCompleted(stall + transfer)
             }
         }
@@ -830,12 +930,17 @@ impl<P: Program> Dsm<P> {
     /// Invalidates every other node's copy of `page` (single-writer
     /// protocol), with write-notice accounting.
     fn invalidate_others_sw(&mut self, i: usize, page: PageId) {
+        let mut invalidated = 0u64;
         for (j, node) in self.nodes.iter_mut().enumerate() {
             if j != i && node.pages[page.idx()].valid {
                 node.pages[page.idx()].valid = false;
                 node.pages[page.idx()].prot = Protection::None;
-                self.cur.net.record(MessageKind::WriteNotice, NOTICE_BYTES);
+                invalidated += 1;
             }
+        }
+        for _ in 0..invalidated {
+            let extra = self.net_send_extra(i, MessageKind::WriteNotice, NOTICE_BYTES);
+            self.nodes[i].time += extra;
         }
     }
 
@@ -872,11 +977,21 @@ impl<P: Program> Dsm<P> {
                 self.run_gc();
             }
         }
-        // Rendezvous.
-        let n = self.nodes.len() as u64;
-        for _ in 0..2 * (n.saturating_sub(1)) {
-            self.cur.net.record(MessageKind::Barrier, BARRIER_MSG_BYTES);
+        // Conformance check: every page's visible contents must match the
+        // sequential reference memory now that write intervals are closed.
+        if let Some(o) = self.oracle.as_mut() {
+            o.check_barrier(&self.nodes, &self.directory);
         }
+        // Rendezvous: each non-root node reports in, the root releases.
+        // Fault-injected delays on these control messages push out the
+        // sender's arrival (and with it the release time).
+        for j in 1..self.nodes.len() {
+            let extra = self.net_send_extra(j, MessageKind::Barrier, BARRIER_MSG_BYTES);
+            self.nodes[j].time += extra;
+            let extra = self.net_send_extra(0, MessageKind::Barrier, BARRIER_MSG_BYTES);
+            self.nodes[0].time += extra;
+        }
+        let n = self.nodes.len() as u64;
         let release = self
             .nodes
             .iter()
@@ -952,9 +1067,9 @@ impl<P: Program> Dsm<P> {
         if !ps.twin && ps.dirty.is_empty() {
             return; // already finalized (e.g. at an earlier unlock)
         }
-        let bytes = ps.dirty.total_len()
-            + DIFF_RANGE_BYTES * ps.dirty.fragment_count() as u64
-            + DIFF_HEADER_BYTES;
+        let dirty_len = ps.dirty.total_len();
+        let fragments = ps.dirty.fragment_count();
+        let bytes = dirty_len + DIFF_RANGE_BYTES * fragments as u64 + DIFF_HEADER_BYTES;
         self.nodes[i].time += self.config.cost.diff_create(bytes);
         let ver = self.directory.record_diff(page, self.nodes[i].id, bytes);
         self.cur.diffs_created += 1;
@@ -967,7 +1082,8 @@ impl<P: Program> Dsm<P> {
                 bytes,
             },
         );
-        self.cur.net.record(MessageKind::WriteNotice, NOTICE_BYTES);
+        let extra = self.net_send_extra(i, MessageKind::WriteNotice, NOTICE_BYTES);
+        self.nodes[i].time += extra;
         let ps = &mut self.nodes[i].pages[page.idx()];
         ps.twin = false;
         ps.dirty.clear();
@@ -986,6 +1102,10 @@ impl<P: Program> Dsm<P> {
         let ps = &mut self.nodes[i].pages[page.idx()];
         if ps.valid {
             ps.applied_version = ver;
+        }
+        let still_valid = ps.valid;
+        if let Some(o) = self.oracle.as_mut() {
+            o.on_finalize(i, page, dirty_len, fragments, ver, still_valid);
         }
     }
 
@@ -1008,17 +1128,15 @@ impl<P: Program> Dsm<P> {
                 .directory
                 .fetch_plan(page, owner, ps.applied_version, ps.has_copy);
             if plan.full_page_from.is_some() {
-                self.cur
-                    .net
-                    .record(MessageKind::Gc, acorr_mem::PAGE_SIZE as u64);
-                self.nodes[oi].time += self
-                    .config
-                    .network
-                    .transfer_time(acorr_mem::PAGE_SIZE as u64);
+                let bytes = acorr_mem::PAGE_SIZE as u64;
+                let base = self.config.network.transfer_time(bytes);
+                let dur = self.net_send(oi, MessageKind::Gc, bytes, base);
+                self.nodes[oi].time += dur;
             }
             for d in &plan.diffs {
-                self.cur.net.record(MessageKind::Gc, d.bytes);
-                self.nodes[oi].time += self.config.network.transfer_time(d.bytes);
+                let base = self.config.network.transfer_time(d.bytes);
+                let dur = self.net_send(oi, MessageKind::Gc, d.bytes, base);
+                self.nodes[oi].time += dur;
             }
             self.nodes[oi].time += self.config.cost.diff_apply(plan.diff_bytes());
             let ps = &mut self.nodes[oi].pages[page.idx()];
@@ -1027,6 +1145,9 @@ impl<P: Program> Dsm<P> {
             ps.applied_version = plan.new_version;
             if ps.prot == Protection::None {
                 ps.prot = Protection::Read;
+            }
+            if let Some(o) = self.oracle.as_mut() {
+                o.on_fetch(oi, page, plan.new_version);
             }
             self.directory.consolidate(page, owner);
             self.cur.gc_pages += 1;
@@ -1072,10 +1193,10 @@ impl<P: Program> Dsm<P> {
         );
         if remote {
             self.cur.remote_lock_acquires += 1;
-            self.cur.net.record(MessageKind::Lock, LOCK_MSG_BYTES);
-            self.cur.net.record(MessageKind::Lock, LOCK_MSG_BYTES);
+            let base = self.config.network.control_time();
+            let delay = self.net_send(i, MessageKind::Lock, LOCK_MSG_BYTES, base)
+                + self.net_send(i, MessageKind::Lock, LOCK_MSG_BYTES, base);
             self.threads[t].status = ThreadStatus::Blocked;
-            let delay = self.config.network.control_time() * 2;
             self.cur.stall += delay;
             self.threads[t].wake_at = grant_base + delay;
             false
@@ -1093,8 +1214,13 @@ impl<P: Program> Dsm<P> {
         // next acquirer sees them (the engine's stand-in for carrying write
         // notices with the lock grant).
         let pages = std::mem::take(&mut self.threads[t].lock_writes);
-        for page in pages {
+        for &page in &pages {
             self.finalize_page(i, page);
+        }
+        // Conformance check: everything written under the lock must now be
+        // published for the next acquirer.
+        if let Some(o) = self.oracle.as_mut() {
+            o.check_lock_release(i, &pages, &self.directory);
         }
         let now = self.nodes[i].time;
         let lock = &mut self.locks[l.idx()];
@@ -1114,9 +1240,10 @@ impl<P: Program> Dsm<P> {
         lock.last_node = Some(node_id);
         let delay = if remote {
             self.cur.remote_lock_acquires += 1;
-            self.cur.net.record(MessageKind::Lock, LOCK_MSG_BYTES);
-            self.cur.net.record(MessageKind::Lock, LOCK_MSG_BYTES);
-            self.config.network.control_time() * 2
+            let ni = node_id.idx();
+            let base = self.config.network.control_time();
+            self.net_send(ni, MessageKind::Lock, LOCK_MSG_BYTES, base)
+                + self.net_send(ni, MessageKind::Lock, LOCK_MSG_BYTES, base)
         } else {
             self.config.cost.lock_local
         };

@@ -24,6 +24,15 @@ pub enum DsmError {
         /// The iteration during which the stall occurred.
         iteration: usize,
     },
+    /// The conformance oracle detected a release-consistency violation:
+    /// the protocol's visible state diverged from the sequential reference
+    /// memory.
+    OracleViolation {
+        /// The iteration during which the violation was detected.
+        iteration: usize,
+        /// Human-readable description of the first violated check.
+        detail: String,
+    },
 }
 
 impl fmt::Display for DsmError {
@@ -40,6 +49,12 @@ impl fmt::Display for DsmError {
             ),
             DsmError::Deadlock { iteration } => {
                 write!(f, "deadlock detected during iteration {iteration}")
+            }
+            DsmError::OracleViolation { iteration, detail } => {
+                write!(
+                    f,
+                    "coherence oracle violation in iteration {iteration}: {detail}"
+                )
             }
         }
     }
@@ -80,5 +95,12 @@ mod tests {
         let d = DsmError::Deadlock { iteration: 3 };
         assert!(d.to_string().contains("iteration 3"));
         assert!(d.source().is_none());
+        let o = DsmError::OracleViolation {
+            iteration: 2,
+            detail: "byte 7 mismatch".into(),
+        };
+        assert!(o.to_string().contains("oracle"));
+        assert!(o.to_string().contains("byte 7 mismatch"));
+        assert!(o.source().is_none());
     }
 }

@@ -26,6 +26,14 @@
 //!   page ping-ponging it is famous for.
 //! * **Protocol tracing** ([`Dsm::enable_tracing`]) — a bounded ring of
 //!   timestamped protocol events for debugging and observability.
+//! * **Fault injection & conformance** — a deterministic [`FaultPlan`]
+//!   (delay jitter, bounded reordering, transient drops with retry,
+//!   per-node slowdown windows) perturbs every send, while the
+//!   [`CoherenceOracle`] ([`Dsm::enable_oracle`]) shadows the protocol
+//!   with a sequential reference memory and checks release-consistency
+//!   expectations at every barrier and lock release ([`oracle`]).
+//!
+//! [`FaultPlan`]: acorr_sim::FaultPlan
 //!
 //! The crate deliberately knows nothing about *analyzing* the collected
 //! access bitmaps — correlation matrices, maps, cut costs and placement live
@@ -40,6 +48,7 @@ pub mod error;
 pub mod ids;
 pub mod locks;
 pub mod node;
+pub mod oracle;
 pub mod program;
 pub mod protocol;
 pub mod stats;
@@ -50,5 +59,6 @@ pub use config::{DsmConfig, WriteMode};
 pub use engine::{Dsm, MigrationReport};
 pub use error::DsmError;
 pub use ids::ThreadId;
+pub use oracle::{CoherenceOracle, OracleReport};
 pub use program::{validate_iteration, LockId, Op, Program, ScriptError};
 pub use stats::IterStats;

@@ -47,6 +47,10 @@ pub struct IterStats {
     pub gc_pages: u64,
     /// Threads migrated.
     pub migrations: u64,
+    /// Fault-injected message retransmissions the protocol recovered from
+    /// (0 without a fault plan; the corresponding traffic is in
+    /// `net.retrans_*`, separate from the paper-reproduction counters).
+    pub retries: u64,
     /// Network traffic.
     pub net: NetStats,
 }
@@ -94,6 +98,7 @@ impl AddAssign for IterStats {
         self.gc_runs += rhs.gc_runs;
         self.gc_pages += rhs.gc_pages;
         self.migrations += rhs.migrations;
+        self.retries += rhs.retries;
         self.net += rhs.net;
     }
 }
@@ -102,7 +107,7 @@ impl fmt::Display for IterStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} | misses {} | tracking {} | coherence {} | twins {} | diffs {} ({} B) | barriers {} | locks {} ({} remote) | gc {} | {:.2} MB total / {:.2} MB diff",
+            "{} | misses {} | tracking {} | coherence {} | twins {} | diffs {} ({} B) | barriers {} | locks {} ({} remote) | gc {} | retries {} | {:.2} MB total / {:.2} MB diff",
             self.elapsed,
             self.remote_misses,
             self.tracking_faults,
@@ -114,6 +119,7 @@ impl fmt::Display for IterStats {
             self.lock_acquires,
             self.remote_lock_acquires,
             self.gc_runs,
+            self.retries,
             self.total_mbytes(),
             self.diff_mbytes(),
         )

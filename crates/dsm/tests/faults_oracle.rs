@@ -1,0 +1,338 @@
+//! Integration tests for deterministic fault injection and the coherence
+//! conformance oracle, exercised through small hand-built programs.
+//!
+//! These run under default features (no proptest needed): fault plans are
+//! themselves deterministic, so fixed seeds give full reproducibility.
+
+use acorr_dsm::{Dsm, DsmConfig, IterStats, LockId, Op, Program, WriteMode};
+use acorr_mem::PAGE_SIZE;
+use acorr_sim::{ClusterConfig, FaultPlan, Mapping, SimDuration};
+
+/// A program built from explicit per-thread, per-iteration scripts.
+struct Scripted {
+    shared_bytes: u64,
+    locks: usize,
+    /// scripts[iteration][thread]
+    scripts: Vec<Vec<Vec<Op>>>,
+}
+
+impl Scripted {
+    fn new(shared_pages: u64, scripts: Vec<Vec<Vec<Op>>>) -> Self {
+        Scripted {
+            shared_bytes: shared_pages * PAGE_SIZE as u64,
+            locks: 0,
+            scripts,
+        }
+    }
+
+    fn with_locks(mut self, locks: usize) -> Self {
+        self.locks = locks;
+        self
+    }
+}
+
+impl Program for Scripted {
+    fn name(&self) -> &str {
+        "scripted"
+    }
+    fn shared_bytes(&self) -> u64 {
+        self.shared_bytes
+    }
+    fn num_threads(&self) -> usize {
+        self.scripts[0].len()
+    }
+    fn num_locks(&self) -> usize {
+        self.locks
+    }
+    fn script(&self, thread: usize, iteration: usize) -> Vec<Op> {
+        let it = iteration.min(self.scripts.len() - 1);
+        self.scripts[it][thread].clone()
+    }
+}
+
+const PAGE: u64 = PAGE_SIZE as u64;
+
+/// A sharing-heavy workload: concurrent writers on one page, private pages,
+/// a lock-protected counter, cross-iteration reads.
+fn busy_program() -> Scripted {
+    let l = LockId(0);
+    Scripted::new(
+        6,
+        vec![vec![
+            vec![
+                Op::read(0, PAGE),
+                Op::write(0, 128),
+                Op::Lock(l),
+                Op::read(4 * PAGE, 16),
+                Op::write(4 * PAGE, 16),
+                Op::Unlock(l),
+                Op::Barrier,
+                Op::read(PAGE, 64),
+            ],
+            vec![
+                Op::read(0, PAGE),
+                Op::write(2048, 128),
+                Op::write(PAGE, 64),
+                Op::Lock(l),
+                Op::read(4 * PAGE, 16),
+                Op::write(4 * PAGE, 16),
+                Op::Unlock(l),
+                Op::Barrier,
+            ],
+            vec![
+                Op::read(2 * PAGE, PAGE),
+                Op::write(2 * PAGE + 512, 256),
+                Op::Barrier,
+                Op::read(0, 256),
+            ],
+            vec![
+                Op::read(3 * PAGE, 64),
+                Op::write(3 * PAGE, 64),
+                Op::Barrier,
+                Op::read(2 * PAGE + 512, 64),
+            ],
+        ]],
+    )
+    .with_locks(1)
+}
+
+/// A lock-free variant: concurrent writers and cross-iteration reads only.
+/// Without locks there is no timing-dependent ordering, so every protocol
+/// counter is invariant under fault plans (only timing and retransmissions
+/// move).
+fn barrier_program() -> Scripted {
+    Scripted::new(
+        5,
+        vec![vec![
+            vec![
+                Op::read(0, PAGE),
+                Op::write(0, 128),
+                Op::Barrier,
+                Op::read(PAGE, 64),
+            ],
+            vec![
+                Op::read(0, PAGE),
+                Op::write(2048, 128),
+                Op::write(PAGE, 64),
+                Op::Barrier,
+            ],
+            vec![
+                Op::read(2 * PAGE, PAGE),
+                Op::write(2 * PAGE + 512, 256),
+                Op::Barrier,
+            ],
+            vec![
+                Op::write(3 * PAGE, 64),
+                Op::Barrier,
+                Op::read(2 * PAGE + 512, 64),
+            ],
+        ]],
+    )
+}
+
+fn dsm_with(config: DsmConfig, program: Scripted) -> Dsm<Scripted> {
+    let mapping = Mapping::stretch(&config.cluster);
+    Dsm::new(config, program, mapping).unwrap()
+}
+
+fn run_with_plan(plan: FaultPlan, iterations: usize) -> (IterStats, u64) {
+    let cluster = ClusterConfig::new(2, 4).unwrap();
+    let config = DsmConfig::new(cluster)
+        .with_gc_threshold(8)
+        .with_faults(plan);
+    let mut dsm = dsm_with(config, busy_program());
+    dsm.enable_oracle();
+    let stats = dsm.run_iterations(iterations).unwrap();
+    let report = dsm.oracle_report().unwrap();
+    assert_eq!(report.violations, 0, "oracle must stay clean");
+    assert!(report.barriers_checked >= iterations as u64);
+    (stats, report.bytes_compared)
+}
+
+// ---------------------------------------------------------------------
+// Determinism and zero-fault identity
+// ---------------------------------------------------------------------
+
+#[test]
+fn zero_fault_plan_is_byte_identical_to_no_plan() {
+    let cluster = ClusterConfig::new(2, 4).unwrap();
+    let base = {
+        let mut dsm = dsm_with(DsmConfig::new(cluster).with_gc_threshold(8), busy_program());
+        dsm.run_iterations(4).unwrap()
+    };
+    let with_none = {
+        let config = DsmConfig::new(cluster)
+            .with_gc_threshold(8)
+            .with_faults(FaultPlan::none());
+        let mut dsm = dsm_with(config, busy_program());
+        dsm.run_iterations(4).unwrap()
+    };
+    assert_eq!(base, with_none);
+    assert_eq!(with_none.retries, 0);
+    assert_eq!(with_none.net.total_retrans_messages(), 0);
+}
+
+#[test]
+fn oracle_is_a_pure_observer() {
+    // Enabling the oracle must not perturb any statistic.
+    let cluster = ClusterConfig::new(2, 4).unwrap();
+    let run = |oracle: bool| {
+        let config = DsmConfig::new(cluster)
+            .with_gc_threshold(8)
+            .with_faults(FaultPlan::moderate(11));
+        let mut dsm = dsm_with(config, busy_program());
+        if oracle {
+            dsm.enable_oracle();
+        }
+        dsm.run_iterations(4).unwrap()
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn same_seed_and_plan_reproduce_bytes_and_retries() {
+    let a = run_with_plan(FaultPlan::heavy(42), 5);
+    let b = run_with_plan(FaultPlan::heavy(42), 5);
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+}
+
+#[test]
+fn different_seeds_decorrelate_outcomes() {
+    let run = |seed| {
+        let cluster = ClusterConfig::new(2, 4).unwrap();
+        let config = DsmConfig::new(cluster).with_faults(FaultPlan::heavy(seed));
+        let mut dsm = dsm_with(config, barrier_program());
+        dsm.run_iterations(5).unwrap()
+    };
+    let (a, b) = (run(1), run(2));
+    // Same lock-free program, same counters for protocol events...
+    assert_eq!(a.remote_misses, b.remote_misses);
+    assert_eq!(a.diffs_created, b.diffs_created);
+    // ...but the perturbed timing differs.
+    assert_ne!(a.elapsed, b.elapsed);
+}
+
+// ---------------------------------------------------------------------
+// Fault-plan behaviour
+// ---------------------------------------------------------------------
+
+#[test]
+fn faults_slow_the_run_monotonically_in_intensity() {
+    let (none, _) = run_with_plan(FaultPlan::none(), 4);
+    let (light, _) = run_with_plan(FaultPlan::light(7), 4);
+    let (heavy, _) = run_with_plan(FaultPlan::heavy(7), 4);
+    assert!(
+        light.elapsed >= none.elapsed,
+        "{} < {}",
+        light.elapsed,
+        none.elapsed
+    );
+    assert!(
+        heavy.elapsed > none.elapsed,
+        "{} <= {}",
+        heavy.elapsed,
+        none.elapsed
+    );
+}
+
+#[test]
+fn heavy_plan_forces_retransmissions() {
+    // Lock-free program: every protocol counter is plan-invariant, so the
+    // first-send ledgers must match the clean run exactly while the
+    // retransmission ledgers fill up.
+    let run = |plan| {
+        let cluster = ClusterConfig::new(2, 4).unwrap();
+        let mut dsm = dsm_with(DsmConfig::new(cluster).with_faults(plan), barrier_program());
+        dsm.run_iterations(6).unwrap()
+    };
+    let stats = run(FaultPlan::heavy(3));
+    assert!(
+        stats.retries > 0,
+        "drop probability 8% must trip over 6 iters"
+    );
+    assert!(stats.net.total_retrans_messages() > 0);
+    assert!(stats.net.total_retrans_bytes() > 0);
+    let clean = run(FaultPlan::none());
+    assert_eq!(stats.net.total_messages(), clean.net.total_messages());
+    assert_eq!(stats.net.total_bytes(), clean.net.total_bytes());
+    assert_eq!(stats.remote_misses, clean.remote_misses);
+}
+
+#[test]
+fn every_fault_intensity_terminates_and_stays_oracle_clean() {
+    for plan in [
+        FaultPlan::none(),
+        FaultPlan::light(5),
+        FaultPlan::moderate(5),
+        FaultPlan::heavy(5),
+    ] {
+        let (stats, bytes) = run_with_plan(plan, 4);
+        assert!(stats.barriers >= 4);
+        assert!(bytes > 0, "oracle compared page contents");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Oracle coverage across protocol features
+// ---------------------------------------------------------------------
+
+#[test]
+fn oracle_clean_under_gc_pressure() {
+    let cluster = ClusterConfig::new(2, 4).unwrap();
+    let config = DsmConfig::new(cluster)
+        .with_gc_threshold(1) // GC at every barrier
+        .with_faults(FaultPlan::moderate(9));
+    let mut dsm = dsm_with(config, busy_program());
+    dsm.enable_oracle();
+    let stats = dsm.run_iterations(5).unwrap();
+    assert!(stats.gc_runs >= 1, "threshold 1 must trip");
+    assert_eq!(dsm.oracle_report().unwrap().violations, 0);
+}
+
+#[test]
+fn oracle_clean_under_single_writer_protocol() {
+    let cluster = ClusterConfig::new(2, 4).unwrap();
+    let config = DsmConfig::new(cluster)
+        .with_write_mode(WriteMode::SingleWriter {
+            delta: SimDuration::from_micros(100),
+        })
+        .with_faults(FaultPlan::moderate(13));
+    let mut dsm = dsm_with(config, busy_program());
+    dsm.enable_oracle();
+    let stats = dsm.run_iterations(4).unwrap();
+    assert!(stats.ownership_transfers > 0, "writers must ping-pong");
+    let report = dsm.oracle_report().unwrap();
+    assert_eq!(report.violations, 0, "{:?}", dsm.oracle_report());
+    assert!(report.barriers_checked >= 4);
+}
+
+#[test]
+fn oracle_clean_during_tracked_iterations_and_migration() {
+    let cluster = ClusterConfig::new(2, 4).unwrap();
+    let config = DsmConfig::new(cluster)
+        .with_gc_threshold(8)
+        .with_faults(FaultPlan::light(21));
+    let mut dsm = dsm_with(config, busy_program());
+    dsm.enable_oracle();
+    dsm.run_iterations(2).unwrap();
+    dsm.run_tracked_iteration().unwrap();
+    dsm.swap_threads(0, 2).unwrap();
+    dsm.run_iterations(2).unwrap();
+    assert_eq!(dsm.oracle_report().unwrap().violations, 0);
+    assert!(dsm.total_stats().migrations > 0);
+}
+
+#[test]
+fn oracle_checks_lock_releases() {
+    let l = LockId(0);
+    let script = |_: usize| vec![Op::Lock(l), Op::read(0, 8), Op::write(0, 8), Op::Unlock(l)];
+    let p = Scripted::new(1, vec![vec![script(0), script(1)]]).with_locks(1);
+    let cluster = ClusterConfig::new(2, 2).unwrap();
+    let mut dsm = dsm_with(DsmConfig::new(cluster), p);
+    dsm.enable_oracle();
+    dsm.run_iterations(2).unwrap();
+    let report = dsm.oracle_report().unwrap();
+    assert!(report.lock_releases_checked >= 4);
+    assert_eq!(report.violations, 0);
+}

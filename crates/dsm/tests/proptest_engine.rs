@@ -8,7 +8,7 @@
 
 use acorr_dsm::{Dsm, DsmConfig, LockId, Op, Program, WriteMode};
 use acorr_mem::PAGE_SIZE;
-use acorr_sim::{ClusterConfig, Mapping, SimDuration};
+use acorr_sim::{ClusterConfig, FaultPlan, Mapping, SimDuration};
 use proptest::prelude::*;
 
 const PAGES: u64 = 8;
@@ -120,6 +120,39 @@ fn program_strategy() -> impl Strategy<Value = GenProgram> {
     })
 }
 
+/// An arbitrary (but bounded) deterministic fault plan: any mix of delay
+/// jitter, transient drops with retry, reordering, and slowdown windows.
+fn fault_plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(), // seed
+        0.0f64..=0.4, // delay_prob
+        0u64..=1000,  // max_delay (us)
+        0.0f64..=0.1, // drop_prob
+        1u32..=6,     // max_retries
+        50u64..=1000, // retry_timeout (us)
+        0.0f64..=0.2, // reorder_prob
+        0u32..=5,     // reorder_depth
+        0usize..=3,   // slow_every (0 = no slow nodes)
+        1.0f64..=4.0, // slow_factor
+    )
+        .prop_map(|(seed, dp, md, drp, mr, rt, rp, rd, se, sf)| {
+            let mut plan = FaultPlan::none();
+            plan.seed = seed;
+            plan.delay_prob = dp;
+            plan.max_delay = SimDuration::from_micros(md);
+            plan.drop_prob = drp;
+            plan.max_retries = mr;
+            plan.retry_timeout = SimDuration::from_micros(rt);
+            plan.reorder_prob = rp;
+            plan.reorder_depth = rd;
+            plan.slow_every = se;
+            plan.slow_period = SimDuration::from_millis(2);
+            plan.slow_duty = 0.4;
+            plan.slow_factor = sf;
+            plan
+        })
+}
+
 fn run(program: &GenProgram, nodes: usize, iterations: usize) -> acorr_dsm::IterStats {
     let cluster = ClusterConfig::new(nodes, program.threads).expect("cluster");
     let mut dsm = Dsm::new(
@@ -227,6 +260,60 @@ proptest! {
                 access.bitmap(t).iter_ones().collect();
             prop_assert_eq!(&observed, &expected, "thread {}", t);
         }
+    }
+
+    /// Under any fault plan, on any node count, every run terminates, the
+    /// coherence oracle certifies release-consistency conformance, and a
+    /// re-run with the same (seed, plan) reproduces every statistic —
+    /// network ledgers and retry counts included — byte-identically.
+    #[test]
+    fn faulty_runs_are_oracle_clean_and_deterministic(
+        program in program_strategy(),
+        plan in fault_plan_strategy(),
+    ) {
+        for nodes in [1usize, 2, 4] {
+            if nodes > program.threads {
+                continue;
+            }
+            let cluster = ClusterConfig::new(nodes, program.threads).expect("cluster");
+            let build = || {
+                let mut dsm = Dsm::new(
+                    DsmConfig::new(cluster).with_faults(plan.clone()),
+                    program.clone(),
+                    Mapping::stretch(&cluster),
+                )
+                .expect("dsm");
+                dsm.enable_oracle();
+                dsm
+            };
+            let mut first = build();
+            let a = first.run_iterations(2).expect("oracle-clean run");
+            let report = first.oracle_report().expect("oracle enabled");
+            prop_assert_eq!(report.violations, 0, "nodes {}", nodes);
+            prop_assert!(report.barriers_checked >= 2);
+            let b = build().run_iterations(2).expect("oracle-clean rerun");
+            prop_assert_eq!(a, b, "nodes {}", nodes);
+        }
+    }
+
+    /// A zero-fault plan is a strict identity: no statistic moves relative
+    /// to the default configuration, and no retransmission is recorded.
+    #[test]
+    fn zero_fault_plan_is_an_identity(program in program_strategy()) {
+        let baseline = run(&program, 2, 2);
+        let cluster = ClusterConfig::new(2, program.threads).expect("cluster");
+        let explicit = Dsm::new(
+            DsmConfig::new(cluster).with_faults(FaultPlan::none()),
+            program.clone(),
+            Mapping::stretch(&cluster),
+        )
+        .expect("dsm")
+        .run_iterations(2)
+        .expect("clean run");
+        prop_assert_eq!(baseline, explicit.clone());
+        prop_assert_eq!(explicit.retries, 0);
+        prop_assert_eq!(explicit.net.total_retrans_messages(), 0);
+        prop_assert_eq!(explicit.net.total_retrans_bytes(), 0);
     }
 
     /// For barrier-only programs, statistics other than faults and timing

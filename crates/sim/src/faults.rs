@@ -1,0 +1,531 @@
+//! Deterministic network fault injection.
+//!
+//! The paper's testbed was real Myrinet: messages were delayed, occasionally
+//! lost (and retransmitted by the transport), and nodes stalled under daemon
+//! activity. [`FaultPlan`] describes such misbehaviour as a small set of
+//! knobs — delay jitter, bounded reordering, transient drop-with-retry, and
+//! per-node slowdown windows — and [`FaultInjector`] applies it at the send
+//! path.
+//!
+//! Everything is a pure function of `(plan, message identity)`: each message
+//! gets its own RNG stream forked from the plan seed and a per-node sequence
+//! number, so a run with a fixed `(seed, plan)` pair is byte-deterministic
+//! regardless of host parallelism, and [`FaultPlan::none`] perturbs nothing
+//! at all (zero-fault runs are bit-identical to runs without the injector).
+//!
+//! Drops are *transient*: the sender times out and retransmits with
+//! exponential backoff, and the number of consecutive losses is bounded by
+//! [`FaultPlan::max_retries`], so every experiment still terminates.
+//!
+//! ```
+//! use acorr_sim::{FaultInjector, FaultPlan, NodeId, SimDuration, SimTime};
+//!
+//! let plan = FaultPlan::moderate(42);
+//! let mut inj = FaultInjector::new(plan, 2);
+//! let base = SimDuration::from_micros(120);
+//! let d = inj.deliver(NodeId(0), SimTime::ZERO, base);
+//! assert!(d.latency >= base);
+//!
+//! // Same plan, fresh injector: the same message sees the same fate.
+//! let mut again = FaultInjector::new(FaultPlan::moderate(42), 2);
+//! assert_eq!(again.deliver(NodeId(0), SimTime::ZERO, base), d);
+//! ```
+
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::NodeId;
+use std::fmt;
+
+/// A seeded, deterministic description of network misbehaviour.
+///
+/// All probabilities are per message. The default plan ([`FaultPlan::none`])
+/// injects nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the injector's RNG streams.
+    pub seed: u64,
+    /// Probability a message suffers extra delay jitter.
+    pub delay_prob: f64,
+    /// Maximum extra delay added to a jittered message (uniform in
+    /// `[0, max_delay]`).
+    pub max_delay: SimDuration,
+    /// Probability a transmission attempt is lost in flight.
+    pub drop_prob: f64,
+    /// Maximum consecutive losses of one message before the transport
+    /// delivers it unconditionally (bounds retries, guaranteeing
+    /// termination).
+    pub max_retries: u32,
+    /// Sender timeout before the first retransmission; doubles per retry
+    /// (capped at 64x).
+    pub retry_timeout: SimDuration,
+    /// Probability a message is overtaken by later traffic (bounded
+    /// reordering).
+    pub reorder_prob: f64,
+    /// Maximum number of messages that may overtake a reordered one; each
+    /// overtake costs one extra network latency.
+    pub reorder_depth: u32,
+    /// Every `slow_every`-th node (1-based; 0 disables) suffers periodic
+    /// slowdown windows.
+    pub slow_every: usize,
+    /// Period of the slowdown cycle on affected nodes.
+    pub slow_period: SimDuration,
+    /// Fraction of each period spent slowed (0..=1).
+    pub slow_duty: f64,
+    /// Multiplier applied to message latency inside a slowdown window.
+    pub slow_factor: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: no perturbation whatsoever.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            delay_prob: 0.0,
+            max_delay: SimDuration::ZERO,
+            drop_prob: 0.0,
+            max_retries: 0,
+            retry_timeout: SimDuration::ZERO,
+            reorder_prob: 0.0,
+            reorder_depth: 0,
+            slow_every: 0,
+            slow_period: SimDuration::ZERO,
+            slow_duty: 0.0,
+            slow_factor: 1.0,
+        }
+    }
+
+    /// Mild jitter only: occasional small delays, no losses.
+    pub fn light(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            delay_prob: 0.05,
+            max_delay: SimDuration::from_micros(100),
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Jitter, reordering and rare transient losses.
+    pub fn moderate(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            delay_prob: 0.15,
+            max_delay: SimDuration::from_micros(300),
+            drop_prob: 0.02,
+            max_retries: 4,
+            retry_timeout: SimDuration::from_micros(500),
+            reorder_prob: 0.05,
+            reorder_depth: 3,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Frequent jitter and losses plus periodic slowdown on every other
+    /// node.
+    pub fn heavy(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            delay_prob: 0.30,
+            max_delay: SimDuration::from_micros(1_000),
+            drop_prob: 0.08,
+            max_retries: 6,
+            retry_timeout: SimDuration::from_micros(800),
+            reorder_prob: 0.12,
+            reorder_depth: 5,
+            slow_every: 2,
+            slow_period: SimDuration::from_millis(5),
+            slow_duty: 0.3,
+            slow_factor: 3.0,
+        }
+    }
+
+    /// Returns the plan with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// True when the plan perturbs nothing (regardless of seed).
+    pub fn is_none(&self) -> bool {
+        self.delay_prob <= 0.0
+            && self.drop_prob <= 0.0
+            && self.reorder_prob <= 0.0
+            && (self.slow_every == 0 || self.slow_factor <= 1.0 || self.slow_duty <= 0.0)
+    }
+
+    /// Parses a CLI fault spec.
+    ///
+    /// The spec is a comma-separated list; the first element may be a preset
+    /// name (`none`, `light`, `moderate`, `heavy`), the rest are `key=value`
+    /// overrides. Durations are in microseconds.
+    ///
+    /// ```
+    /// use acorr_sim::FaultPlan;
+    /// let plan = FaultPlan::parse("moderate,seed=7,drop_prob=0.05").unwrap();
+    /// assert_eq!(plan.seed, 7);
+    /// assert_eq!(plan.drop_prob, 0.05);
+    /// assert_eq!(FaultPlan::parse("none").unwrap(), FaultPlan::none());
+    /// assert!(FaultPlan::parse("bogus").is_err());
+    /// ```
+    pub fn parse(spec: &str) -> Result<FaultPlan, FaultSpecError> {
+        let mut plan = FaultPlan::none();
+        let mut parts = spec.split(',').map(str::trim).filter(|s| !s.is_empty());
+        let mut pending: Option<&str> = None;
+        if let Some(first) = parts.next() {
+            match first {
+                "none" => {}
+                "light" => plan = FaultPlan::light(0),
+                "moderate" => plan = FaultPlan::moderate(0),
+                "heavy" => plan = FaultPlan::heavy(0),
+                other if other.contains('=') => pending = Some(other),
+                other => return Err(FaultSpecError::unknown_preset(other)),
+            }
+        }
+        for part in pending.into_iter().chain(parts) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| FaultSpecError::bad_pair(part))?;
+            let (key, value) = (key.trim(), value.trim());
+            let us = |v: &str| -> Result<SimDuration, FaultSpecError> {
+                Ok(SimDuration::from_micros(
+                    v.parse::<u64>()
+                        .map_err(|_| FaultSpecError::bad_value(key, value))?,
+                ))
+            };
+            let prob = |v: &str| -> Result<f64, FaultSpecError> {
+                let p: f64 = v
+                    .parse()
+                    .map_err(|_| FaultSpecError::bad_value(key, value))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(FaultSpecError::bad_value(key, value));
+                }
+                Ok(p)
+            };
+            match key {
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|_| FaultSpecError::bad_value(key, value))?
+                }
+                "delay_prob" => plan.delay_prob = prob(value)?,
+                "max_delay_us" => plan.max_delay = us(value)?,
+                "drop_prob" => plan.drop_prob = prob(value)?,
+                "max_retries" => {
+                    plan.max_retries = value
+                        .parse()
+                        .map_err(|_| FaultSpecError::bad_value(key, value))?
+                }
+                "retry_timeout_us" => plan.retry_timeout = us(value)?,
+                "reorder_prob" => plan.reorder_prob = prob(value)?,
+                "reorder_depth" => {
+                    plan.reorder_depth = value
+                        .parse()
+                        .map_err(|_| FaultSpecError::bad_value(key, value))?
+                }
+                "slow_every" => {
+                    plan.slow_every = value
+                        .parse()
+                        .map_err(|_| FaultSpecError::bad_value(key, value))?
+                }
+                "slow_period_us" => plan.slow_period = us(value)?,
+                "slow_duty" => plan.slow_duty = prob(value)?,
+                "slow_factor" => {
+                    let f: f64 = value
+                        .parse()
+                        .map_err(|_| FaultSpecError::bad_value(key, value))?;
+                    if !f.is_finite() || f < 1.0 {
+                        return Err(FaultSpecError::bad_value(key, value));
+                    }
+                    plan.slow_factor = f;
+                }
+                _ => return Err(FaultSpecError::unknown_key(key)),
+            }
+        }
+        if plan.drop_prob > 0.0 {
+            // Losses need a working retransmit path to terminate.
+            if plan.max_retries == 0 {
+                plan.max_retries = 4;
+            }
+            if plan.retry_timeout.is_zero() {
+                plan.retry_timeout = SimDuration::from_micros(500);
+            }
+        }
+        Ok(plan)
+    }
+
+    /// True when `node` sits inside a slowdown window at local time `now`.
+    pub fn in_slow_window(&self, node: NodeId, now: SimTime) -> bool {
+        if self.slow_every == 0
+            || self.slow_factor <= 1.0
+            || self.slow_duty <= 0.0
+            || self.slow_period.is_zero()
+        {
+            return false;
+        }
+        if !(node.0 as usize + 1).is_multiple_of(self.slow_every) {
+            return false;
+        }
+        let phase = now.as_nanos() % self.slow_period.as_nanos();
+        (phase as f64) < self.slow_period.as_nanos() as f64 * self.slow_duty
+    }
+}
+
+/// Error from [`FaultPlan::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError(String);
+
+impl FaultSpecError {
+    fn unknown_preset(name: &str) -> Self {
+        FaultSpecError(format!(
+            "unknown fault preset '{name}' (expected none, light, moderate or heavy)"
+        ))
+    }
+    fn unknown_key(key: &str) -> Self {
+        FaultSpecError(format!("unknown fault knob '{key}'"))
+    }
+    fn bad_pair(part: &str) -> Self {
+        FaultSpecError(format!("expected key=value, got '{part}'"))
+    }
+    fn bad_value(key: &str, value: &str) -> Self {
+        FaultSpecError(format!("bad value '{value}' for fault knob '{key}'"))
+    }
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+/// The fate of one message under a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Total time from first send to delivery, including timeouts and
+    /// retransmissions.
+    pub latency: SimDuration,
+    /// Number of retransmissions (0 when the first attempt got through).
+    pub retries: u32,
+}
+
+/// Applies a [`FaultPlan`] to individual sends.
+///
+/// The injector keeps one sequence counter per sending node; the fate of a
+/// message is a pure function of `(plan.seed, node, sequence number)`, so
+/// two runs that issue the same message sequence see the same faults.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    root: DetRng,
+    seq: Vec<u64>,
+}
+
+impl FaultInjector {
+    /// Creates an injector for `num_nodes` sending nodes.
+    pub fn new(plan: FaultPlan, num_nodes: usize) -> Self {
+        let root = DetRng::new(plan.seed ^ 0xfa17_b01d_cafe_f00d);
+        FaultInjector {
+            plan,
+            root,
+            seq: vec![0; num_nodes],
+        }
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// True when the injector never perturbs anything.
+    pub fn is_none(&self) -> bool {
+        self.plan.is_none()
+    }
+
+    /// Delivers one message charged to `node` at local time `now` whose
+    /// fault-free cost is `base`. Returns the perturbed latency and the
+    /// retransmission count. With an empty plan this returns exactly
+    /// `base` and does not consume any randomness or sequence numbers.
+    pub fn deliver(&mut self, node: NodeId, now: SimTime, base: SimDuration) -> Delivery {
+        if self.plan.is_none() {
+            return Delivery {
+                latency: base,
+                retries: 0,
+            };
+        }
+        let idx = node.0 as usize;
+        let seq = self.seq[idx];
+        self.seq[idx] += 1;
+        let mut rng = self.root.fork(((idx as u64) << 40) ^ seq);
+
+        let mut latency = base;
+        let mut retries = 0u32;
+        // Transient loss: the sender times out (exponential backoff, capped)
+        // and retransmits; a bounded number of consecutive losses guarantees
+        // the message eventually lands.
+        while retries < self.plan.max_retries && rng.chance(self.plan.drop_prob) {
+            let backoff = 1u64 << (retries.min(6));
+            latency += self.plan.retry_timeout * backoff + base;
+            retries += 1;
+        }
+        // Delay jitter on the surviving attempt.
+        if rng.chance(self.plan.delay_prob) {
+            let cap = self.plan.max_delay.as_nanos();
+            if cap > 0 {
+                latency += SimDuration::from_nanos(rng.next_below(cap + 1));
+            }
+        }
+        // Bounded reordering: overtaken by up to `reorder_depth` later
+        // messages, each costing roughly one message service time.
+        if self.plan.reorder_depth > 0 && rng.chance(self.plan.reorder_prob) {
+            let overtaken = 1 + rng.next_below(self.plan.reorder_depth as u64);
+            latency += base * overtaken;
+        }
+        // Per-node slowdown windows, deterministic in local time.
+        if self.plan.in_slow_window(node, now) {
+            let scaled = (latency.as_nanos() as f64 * self.plan.slow_factor) as u64;
+            latency = SimDuration::from_nanos(scaled);
+        }
+        Delivery { latency, retries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SimDuration {
+        SimDuration::from_micros(130)
+    }
+
+    #[test]
+    fn none_plan_is_identity() {
+        let mut inj = FaultInjector::new(FaultPlan::none(), 4);
+        for i in 0..32 {
+            let d = inj.deliver(NodeId(i % 4), SimTime::from_nanos(i as u64), base());
+            assert_eq!(d.latency, base());
+            assert_eq!(d.retries, 0);
+        }
+        // No sequence numbers consumed: determinism against PR-1 runs that
+        // never called the injector.
+        assert!(inj.seq.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn deterministic_per_message() {
+        let mk = || FaultInjector::new(FaultPlan::heavy(99), 4);
+        let (mut a, mut b) = (mk(), mk());
+        for i in 0..200u64 {
+            let node = NodeId((i % 4) as u16);
+            let now = SimTime::from_nanos(i * 1_000);
+            assert_eq!(a.deliver(node, now, base()), b.deliver(node, now, base()));
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = FaultInjector::new(FaultPlan::heavy(1), 1);
+        let mut b = FaultInjector::new(FaultPlan::heavy(2), 1);
+        let fates_a: Vec<_> = (0..100)
+            .map(|_| a.deliver(NodeId(0), SimTime::ZERO, base()))
+            .collect();
+        let fates_b: Vec<_> = (0..100)
+            .map(|_| b.deliver(NodeId(0), SimTime::ZERO, base()))
+            .collect();
+        assert_ne!(fates_a, fates_b);
+    }
+
+    #[test]
+    fn latency_never_below_base_and_retries_bounded() {
+        let plan = FaultPlan::heavy(7);
+        let max_retries = plan.max_retries;
+        let mut inj = FaultInjector::new(plan, 2);
+        for i in 0..500u64 {
+            let d = inj.deliver(NodeId((i % 2) as u16), SimTime::from_nanos(i * 777), base());
+            assert!(d.latency >= base());
+            assert!(d.retries <= max_retries);
+        }
+    }
+
+    #[test]
+    fn drops_do_happen_under_heavy_plan() {
+        let mut inj = FaultInjector::new(FaultPlan::heavy(3), 1);
+        let total: u32 = (0..500)
+            .map(|_| inj.deliver(NodeId(0), SimTime::ZERO, base()).retries)
+            .sum();
+        assert!(total > 0, "heavy plan should produce retransmissions");
+    }
+
+    #[test]
+    fn slow_window_is_periodic_and_node_selective() {
+        let plan = FaultPlan::heavy(0);
+        // heavy: slow_every = 2, so node 1 (1-based 2nd) is slow, node 0 not.
+        assert!(!plan.in_slow_window(NodeId(0), SimTime::ZERO));
+        assert!(plan.in_slow_window(NodeId(1), SimTime::ZERO));
+        // Past the duty cycle the window closes.
+        let late = SimTime::from_nanos(
+            (plan.slow_period.as_nanos() as f64 * (plan.slow_duty + 0.1)) as u64,
+        );
+        assert!(!plan.in_slow_window(NodeId(1), late));
+        // And reopens next period.
+        let next = SimTime::from_nanos(plan.slow_period.as_nanos());
+        assert!(plan.in_slow_window(NodeId(1), next));
+    }
+
+    #[test]
+    fn parse_presets_and_overrides() {
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::none());
+        assert_eq!(FaultPlan::parse("light").unwrap(), FaultPlan::light(0));
+        let p = FaultPlan::parse("heavy,seed=11,max_delay_us=50,slow_factor=2.5").unwrap();
+        assert_eq!(p.seed, 11);
+        assert_eq!(p.max_delay, SimDuration::from_micros(50));
+        assert_eq!(p.slow_factor, 2.5);
+        // Bare key=value list without a preset works too.
+        let q = FaultPlan::parse("drop_prob=0.1,seed=3").unwrap();
+        assert_eq!(q.drop_prob, 0.1);
+        assert_eq!(q.seed, 3);
+        // Drops imply a usable retransmit path.
+        assert!(q.max_retries > 0);
+        assert!(!q.retry_timeout.is_zero());
+    }
+
+    #[test]
+    fn parse_rejects_nonsense() {
+        assert!(FaultPlan::parse("turbo").is_err());
+        assert!(FaultPlan::parse("drop_prob=1.5").is_err());
+        assert!(FaultPlan::parse("slow_factor=0.5").is_err());
+        assert!(FaultPlan::parse("frobnicate=1").is_err());
+        assert!(FaultPlan::parse("light,oops").is_err());
+    }
+
+    #[test]
+    fn preset_intensity_ordering() {
+        // More intense presets perturb more in expectation; spot-check via
+        // mean latency over many messages.
+        let mean = |plan: FaultPlan| -> f64 {
+            let mut inj = FaultInjector::new(plan, 1);
+            let n = 2_000;
+            let total: u64 = (0..n)
+                .map(|i| {
+                    inj.deliver(NodeId(0), SimTime::from_nanos(i * 10_000), base())
+                        .latency
+                        .as_nanos()
+                })
+                .sum();
+            total as f64 / n as f64
+        };
+        let none = mean(FaultPlan::none());
+        let light = mean(FaultPlan::light(5));
+        let moderate = mean(FaultPlan::moderate(5));
+        let heavy = mean(FaultPlan::heavy(5));
+        assert_eq!(none, base().as_nanos() as f64);
+        assert!(light > none);
+        assert!(moderate > light);
+        assert!(heavy > moderate);
+    }
+}

@@ -14,6 +14,10 @@
 //!   ([`NodeId`]) and thread-to-node assignments ([`Mapping`]).
 //! * [`network`] — a LogP-style message cost model ([`NetworkModel`]) with
 //!   full per-kind message/byte accounting ([`NetStats`]).
+//! * [`faults`] — seeded deterministic fault injection ([`FaultPlan`],
+//!   [`FaultInjector`]): delay jitter, bounded reordering, transient
+//!   drop-with-retry and per-node slowdown windows, all a pure function of
+//!   the plan seed.
 //! * [`cost`] — CPU-side cost parameters ([`CostModel`]) for faults,
 //!   protection changes, context switches, diffs and barriers.
 //! * [`stats`] — summary statistics and the least-squares fit
@@ -41,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod faults;
 pub mod network;
 pub mod pool;
 pub mod rng;
@@ -49,6 +54,7 @@ pub mod time;
 pub mod topology;
 
 pub use cost::CostModel;
+pub use faults::{Delivery, FaultInjector, FaultPlan, FaultSpecError};
 pub use network::{MessageKind, NetStats, NetworkModel};
 pub use pool::{available_threads, par_map_indexed, par_map_range, resolve_threads};
 pub use rng::DetRng;

@@ -137,10 +137,19 @@ impl NetworkModel {
 }
 
 /// Accumulated network traffic, split by [`MessageKind`].
+///
+/// First-sends and fault-induced retransmissions are counted separately:
+/// the paper-reproduction columns ([`NetStats::data_bytes`],
+/// [`NetStats::diff_bytes`], per-kind [`NetStats::messages`]) cover
+/// first-sends only, so fault-injected runs do not inflate reproduced
+/// numbers; retransmitted traffic is reported through the `retrans_*`
+/// accessors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct NetStats {
     messages: [u64; 7],
     bytes: [u64; 7],
+    retrans_messages: [u64; 7],
+    retrans_bytes: [u64; 7],
 }
 
 impl NetStats {
@@ -153,6 +162,33 @@ impl NetStats {
     pub fn record(&mut self, kind: MessageKind, bytes: u64) {
         self.messages[kind.index()] += 1;
         self.bytes[kind.index()] += bytes;
+    }
+
+    /// Records `times` retransmissions of a message of `kind` carrying
+    /// `bytes` of payload (the first send goes through [`NetStats::record`]).
+    pub fn record_retrans(&mut self, kind: MessageKind, bytes: u64, times: u64) {
+        self.retrans_messages[kind.index()] += times;
+        self.retrans_bytes[kind.index()] += bytes * times;
+    }
+
+    /// Retransmitted messages of one kind.
+    pub fn retrans_messages(&self, kind: MessageKind) -> u64 {
+        self.retrans_messages[kind.index()]
+    }
+
+    /// Retransmitted payload bytes of one kind.
+    pub fn retrans_bytes(&self, kind: MessageKind) -> u64 {
+        self.retrans_bytes[kind.index()]
+    }
+
+    /// Total retransmitted messages across all kinds.
+    pub fn total_retrans_messages(&self) -> u64 {
+        self.retrans_messages.iter().sum()
+    }
+
+    /// Total retransmitted payload bytes across all kinds.
+    pub fn total_retrans_bytes(&self) -> u64 {
+        self.retrans_bytes.iter().sum()
     }
 
     /// Messages of one kind.
@@ -205,6 +241,8 @@ impl AddAssign for NetStats {
         for i in 0..7 {
             self.messages[i] += rhs.messages[i];
             self.bytes[i] += rhs.bytes[i];
+            self.retrans_messages[i] += rhs.retrans_messages[i];
+            self.retrans_bytes[i] += rhs.retrans_bytes[i];
         }
     }
 }
@@ -222,6 +260,14 @@ impl fmt::Display for NetStats {
                 kind.label(),
                 self.messages(*kind),
                 self.bytes(*kind)
+            )?;
+        }
+        if self.total_retrans_messages() > 0 {
+            write!(
+                f,
+                ", retrans: {} msgs / {} B",
+                self.total_retrans_messages(),
+                self.total_retrans_bytes()
             )?;
         }
         write!(f, "}}")
@@ -291,6 +337,28 @@ mod tests {
         for kind in MessageKind::ALL {
             assert!(txt.contains(kind.label()), "missing {}", kind.label());
         }
+    }
+
+    #[test]
+    fn retransmissions_are_counted_separately() {
+        let mut s = NetStats::new();
+        s.record(MessageKind::PageFetch, 4096);
+        s.record_retrans(MessageKind::PageFetch, 4096, 2);
+        // Paper-reproduction counters see the first send only.
+        assert_eq!(s.messages(MessageKind::PageFetch), 1);
+        assert_eq!(s.bytes(MessageKind::PageFetch), 4096);
+        assert_eq!(s.data_bytes(), 4096);
+        assert_eq!(s.total_bytes(), 4096);
+        // Retransmitted traffic is reported on its own.
+        assert_eq!(s.retrans_messages(MessageKind::PageFetch), 2);
+        assert_eq!(s.retrans_bytes(MessageKind::PageFetch), 8192);
+        assert_eq!(s.total_retrans_messages(), 2);
+        assert_eq!(s.total_retrans_bytes(), 8192);
+        // They accumulate and survive display.
+        let sum = s + s;
+        assert_eq!(sum.retrans_messages(MessageKind::PageFetch), 4);
+        assert!(sum.to_string().contains("retrans"));
+        assert!(!NetStats::new().to_string().contains("retrans"));
     }
 
     #[test]

@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Restores the `proptest` dev-dependency that the offline default build
+# deliberately omits (see the workspace Cargo.toml). Needs a networked
+# machine to fetch the crate afterwards. Then run:
+#
+#   cargo test -p acorr-dsm --features proptest --test proptest_engine
+set -eu
+
+cd "$(dirname "$0")/.."
+
+sed -i 's/^# proptest = "1"$/proptest = "1"/' Cargo.toml
+sed -i 's/^# \[dev-dependencies\]$/[dev-dependencies]/' crates/dsm/Cargo.toml
+sed -i 's/^# proptest = { workspace = true }$/proptest = { workspace = true }/' \
+    crates/dsm/Cargo.toml
+
+echo "proptest restored; run: cargo test -p acorr-dsm --features proptest"

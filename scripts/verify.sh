@@ -19,4 +19,11 @@ cargo build --release --workspace
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+# Opt-in property tests: needs a networked machine and the proptest
+# dev-dependency restored first (scripts/enable_proptest.sh).
+if [ "${ACORR_PROPTEST:-0}" = "1" ]; then
+    echo "==> cargo test -p acorr-dsm --features proptest -q (property tests)"
+    cargo test -p acorr-dsm --features proptest -q
+fi
+
 echo "==> OK"

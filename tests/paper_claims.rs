@@ -156,3 +156,87 @@ fn suite_runs_clean_at_reduced_scale() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Golden regressions: byte-exact snapshots of the count columns behind
+// Tables 1, 2, and 5 at paper scale (64 threads on 8 nodes). The engine
+// is deterministic, so these catch any unintended protocol drift.
+//
+// Regenerate after an *intentional* behaviour change with:
+//   UPDATE_GOLDEN=1 cargo test --test paper_claims golden_
+// and review the diff like any other code change.
+// ---------------------------------------------------------------------
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\nrun `UPDATE_GOLDEN=1 cargo test --test paper_claims golden_` to create",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "golden snapshot {name} drifted; if intentional, regenerate with \
+         UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn golden_table1_page_counts() {
+    use active_correlation_tracking::mem::pages_for;
+    let mut out = String::from("app,threads,shared_pages,locks\n");
+    for name in apps::SUITE_NAMES {
+        let app = apps::by_name(name, 64).unwrap();
+        out.push_str(&format!(
+            "{name},{},{},{}\n",
+            app.num_threads(),
+            pages_for(app.shared_bytes()),
+            app.num_locks()
+        ));
+    }
+    assert_golden("table1.txt", &out);
+}
+
+#[test]
+fn golden_table2_cutcost_samples() {
+    // Per-sample (cut cost, remote misses) pairs at reduced sample counts:
+    // exercises random configuration generation, the tracked ground truth,
+    // and measured runs in one snapshot.
+    let mut out = String::from("app,sample,cut_cost,remote_misses\n");
+    for name in ["SOR", "Water"] {
+        let study = Workbench::new(8, 64)
+            .unwrap()
+            .with_threads(4)
+            .cutcost_study(|| apps::by_name(name, 64).unwrap(), 6, 1)
+            .unwrap();
+        for (i, s) in study.samples.iter().enumerate() {
+            out.push_str(&format!("{name},{i},{},{}\n", s.cut_cost, s.remote_misses));
+        }
+    }
+    assert_golden("table2.txt", &out);
+}
+
+#[test]
+fn golden_table5_fault_counts() {
+    // Tracking and coherence fault counts for the full suite at 8x64.
+    let mut out = String::from("app,tracking_faults,coherence_faults\n");
+    for name in apps::SUITE_NAMES {
+        let row = Workbench::new(8, 64)
+            .unwrap()
+            .with_threads(2)
+            .tracking_overhead(|| apps::by_name(name, 64).unwrap())
+            .unwrap();
+        out.push_str(&format!(
+            "{name},{},{}\n",
+            row.tracking_faults, row.coherence_faults
+        ));
+    }
+    assert_golden("table5.txt", &out);
+}
