@@ -58,7 +58,24 @@ pub fn results_dir() -> PathBuf {
     dir.to_path_buf()
 }
 
+/// Name of the currently running bench binary (for manifest provenance).
+fn tool_name() -> String {
+    std::env::args()
+        .next()
+        .as_deref()
+        .map(Path::new)
+        .and_then(|p| p.file_stem())
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench")
+        .to_string()
+}
+
 /// Writes an artifact under `results/` and reports the path on stdout.
+///
+/// Every artifact also gets a companion [`acorr::obs::RunManifest`] under
+/// `results/manifests/<name>.json` recording which binary produced it and an
+/// FNV-1a digest of its bytes, so a regenerated artifact can be compared
+/// against the recorded run without diffing the full contents.
 ///
 /// # Panics
 ///
@@ -67,6 +84,15 @@ pub fn write_artifact(name: &str, contents: &str) {
     let path = results_dir().join(name);
     std::fs::write(&path, contents).expect("write artifact");
     println!("  wrote {}", path.display());
+
+    let manifest_dir = results_dir().join("manifests");
+    std::fs::create_dir_all(&manifest_dir).expect("create manifests dir");
+    let manifest = acorr::obs::RunManifest::new(&tool_name())
+        .param("artifact", name)
+        .param("bytes", &contents.len().to_string())
+        .with_digest(acorr::obs::bytes_digest(contents.as_bytes()));
+    let manifest_path = manifest_dir.join(format!("{name}.json"));
+    std::fs::write(&manifest_path, manifest.to_json()).expect("write manifest");
 }
 
 /// Parses `--flag value` style integer options from the command line, with a
@@ -219,6 +245,32 @@ mod tests {
         assert_eq!(ascii_scatter(&[], 10, 5), "(no data)\n");
         let one = ascii_scatter(&[(3.0, 3.0)], 10, 5);
         assert!(one.contains('.'));
+    }
+
+    #[test]
+    fn write_artifact_emits_a_companion_manifest() {
+        let name = "test-artifact-manifest.txt";
+        let contents = "hello, results\n";
+        write_artifact(name, contents);
+
+        let artifact = results_dir().join(name);
+        let manifest_path = results_dir().join("manifests").join(format!("{name}.json"));
+        assert_eq!(std::fs::read_to_string(&artifact).unwrap(), contents);
+
+        let manifest_json = std::fs::read_to_string(&manifest_path).unwrap();
+        let manifest = acorr::obs::RunManifest::from_json(&manifest_json).unwrap();
+        assert_eq!(manifest.get("artifact"), Some(name));
+        assert_eq!(
+            manifest.get("bytes"),
+            Some(contents.len().to_string().as_str())
+        );
+        assert_eq!(
+            manifest.digest,
+            acorr::obs::bytes_digest(contents.as_bytes())
+        );
+
+        std::fs::remove_file(artifact).unwrap();
+        std::fs::remove_file(manifest_path).unwrap();
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "profile" => profile(args),
         "place" => place_cmd(args),
         "run" => run_cmd(args),
+        "report" => report(args),
         "overhead" => overhead(args),
         "hot" => hot(args),
         "verify" => verify(args),
@@ -69,6 +70,8 @@ USAGE:
   acorr profile  --app NAME [--threads N] | --csv FILE
   acorr place    --app NAME [--threads N] [--nodes N] [--strategy S] | --csv FILE --nodes N
   acorr run      --app NAME [--threads N] [--nodes N] [--strategy S] [--iters N] [--faults SPEC]
+                 [--obs-dir DIR]
+  acorr report   --manifest FILE [--jobs N]
   acorr overhead --app NAME [--threads N] [--nodes N] [--faults SPEC]
   acorr hot      --app NAME [--threads N] [--k N]
   acorr verify   --app NAME [--threads N] [--nodes N] [--iters N] [--faults SPEC]
@@ -82,6 +85,11 @@ additionally shadows the run with the coherence conformance oracle.
 Parallelism: every experiment command takes --jobs N (worker threads for the
 deterministic parallel runner; 0 = all cores, 1 = sequential; --threads is
 the simulated app thread count). Output is bit-identical at any --jobs.
+Observability: `run --obs-dir DIR` writes events.jsonl, trace.json (open in
+chrome://tracing or Perfetto), metrics.csv, histograms.csv and manifest.json
+into DIR; sinks are pure observers, so the reported row is unchanged.
+`report --manifest FILE` replays a run from its manifest and checks the
+final statistics digest bit-for-bit.
 "
     .to_owned()
 }
@@ -114,12 +122,15 @@ fn jobs_of(args: &Args) -> Result<usize, String> {
 }
 
 /// The `--faults` option: a deterministic fault-plan spec (see
-/// [`FaultPlan::parse`]); absent means no faults.
+/// [`FaultPlan::parse`]); absent means no faults. Parse failures are
+/// routed through [`acorr::dsm::DsmError`] so `run`, `verify`, `overhead`
+/// and `report` all print the same uniform diagnostic.
 fn faults_of(args: &Args) -> Result<FaultPlan, String> {
-    match args.get("faults") {
-        None => Ok(FaultPlan::none()),
-        Some(spec) => FaultPlan::parse(spec).map_err(|e| e.to_string()),
-    }
+    parse_faults(args.get("faults").unwrap_or("none"))
+}
+
+fn parse_faults(spec: &str) -> Result<FaultPlan, String> {
+    FaultPlan::parse(spec).map_err(|e| acorr::dsm::DsmError::from(e).to_string())
 }
 
 fn app_factory(args: &Args) -> Result<(String, usize), String> {
@@ -211,16 +222,100 @@ fn run_cmd(args: &Args) -> Result<String, String> {
     let (name, threads) = app_factory(args)?;
     let nodes = args.get_usize("nodes", 8)?;
     let iters = args.get_usize("iters", 10)?;
-    let strategy = strategy_of(args.get_or("strategy", "min-cost"))?;
-    let bench = Workbench::new(nodes, threads)
+    let strategy_name = args.get_or("strategy", "min-cost").to_owned();
+    let strategy = strategy_of(&strategy_name)?;
+    let faults_spec = args.get("faults").unwrap_or("none").to_owned();
+    let obs_dir = args.get("obs-dir").map(std::path::PathBuf::from);
+    let mut bench = Workbench::new(nodes, threads)
         .map_err(|e| e.to_string())?
         .with_threads(jobs_of(args)?)
-        .with_faults(faults_of(args)?);
-    let rows = bench
-        .heuristic_comparison(|| build(&name, threads), &[strategy], iters)
+        .with_faults(parse_faults(&faults_spec)?);
+    if obs_dir.is_some() {
+        bench = bench.with_observer(acorr::obs::ObsConfig::all());
+    }
+    let run = bench
+        .observed_heuristic_run(|| build(&name, threads), strategy, iters)
         .map_err(|e| e.to_string())?;
-    let row = rows.first().ok_or("no result")?;
-    Ok(format!("{row}\n"))
+    let mut out = format!("{}\n", run.row);
+    if let Some(dir) = obs_dir {
+        let observation = run.observation.expect("observer was configured");
+        let mut written = observation
+            .write_to(&dir)
+            .map_err(|e| format!("{}: {e}", dir.display()))?;
+        let manifest = acorr::obs::RunManifest::new("acorr run")
+            .param("app", &name)
+            .param("threads", &threads.to_string())
+            .param("nodes", &nodes.to_string())
+            .param("iters", &iters.to_string())
+            .param("strategy", &strategy_name)
+            .param("faults", &faults_spec)
+            .param("seed", &bench.seed.to_string())
+            .with_digest(acorr::obs::stats_digest(&run.stats));
+        let manifest_path = dir.join("manifest.json");
+        std::fs::write(&manifest_path, manifest.to_json())
+            .map_err(|e| format!("{}: {e}", manifest_path.display()))?;
+        written.push(manifest_path);
+        for path in &written {
+            out.push_str(&format!("wrote {}\n", path.display()));
+        }
+        out.push_str(&format!("stats digest: {}\n", manifest.digest));
+    }
+    Ok(out)
+}
+
+/// Replays a run from its manifest and checks the statistics digest.
+fn report(args: &Args) -> Result<String, String> {
+    let path = args.get("manifest").ok_or("--manifest is required")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let manifest = acorr::obs::RunManifest::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    if manifest.tool != "acorr run" {
+        return Err(format!(
+            "{path}: cannot replay manifests from `{}` (only `acorr run`)",
+            manifest.tool
+        ));
+    }
+    let param = |key: &str| -> Result<&str, String> {
+        manifest
+            .get(key)
+            .ok_or_else(|| format!("{path}: manifest is missing param \"{key}\""))
+    };
+    let usize_param = |key: &str| -> Result<usize, String> {
+        param(key)?
+            .parse()
+            .map_err(|e| format!("{path}: bad \"{key}\": {e}"))
+    };
+    let name = param("app")?.to_owned();
+    let threads = usize_param("threads")?;
+    let nodes = usize_param("nodes")?;
+    let iters = usize_param("iters")?;
+    let strategy = strategy_of(param("strategy")?)?;
+    let faults = parse_faults(param("faults")?)?;
+    let seed: u64 = param("seed")?
+        .parse()
+        .map_err(|e| format!("{path}: bad \"seed\": {e}"))?;
+    if name != "Drift" && apps::by_name(&name, threads).is_none() {
+        return Err(format!("{path}: unknown application `{name}`"));
+    }
+    let bench = Workbench::new(nodes, threads)
+        .map_err(|e| e.to_string())?
+        .with_seed(seed)
+        .with_threads(jobs_of(args)?)
+        .with_faults(faults);
+    let run = bench
+        .observed_heuristic_run(|| build(&name, threads), strategy, iters)
+        .map_err(|e| e.to_string())?;
+    let digest = acorr::obs::stats_digest(&run.stats);
+    if digest == manifest.digest {
+        Ok(format!(
+            "{}\nreplay OK: digest {digest} matches manifest (recorded under {})\n",
+            run.row, manifest.git
+        ))
+    } else {
+        Err(format!(
+            "replay MISMATCH: manifest digest {} (recorded under {}), replay digest {digest}\n{}",
+            manifest.digest, manifest.git, run.row
+        ))
+    }
 }
 
 fn verify(args: &Args) -> Result<String, String> {
@@ -431,6 +526,84 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn run_with_obs_dir_emits_artifacts_and_report_replays() {
+        let dir = std::env::temp_dir().join(format!("acorr-cli-obs-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let out = cli(&[
+            "run",
+            "--app",
+            "Water",
+            "--threads",
+            "8",
+            "--nodes",
+            "2",
+            "--iters",
+            "2",
+            "--strategy",
+            "stretch",
+            "--faults",
+            "moderate,seed=3",
+            "--obs-dir",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("stats digest: fnv1a:"), "{out}");
+        for name in [
+            "events.jsonl",
+            "trace.json",
+            "metrics.csv",
+            "histograms.csv",
+            "manifest.json",
+        ] {
+            assert!(dir.join(name).exists(), "missing {name}");
+        }
+        // The manifest replays to the same digest.
+        let manifest = dir.join("manifest.json");
+        let replayed = cli(&["report", "--manifest", manifest.to_str().unwrap()]).unwrap();
+        assert!(replayed.contains("replay OK"), "{replayed}");
+        // Tampering with the digest is caught.
+        let tampered = std::fs::read_to_string(&manifest)
+            .unwrap()
+            .replace("fnv1a:", "fnv1a:f");
+        std::fs::write(&manifest, tampered).unwrap();
+        let err = cli(&["report", "--manifest", manifest.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("replay MISMATCH"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_rejects_missing_and_malformed_manifests() {
+        let err = cli(&["report"]).unwrap_err();
+        assert!(err.contains("--manifest"));
+        let dir = std::env::temp_dir().join(format!("acorr-cli-badman-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("manifest.json");
+        std::fs::write(&bad, "{not json").unwrap();
+        let err = cli(&["report", "--manifest", bad.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("not valid JSON"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fault_spec_errors_are_uniform_across_commands() {
+        for cmd in ["run", "verify", "overhead"] {
+            let err = cli(&[
+                cmd,
+                "--app",
+                "SOR",
+                "--threads",
+                "8",
+                "--nodes",
+                "2",
+                "--faults",
+                "bogus",
+            ])
+            .unwrap_err();
+            assert!(err.starts_with("fault spec error:"), "{cmd}: {err}");
+        }
     }
 
     #[test]

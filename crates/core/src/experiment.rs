@@ -15,6 +15,7 @@
 
 use acorr_dsm::{Dsm, DsmConfig, DsmError, IterStats, OracleReport, Program};
 use acorr_mem::AccessMatrix;
+use acorr_obs::{ObsConfig, Observation};
 use acorr_place::{min_cost, place, Strategy};
 use acorr_sim::{
     linear_fit, par_map_indexed, par_map_range, ClusterConfig, DetRng, FaultPlan, LinearFit,
@@ -37,6 +38,11 @@ pub struct Workbench {
     /// collected in index order, so output is bit-identical at any worker
     /// count (see [`acorr_sim::pool`]).
     pub threads: usize,
+    /// Observability backends to attach to every DSM instance the
+    /// workbench builds (`None` = no instrumentation). Sinks are pure
+    /// observers, so every statistic and table the drivers produce is
+    /// bit-identical with this set or not.
+    pub observer: Option<ObsConfig>,
 }
 
 impl Workbench {
@@ -53,6 +59,7 @@ impl Workbench {
             config: DsmConfig::new(cluster),
             seed: 0x000A_C044,
             threads: 1,
+            observer: None,
         })
     }
 
@@ -87,13 +94,31 @@ impl Workbench {
         self
     }
 
-    /// Builds a DSM instance for `program` under `mapping`.
+    /// Enables observability: every DSM instance the workbench builds gets
+    /// the configured sinks attached. Collection is per-run — use
+    /// [`Workbench::observed_heuristic_run`] (or attach a sink by hand via
+    /// `Dsm::attach_sink`) when the artifacts themselves are wanted; the
+    /// drivers discard them but still exercise the full sink path, which
+    /// is what the purity tests rely on.
+    #[must_use]
+    pub fn with_observer(mut self, observer: ObsConfig) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Builds a DSM instance for `program` under `mapping`, attaching the
+    /// workbench's observer sinks when configured.
     ///
     /// # Errors
     ///
     /// Propagates construction errors.
     pub fn dsm<P: Program>(&self, program: P, mapping: Mapping) -> Result<Dsm<P>, DsmError> {
-        Dsm::new(self.config.clone(), program, mapping)
+        let mut dsm = Dsm::new(self.config.clone(), program, mapping)?;
+        if let Some(config) = &self.observer {
+            let (sink, _handle) = acorr_obs::observer(config, self.cluster.num_nodes());
+            dsm.attach_sink(sink);
+        }
+        Ok(dsm)
     }
 
     /// Runs `program` for `iterations` under the stretch placement with the
@@ -316,6 +341,59 @@ impl Workbench {
         )
         .into_iter()
         .collect()
+    }
+
+    /// Runs one application to completion under a single placement
+    /// strategy with the workbench's observer sinks attached and
+    /// **collected**: returns the Table 6 row plus the rendered
+    /// observability artifacts (`None` when no observer is configured).
+    ///
+    /// The measured run replicates [`Workbench::heuristic_comparison`]
+    /// with `&[strategy]` *exactly* — same ground-truth phase, same forked
+    /// RNG stream (`0x6E1 + 0`), same single warm-up iteration — so the
+    /// returned row is bit-identical to that driver's first row. This is
+    /// the property the manifest replay path (`acorr report`) leans on:
+    /// re-running from a manifest's parameters reproduces the digest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn observed_heuristic_run<P, F>(
+        &self,
+        factory: F,
+        strategy: Strategy,
+        iterations: usize,
+    ) -> Result<ObservedRun, DsmError>
+    where
+        P: Program,
+        F: Fn() -> P + Sync,
+    {
+        let truth = self.ground_truth(&factory)?;
+        let mut rng = DetRng::new(self.seed).fork(0x6E1);
+        let mapping = place(strategy, &truth.corr, &self.cluster, &mut rng);
+        let cut = cut_cost(&truth.corr, &mapping);
+        let mut dsm = self.dsm(factory(), mapping)?;
+        let handle = self.observer.as_ref().map(|config| {
+            let (sink, handle) = acorr_obs::observer(config, self.cluster.num_nodes());
+            dsm.attach_sink(sink);
+            handle
+        });
+        dsm.run_iterations(1)?; // cold-start warm-up
+        let stats = dsm.run_iterations(iterations)?;
+        let row = HeuristicRow {
+            app: truth.app,
+            strategy,
+            time: stats.elapsed,
+            remote_misses: stats.remote_misses,
+            total_mbytes: stats.total_mbytes(),
+            diff_mbytes: stats.diff_mbytes(),
+            cut_cost: cut,
+        };
+        Ok(ObservedRun {
+            row,
+            stats,
+            observation: handle.map(|h| h.finish()),
+        })
     }
 
     /// Figure 2 methodology: passive tracking with migration rounds. Each
@@ -832,6 +910,22 @@ impl fmt::Display for HeuristicRow {
     }
 }
 
+/// Outcome of [`Workbench::observed_heuristic_run`]: the Table 6 row, the
+/// complete measured statistics (the manifest digest's preimage), and the
+/// rendered observability artifacts when an observer was configured.
+#[derive(Debug)]
+pub struct ObservedRun {
+    /// The Table 6 row, bit-identical to
+    /// [`Workbench::heuristic_comparison`]'s first row for the same
+    /// parameters.
+    pub row: HeuristicRow,
+    /// Aggregate statistics over the measured iterations (excluding the
+    /// warm-up iteration).
+    pub stats: IterStats,
+    /// Rendered artifacts (`None` without [`Workbench::with_observer`]).
+    pub observation: Option<Observation>,
+}
+
 /// Figure 2 data: information completeness per passive migration round.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PassiveStudy {
@@ -975,6 +1069,40 @@ mod tests {
         };
         let (a, b) = (make(), make());
         assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn observer_is_a_pure_observer_for_studies() {
+        let plain = bench().cutcost_study(|| Water::new(64, 8), 4, 1).unwrap();
+        let observed = bench()
+            .with_observer(acorr_obs::ObsConfig::all())
+            .cutcost_study(|| Water::new(64, 8), 4, 1)
+            .unwrap();
+        assert_eq!(plain.samples, observed.samples);
+    }
+
+    #[test]
+    fn observed_run_matches_heuristic_comparison_row() {
+        let rows = bench()
+            .heuristic_comparison(|| Sor::new(64, 64, 8), &[Strategy::MinCost], 2)
+            .unwrap();
+        let run = bench()
+            .with_observer(acorr_obs::ObsConfig::all())
+            .observed_heuristic_run(|| Sor::new(64, 64, 8), Strategy::MinCost, 2)
+            .unwrap();
+        assert_eq!(run.row, rows[0]);
+        assert_eq!(run.stats.remote_misses, rows[0].remote_misses);
+        let obs = run.observation.expect("observer configured");
+        assert!(obs.events_jsonl.is_some_and(|j| !j.is_empty()));
+        assert!(obs.metrics_csv.is_some_and(|c| c.lines().count() > 1));
+        // Without an observer there is nothing to collect, but the row
+        // and stats are unchanged.
+        let plain = bench()
+            .observed_heuristic_run(|| Sor::new(64, 64, 8), Strategy::MinCost, 2)
+            .unwrap();
+        assert_eq!(plain.row, rows[0]);
+        assert_eq!(plain.stats, run.stats);
+        assert!(plain.observation.is_none());
     }
 
     #[test]

@@ -41,6 +41,8 @@
 //! * [`track`] — correlations, maps, cut costs, sharing degree, aging.
 //! * [`place`] — stretch / random / min-cost / optimal placement.
 //! * [`apps`] — the Table 1 application suite.
+//! * [`obs`] — observability: event sinks (JSONL, Chrome/Perfetto trace),
+//!   metrics time series and histograms, reproducible run manifests.
 //! * [`experiment`] — drivers for Tables 1-6 and Figures 1-3.
 
 #![forbid(unsafe_code)]
@@ -63,6 +65,11 @@ pub mod mem {
     pub use acorr_mem::*;
 }
 
+/// Observability: sinks, metrics, manifests (re-export of `acorr-obs`).
+pub mod obs {
+    pub use acorr_obs::*;
+}
+
 /// Placement heuristics (re-export of `acorr-place`).
 pub mod place {
     pub use acorr_place::*;
@@ -80,5 +87,6 @@ pub mod track {
 
 pub use experiment::{
     node_count_study, AdaptiveStudy, ConformanceRun, CutCostSample, CutCostStudy, GroundTruth,
-    HeuristicRow, NodeCountRow, OnDemandStudy, PassiveStudy, TrackingOverheadRow, Workbench,
+    HeuristicRow, NodeCountRow, ObservedRun, OnDemandStudy, PassiveStudy, TrackingOverheadRow,
+    Workbench,
 };

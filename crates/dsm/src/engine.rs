@@ -31,7 +31,7 @@ use crate::program::{validate_iteration, LockId, Op, Program};
 use crate::protocol::PageDirectory;
 use crate::stats::IterStats;
 use crate::thread::{OngoingAccess, ThreadState, ThreadStatus};
-use crate::trace::{Event, Trace};
+use crate::trace::{Event, EventSink, Trace};
 use acorr_mem::{pages_for, span_pages, AccessKind, AccessMatrix, PageId, PageSpan, Protection};
 use acorr_sim::{FaultInjector, Mapping, MessageKind, NodeId, SimDuration, SimTime};
 
@@ -113,6 +113,9 @@ pub struct Dsm<P: Program> {
     tracking: Option<AccessMatrix>,
     passive: Option<AccessMatrix>,
     tracer: Option<Trace>,
+    sink: Option<Box<dyn EventSink>>,
+    interval_mark: IterStats,
+    interval_start: SimTime,
     barrier_arrived: usize,
     faults: FaultInjector,
     oracle: Option<CoherenceOracle>,
@@ -165,6 +168,9 @@ impl<P: Program> Dsm<P> {
             tracking: None,
             passive: None,
             tracer: None,
+            sink: None,
+            interval_mark: IterStats::new(),
+            interval_start: SimTime::ZERO,
             barrier_arrived: 0,
             faults,
             oracle: None,
@@ -249,11 +255,48 @@ impl<P: Program> Dsm<P> {
         self.tracer.take()
     }
 
-    /// Records `event` at node `i`'s current time, when tracing is on.
+    /// Attaches an external event sink. Every protocol event, remote-fetch
+    /// latency, lock-grant latency, and per-barrier-interval statistic delta
+    /// is forwarded to it, at the same sites the fault injector already
+    /// wraps. Sinks are a pure observer: simulated time, statistics and
+    /// scheduling are bit-identical with or without one attached.
+    pub fn attach_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches and returns the attached sink, if any.
+    pub fn take_sink(&mut self) -> Option<Box<dyn EventSink>> {
+        self.sink.take()
+    }
+
+    /// Records `event` at node `i`'s current time, when tracing or an
+    /// external sink is on.
     fn emit(&mut self, i: usize, event: Event) {
+        if self.tracer.is_none() && self.sink.is_none() {
+            return;
+        }
+        let at = self.nodes[i].time;
         if let Some(tracer) = self.tracer.as_mut() {
-            let at = self.nodes[i].time;
             tracer.record(at, event);
+        }
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record_event(at, &event);
+        }
+    }
+
+    /// Forwards one remote-fetch latency to the sink, charged at node `i`'s
+    /// current time.
+    fn emit_fetch_latency(&mut self, i: usize, latency: SimDuration) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record_fetch_latency(self.nodes[i].time, self.nodes[i].id, latency);
+        }
+    }
+
+    /// Forwards one lock-grant latency to the sink, charged at node `i`'s
+    /// current time.
+    fn emit_lock_latency(&mut self, i: usize, latency: SimDuration) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record_lock_latency(self.nodes[i].time, self.nodes[i].id, latency);
         }
     }
 
@@ -481,6 +524,8 @@ impl<P: Program> Dsm<P> {
             }
         }
         self.cur = IterStats::new();
+        self.interval_mark = IterStats::new();
+        self.interval_start = start;
         self.barrier_arrived = 0;
         if let Some(o) = self.oracle.as_mut() {
             o.begin_iteration(iteration);
@@ -771,6 +816,7 @@ impl<P: Program> Dsm<P> {
             if let Some(o) = self.oracle.as_mut() {
                 o.on_fetch(i, page, plan.new_version);
             }
+            self.emit_fetch_latency(i, dur);
             return AccessOutcome::Block(dur);
         }
         // Write fault: twin on first write of the interval.
@@ -852,6 +898,7 @@ impl<P: Program> Dsm<P> {
                 if let Some(o) = self.oracle.as_mut() {
                     o.on_fetch_sw(i, page);
                 }
+                self.emit_fetch_latency(i, stall + transfer);
                 AccessOutcome::BlockCompleted(stall + transfer)
             }
             AccessKind::Write => {
@@ -903,6 +950,7 @@ impl<P: Program> Dsm<P> {
                     o.on_fetch_sw(i, page);
                     o.on_write(i, t, span);
                 }
+                self.emit_fetch_latency(i, stall + transfer);
                 AccessOutcome::BlockCompleted(stall + transfer)
             }
         }
@@ -1002,6 +1050,18 @@ impl<P: Program> Dsm<P> {
         for node in &mut self.nodes {
             node.time = release;
             node.ready.clear();
+        }
+        // Observability: emit the per-interval statistics delta at the
+        // release time, then re-mark. Purely observational — no simulated
+        // cost is charged and no engine state other than the mark changes.
+        if self.sink.is_some() {
+            let mut delta = self.cur - self.interval_mark;
+            delta.elapsed = release.saturating_since(self.interval_start);
+            if let Some(sink) = self.sink.as_mut() {
+                sink.record_interval(release, barrier_index, &delta);
+            }
+            self.interval_mark = self.cur;
+            self.interval_start = release;
         }
         // Wake the world.
         self.barrier_arrived = 0;
@@ -1199,10 +1259,13 @@ impl<P: Program> Dsm<P> {
             self.threads[t].status = ThreadStatus::Blocked;
             self.cur.stall += delay;
             self.threads[t].wake_at = grant_base + delay;
+            self.emit_lock_latency(i, delay);
             false
         } else {
             let node = &mut self.nodes[i];
             node.time = grant_base + self.config.cost.lock_local;
+            let local = self.config.cost.lock_local;
+            self.emit_lock_latency(i, local);
             true
         }
     }
@@ -1261,5 +1324,6 @@ impl<P: Program> Dsm<P> {
                 remote,
             },
         );
+        self.emit_lock_latency(node, delay);
     }
 }

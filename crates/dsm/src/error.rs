@@ -1,7 +1,7 @@
 //! Engine error type.
 
 use crate::program::ScriptError;
-use acorr_sim::TopologyError;
+use acorr_sim::{FaultSpecError, TopologyError};
 use std::fmt;
 
 /// Errors surfaced by the DSM engine.
@@ -11,6 +11,8 @@ pub enum DsmError {
     Topology(TopologyError),
     /// A program script failed validation.
     Script(ScriptError),
+    /// A `--faults` specification string failed to parse.
+    FaultSpec(FaultSpecError),
     /// The mapping covers a different number of threads than the program.
     MappingMismatch {
         /// Threads in the mapping.
@@ -40,6 +42,7 @@ impl fmt::Display for DsmError {
         match self {
             DsmError::Topology(e) => write!(f, "topology error: {e}"),
             DsmError::Script(e) => write!(f, "script error: {e}"),
+            DsmError::FaultSpec(e) => write!(f, "fault spec error: {e}"),
             DsmError::MappingMismatch {
                 mapping_threads,
                 program_threads,
@@ -65,6 +68,7 @@ impl std::error::Error for DsmError {
         match self {
             DsmError::Topology(e) => Some(e),
             DsmError::Script(e) => Some(e),
+            DsmError::FaultSpec(e) => Some(e),
             _ => None,
         }
     }
@@ -79,6 +83,12 @@ impl From<TopologyError> for DsmError {
 impl From<ScriptError> for DsmError {
     fn from(e: ScriptError) -> Self {
         DsmError::Script(e)
+    }
+}
+
+impl From<FaultSpecError> for DsmError {
+    fn from(e: FaultSpecError) -> Self {
+        DsmError::FaultSpec(e)
     }
 }
 
@@ -102,5 +112,13 @@ mod tests {
         assert!(o.to_string().contains("oracle"));
         assert!(o.to_string().contains("byte 7 mismatch"));
         assert!(o.source().is_none());
+    }
+
+    #[test]
+    fn fault_spec_errors_convert_and_display() {
+        let parse_err = acorr_sim::FaultPlan::parse("nonsense-preset").unwrap_err();
+        let e: DsmError = parse_err.into();
+        assert!(e.to_string().starts_with("fault spec error:"));
+        assert!(e.source().is_some());
     }
 }

@@ -62,3 +62,4 @@ pub use ids::ThreadId;
 pub use oracle::{CoherenceOracle, OracleReport};
 pub use program::{validate_iteration, LockId, Op, Program, ScriptError};
 pub use stats::IterStats;
+pub use trace::{Event, EventSink, Trace};

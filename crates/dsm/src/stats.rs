@@ -7,7 +7,7 @@
 
 use acorr_sim::{NetStats, SimDuration};
 use std::fmt;
-use std::ops::{Add, AddAssign};
+use std::ops::{Add, AddAssign, Sub};
 
 /// Counters for one iteration (or an aggregate of several).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -103,6 +103,42 @@ impl AddAssign for IterStats {
     }
 }
 
+/// Counter difference, used by the observability layer to turn cumulative
+/// snapshots into per-barrier-interval deltas. Every field is monotonically
+/// non-decreasing over a run, so `later - earlier` of two snapshots of the
+/// *same* run never underflows; subtraction saturates anyway so a misuse
+/// yields zeros rather than a panic.
+impl Sub for IterStats {
+    type Output = IterStats;
+    fn sub(self, rhs: IterStats) -> IterStats {
+        IterStats {
+            elapsed: self.elapsed.saturating_sub(rhs.elapsed),
+            stall: self.stall.saturating_sub(rhs.stall),
+            remote_misses: self.remote_misses.saturating_sub(rhs.remote_misses),
+            tracking_faults: self.tracking_faults.saturating_sub(rhs.tracking_faults),
+            coherence_faults: self.coherence_faults.saturating_sub(rhs.coherence_faults),
+            twin_faults: self.twin_faults.saturating_sub(rhs.twin_faults),
+            ownership_transfers: self
+                .ownership_transfers
+                .saturating_sub(rhs.ownership_transfers),
+            diffs_created: self.diffs_created.saturating_sub(rhs.diffs_created),
+            diff_bytes_created: self
+                .diff_bytes_created
+                .saturating_sub(rhs.diff_bytes_created),
+            barriers: self.barriers.saturating_sub(rhs.barriers),
+            lock_acquires: self.lock_acquires.saturating_sub(rhs.lock_acquires),
+            remote_lock_acquires: self
+                .remote_lock_acquires
+                .saturating_sub(rhs.remote_lock_acquires),
+            gc_runs: self.gc_runs.saturating_sub(rhs.gc_runs),
+            gc_pages: self.gc_pages.saturating_sub(rhs.gc_pages),
+            migrations: self.migrations.saturating_sub(rhs.migrations),
+            retries: self.retries.saturating_sub(rhs.retries),
+            net: self.net - rhs.net,
+        }
+    }
+}
+
 impl fmt::Display for IterStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -154,6 +190,26 @@ mod tests {
         s.net.record(MessageKind::DiffFetch, 1_000_000);
         assert!((s.total_mbytes() - 3.0).abs() < 1e-9);
         assert!((s.diff_mbytes() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subtraction_yields_interval_deltas() {
+        let mut earlier = IterStats::new();
+        earlier.remote_misses = 3;
+        earlier.elapsed = SimDuration::from_micros(10);
+        earlier.net.record(MessageKind::PageFetch, 4096);
+        let mut later = earlier;
+        later.remote_misses = 8;
+        later.elapsed = SimDuration::from_micros(25);
+        later.net.record(MessageKind::PageFetch, 4096);
+        let delta = later - earlier;
+        assert_eq!(delta.remote_misses, 5);
+        assert_eq!(delta.elapsed, SimDuration::from_micros(15));
+        assert_eq!(delta.net.total_bytes(), 4096);
+        // Misuse (earlier - later) saturates to zero instead of panicking.
+        let zero = earlier - later;
+        assert_eq!(zero.remote_misses, 0);
+        assert_eq!(zero.net.total_bytes(), 0);
     }
 
     #[test]

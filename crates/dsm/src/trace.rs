@@ -19,10 +19,53 @@
 //! assert_eq!(trace.dropped(), 1);
 //! ```
 
+use crate::stats::IterStats;
 use acorr_mem::PageId;
-use acorr_sim::{NodeId, SimTime};
+use acorr_sim::{NodeId, SimDuration, SimTime};
 use std::collections::VecDeque;
 use std::fmt;
+
+/// A destination for protocol events and derived measurements.
+///
+/// The engine forwards every [`Event`] (with its simulated timestamp) to the
+/// attached sink, plus three derived streams that external observability
+/// layers want but the bounded [`Trace`] ring does not retain: remote-fetch
+/// latencies, lock-grant latencies, and per-barrier-interval statistic
+/// deltas. All callbacks are **observation-only**: the engine's simulated
+/// time, statistics and scheduling are bit-identical with or without a sink
+/// attached (the purity tests in `tests/observability.rs` enforce this).
+///
+/// Implementations must be `Send` because DSM instances run on the
+/// deterministic worker pool; each instance owns its own sink, so no
+/// synchronization beyond `Send` is required.
+pub trait EventSink: fmt::Debug + Send {
+    /// Receives one protocol event at simulated time `at`.
+    fn record_event(&mut self, at: SimTime, event: &Event);
+
+    /// Receives the total delivery latency of one remote fetch (the page
+    /// and diff traffic resolving a coherence miss), charged at `at` on
+    /// `node`. Fault-injected retransmission timeouts are included, so
+    /// under a fault plan the distribution's tail is the injector's work.
+    fn record_fetch_latency(&mut self, at: SimTime, node: NodeId, latency: SimDuration) {
+        let _ = (at, node, latency);
+    }
+
+    /// Receives the grant latency of one lock acquisition at `at` on
+    /// `node`: the local grant cost for node-local handoffs, or the
+    /// two-message control exchange (plus any fault-injected delay) for
+    /// cross-node transfers.
+    fn record_lock_latency(&mut self, at: SimTime, node: NodeId, latency: SimDuration) {
+        let _ = (at, node, latency);
+    }
+
+    /// Receives the delta of the iteration counters accumulated since the
+    /// previous barrier (or iteration start), at the release time of
+    /// barrier `barrier` (a run-global ordinal). `delta.elapsed` is the
+    /// simulated span of the interval itself.
+    fn record_interval(&mut self, at: SimTime, barrier: u64, delta: &IterStats) {
+        let _ = (at, barrier, delta);
+    }
+}
 
 /// One protocol event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,8 +178,22 @@ pub struct Trace {
     dropped: u64,
 }
 
+/// The ring buffer doubles as the simplest [`EventSink`]: timestamps and
+/// events are retained (newest `capacity`), the derived latency/interval
+/// streams are ignored.
+impl EventSink for Trace {
+    fn record_event(&mut self, at: SimTime, event: &Event) {
+        self.record(at, *event);
+    }
+}
+
 impl Trace {
     /// Creates a trace retaining at most `capacity` events (the newest).
+    ///
+    /// A `capacity` of **zero** is valid and deliberate: such a trace
+    /// stores nothing, but every [`Trace::record`] still increments
+    /// [`Trace::dropped`] — a zero-allocation event *counter* for runs
+    /// where only the volume matters.
     pub fn new(capacity: usize) -> Self {
         Trace {
             events: VecDeque::with_capacity(capacity.min(4096)),
@@ -145,7 +202,9 @@ impl Trace {
         }
     }
 
-    /// Appends an event, evicting the oldest when full.
+    /// Appends an event, evicting the oldest when full. With a capacity of
+    /// zero nothing is ever stored; the event is counted as dropped
+    /// (see [`Trace::new`]).
     pub fn record(&mut self, at: SimTime, event: Event) {
         if self.capacity == 0 {
             self.dropped += 1;
@@ -218,8 +277,32 @@ mod tests {
     fn zero_capacity_counts_but_stores_nothing() {
         let mut t = Trace::new(0);
         t.record(SimTime::ZERO, Event::BarrierRelease { index: 0 });
+        t.record(SimTime::ZERO, Event::BarrierRelease { index: 1 });
         assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.iter().count(), 0);
+        assert!(t.render().contains("2 earlier events dropped"));
+    }
+
+    #[test]
+    fn trace_is_an_event_sink() {
+        fn sink_all(sink: &mut dyn EventSink) {
+            for i in 0..3 {
+                sink.record_event(SimTime::from_nanos(i), &Event::BarrierRelease { index: i });
+            }
+            // Derived streams have no-op defaults.
+            sink.record_fetch_latency(SimTime::ZERO, NodeId(0), SimDuration::from_micros(1));
+            sink.record_lock_latency(SimTime::ZERO, NodeId(0), SimDuration::from_micros(1));
+            sink.record_interval(SimTime::ZERO, 0, &IterStats::new());
+        }
+        let mut t = Trace::new(2);
+        sink_all(&mut t);
+        assert_eq!(t.len(), 2);
         assert_eq!(t.dropped(), 1);
+        // iter() drains without cloning the deque.
+        let times: Vec<u64> = t.iter().map(|(at, _)| at.as_nanos()).collect();
+        assert_eq!(times, vec![1, 2]);
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Run manifests: a small JSON record capturing everything needed to
+//! reproduce a result file — run parameters (config, seed, fault plan,
+//! protocol, thread/node counts), the source revision, and a digest of the
+//! final statistics so a replay can be checked bit-for-bit.
+
+use crate::json::{self, Obj, Value};
+use acorr_dsm::IterStats;
+
+/// Manifest schema identifier; bump on incompatible changes.
+pub const SCHEMA: &str = "acorr-obs/1";
+
+/// 64-bit FNV-1a over `bytes`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Digest of a final [`IterStats`]: FNV-1a over its canonical JSON
+/// encoding, formatted as `fnv1a:<16 hex digits>`. Two runs are
+/// bit-identical in every counted quantity iff their digests match.
+pub fn stats_digest(stats: &IterStats) -> String {
+    format!(
+        "fnv1a:{:016x}",
+        fnv1a(json::iter_stats_json(stats).as_bytes())
+    )
+}
+
+/// Digest of arbitrary artifact bytes, same format as [`stats_digest`].
+pub fn bytes_digest(bytes: &[u8]) -> String {
+    format!("fnv1a:{:016x}", fnv1a(bytes))
+}
+
+/// Best-effort `git describe --always --dirty` of the working tree;
+/// `"unknown"` when git or the repository is unavailable. Metadata only —
+/// never used in any simulated computation.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// A reproducibility record for one run or emitted artifact.
+///
+/// The run parameters live in `params`, an ordered string-to-string map,
+/// so every producer (CLI subcommands, bench bins) can record exactly the
+/// knobs it exposes without the manifest schema enumerating them; the
+/// `report` replay path reads the keys it understands and surfaces the
+/// rest verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunManifest {
+    /// Schema identifier ([`SCHEMA`]).
+    pub schema: String,
+    /// The producing tool, e.g. `acorr run` or a bench bin name.
+    pub tool: String,
+    /// Source revision ([`git_describe`]).
+    pub git: String,
+    /// Run parameters, in emission order.
+    pub params: Vec<(String, String)>,
+    /// Digest of the final statistics or artifact bytes
+    /// ([`stats_digest`] / [`bytes_digest`]).
+    pub digest: String,
+}
+
+impl RunManifest {
+    /// Starts a manifest for `tool` with the current revision and no
+    /// parameters.
+    pub fn new(tool: &str) -> Self {
+        RunManifest {
+            schema: SCHEMA.to_string(),
+            tool: tool.to_string(),
+            git: git_describe(),
+            params: Vec::new(),
+            digest: String::new(),
+        }
+    }
+
+    /// Appends (or replaces) one parameter.
+    pub fn param(mut self, key: &str, value: &str) -> Self {
+        if let Some(slot) = self.params.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value.to_string();
+        } else {
+            self.params.push((key.to_string(), value.to_string()));
+        }
+        self
+    }
+
+    /// Looks up a parameter.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Sets the final digest.
+    pub fn with_digest(mut self, digest: String) -> Self {
+        self.digest = digest;
+        self
+    }
+
+    /// Renders the manifest as a JSON document (with trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut params = Obj::new();
+        for (k, v) in &self.params {
+            params.str(k, v);
+        }
+        let mut obj = Obj::new();
+        obj.str("schema", &self.schema)
+            .str("tool", &self.tool)
+            .str("git", &self.git)
+            .raw("params", &params.finish())
+            .str("digest", &self.digest);
+        let mut out = obj.finish();
+        out.push('\n');
+        out
+    }
+
+    /// Parses a manifest document produced by [`RunManifest::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the document is not valid JSON, is
+    /// missing a required member, or declares an unknown schema.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = json::parse(text).map_err(|e| format!("manifest is not valid JSON: {e}"))?;
+        let member = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("manifest is missing string member \"{key}\""))
+        };
+        let schema = member("schema")?;
+        if schema != SCHEMA {
+            return Err(format!(
+                "unsupported manifest schema \"{schema}\" (expected \"{SCHEMA}\")"
+            ));
+        }
+        let params = match v.get("params") {
+            Some(Value::Obj(members)) => members
+                .iter()
+                .map(|(k, val)| {
+                    val.as_str()
+                        .map(|s| (k.clone(), s.to_string()))
+                        .ok_or_else(|| format!("manifest param \"{k}\" is not a string"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("manifest is missing object member \"params\"".into()),
+        };
+        Ok(RunManifest {
+            schema,
+            tool: member("tool")?,
+            git: member("git")?,
+            params,
+            digest: member("digest")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn stats_digest_is_stable_and_sensitive() {
+        let a = IterStats::new();
+        let mut b = IterStats::new();
+        assert_eq!(stats_digest(&a), stats_digest(&b));
+        assert!(stats_digest(&a).starts_with("fnv1a:"));
+        b.remote_misses = 1;
+        assert_ne!(stats_digest(&a), stats_digest(&b));
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = RunManifest::new("acorr run")
+            .param("app", "sor")
+            .param("seed", "704580")
+            .param("faults", "moderate")
+            .with_digest("fnv1a:0123456789abcdef".into());
+        let text = m.to_json();
+        let back = RunManifest::from_json(&text).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.get("app"), Some("sor"));
+        assert_eq!(back.get("missing"), None);
+    }
+
+    #[test]
+    fn param_replaces_existing_keys() {
+        let m = RunManifest::new("t").param("k", "1").param("k", "2");
+        assert_eq!(m.get("k"), Some("2"));
+        assert_eq!(m.params.len(), 1);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_manifests() {
+        assert!(RunManifest::from_json("not json").is_err());
+        assert!(RunManifest::from_json("{}").is_err());
+        let wrong_schema = RunManifest {
+            schema: "acorr-obs/999".into(),
+            ..RunManifest::new("t")
+        }
+        .to_json();
+        assert!(RunManifest::from_json(&wrong_schema)
+            .unwrap_err()
+            .contains("schema"));
+        // Non-string param values are rejected.
+        let bad = r#"{"schema":"acorr-obs/1","tool":"t","git":"g","params":{"x":1},"digest":"d"}"#;
+        assert!(RunManifest::from_json(bad).unwrap_err().contains("param"));
+    }
+
+    #[test]
+    fn git_describe_never_panics() {
+        let d = git_describe();
+        assert!(!d.is_empty());
+    }
+}

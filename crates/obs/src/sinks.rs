@@ -1,0 +1,615 @@
+//! [`EventSink`] implementations: JSONL, Chrome/Perfetto `trace_event`,
+//! and a composite that fans one engine event stream out to every enabled
+//! backend (including the bounded [`Trace`] ring) behind a shared handle.
+
+use crate::json::Obj;
+use crate::metrics::MetricsRegistry;
+use acorr_dsm::trace::{Event, EventSink, Trace};
+use acorr_dsm::IterStats;
+use acorr_sim::{NodeId, SimDuration, SimTime};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Renders one event's type tag and payload members into `obj`.
+fn push_event_fields(obj: &mut Obj, event: &Event) {
+    match *event {
+        Event::CorrelationFault { thread, page } => {
+            obj.str("type", "correlation_fault")
+                .u64("thread", thread as u64)
+                .u64("page", u64::from(page.0));
+        }
+        Event::RemoteMiss { node, thread, page } => {
+            obj.str("type", "remote_miss")
+                .u64("node", u64::from(node.0))
+                .u64("thread", thread as u64)
+                .u64("page", u64::from(page.0));
+        }
+        Event::WriteFault { node, page } => {
+            obj.str("type", "write_fault")
+                .u64("node", u64::from(node.0))
+                .u64("page", u64::from(page.0));
+        }
+        Event::OwnershipTransfer { page, to } => {
+            obj.str("type", "ownership_transfer")
+                .u64("page", u64::from(page.0))
+                .u64("to", u64::from(to.0));
+        }
+        Event::DiffCreated { node, page, bytes } => {
+            obj.str("type", "diff_created")
+                .u64("node", u64::from(node.0))
+                .u64("page", u64::from(page.0))
+                .u64("bytes", bytes);
+        }
+        Event::GcConsolidated { page, owner } => {
+            obj.str("type", "gc_consolidated")
+                .u64("page", u64::from(page.0))
+                .u64("owner", u64::from(owner.0));
+        }
+        Event::BarrierRelease { index } => {
+            obj.str("type", "barrier_release").u64("index", index);
+        }
+        Event::LockGranted {
+            lock,
+            thread,
+            remote,
+        } => {
+            obj.str("type", "lock_granted")
+                .u64("lock", lock as u64)
+                .u64("thread", thread as u64)
+                .bool("remote", remote);
+        }
+        Event::Migration { thread, to } => {
+            obj.str("type", "migration")
+                .u64("thread", thread as u64)
+                .u64("to", u64::from(to.0));
+        }
+    }
+}
+
+/// An [`EventSink`] that renders every callback as one JSON object per
+/// line. Protocol events carry `"type"` tags; the derived streams appear
+/// as `"fetch_latency"`, `"lock_latency"` and `"interval"` records, so the
+/// file is a complete structured log of the run.
+#[derive(Debug, Default)]
+pub struct JsonlSink {
+    lines: Vec<String>,
+}
+
+impl JsonlSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        JsonlSink::default()
+    }
+
+    /// Number of lines recorded so far.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The rendered log: newline-separated JSON objects (trailing newline
+    /// included when non-empty).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn record_event(&mut self, at: SimTime, event: &Event) {
+        let mut obj = Obj::new();
+        obj.u64("ts", at.as_nanos());
+        push_event_fields(&mut obj, event);
+        self.lines.push(obj.finish());
+    }
+
+    fn record_fetch_latency(&mut self, at: SimTime, node: NodeId, latency: SimDuration) {
+        let mut obj = Obj::new();
+        obj.u64("ts", at.as_nanos())
+            .str("type", "fetch_latency")
+            .u64("node", u64::from(node.0))
+            .u64("latency_ns", latency.as_nanos());
+        self.lines.push(obj.finish());
+    }
+
+    fn record_lock_latency(&mut self, at: SimTime, node: NodeId, latency: SimDuration) {
+        let mut obj = Obj::new();
+        obj.u64("ts", at.as_nanos())
+            .str("type", "lock_latency")
+            .u64("node", u64::from(node.0))
+            .u64("latency_ns", latency.as_nanos());
+        self.lines.push(obj.finish());
+    }
+
+    fn record_interval(&mut self, at: SimTime, barrier: u64, delta: &IterStats) {
+        let mut obj = Obj::new();
+        obj.u64("ts", at.as_nanos())
+            .str("type", "interval")
+            .u64("barrier", barrier)
+            .raw("delta", &crate::json::iter_stats_json(delta));
+        self.lines.push(obj.finish());
+    }
+}
+
+/// Synthetic process IDs structuring the Chrome trace: one process for
+/// protocol events, one for latency slices, one for the fault-plan lane.
+const PID_PROTOCOL: u32 = 1;
+const PID_LATENCY: u32 = 2;
+const PID_FAULTS: u32 = 3;
+
+/// An [`EventSink`] emitting Chrome `trace_event` JSON, loadable in
+/// `chrome://tracing` and [Perfetto](https://ui.perfetto.dev).
+///
+/// Track layout:
+/// * **protocol** process — one track per node carrying instant events for
+///   node-attributed protocol activity, plus a `control` track for
+///   cluster-wide events (barriers, correlation faults, lock grants).
+/// * **latency** process — one track per node with duration slices for
+///   remote fetches and lock grants (slice end = completion time).
+/// * **faults** process — one counter lane fed per barrier interval with
+///   the fault injector's observable work (retries, retransmitted bytes).
+///
+/// Timestamps are microseconds with nanosecond fractions, as the format
+/// requires.
+#[derive(Debug)]
+pub struct ChromeTraceSink {
+    nodes: usize,
+    events: Vec<String>,
+}
+
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+impl ChromeTraceSink {
+    /// Creates a sink for a cluster of `nodes` nodes, pre-populating the
+    /// process/thread naming metadata.
+    pub fn new(nodes: usize) -> Self {
+        let mut sink = ChromeTraceSink {
+            nodes,
+            events: Vec::new(),
+        };
+        for (pid, name) in [
+            (PID_PROTOCOL, "protocol"),
+            (PID_LATENCY, "latency"),
+            (PID_FAULTS, "faults"),
+        ] {
+            let mut obj = Obj::new();
+            obj.str("name", "process_name")
+                .str("ph", "M")
+                .u64("pid", u64::from(pid))
+                .u64("tid", 0)
+                .raw("args", &Obj::new().str("name", name).finish());
+            sink.events.push(obj.finish());
+        }
+        for node in 0..nodes {
+            for pid in [PID_PROTOCOL, PID_LATENCY] {
+                let mut obj = Obj::new();
+                obj.str("name", "thread_name")
+                    .str("ph", "M")
+                    .u64("pid", u64::from(pid))
+                    .u64("tid", node as u64)
+                    .raw(
+                        "args",
+                        &Obj::new().str("name", &format!("node {node}")).finish(),
+                    );
+                sink.events.push(obj.finish());
+            }
+        }
+        let mut obj = Obj::new();
+        obj.str("name", "thread_name")
+            .str("ph", "M")
+            .u64("pid", u64::from(PID_PROTOCOL))
+            .u64("tid", nodes as u64)
+            .raw("args", &Obj::new().str("name", "control").finish());
+        sink.events.push(obj.finish());
+        sink
+    }
+
+    /// Number of trace events recorded (including naming metadata).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether only metadata has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The lane (tid within the protocol process) an event is drawn on:
+    /// its node when it has one, the `control` lane otherwise.
+    fn lane_of(&self, event: &Event) -> u64 {
+        match *event {
+            Event::RemoteMiss { node, .. }
+            | Event::WriteFault { node, .. }
+            | Event::DiffCreated { node, .. } => u64::from(node.0),
+            Event::OwnershipTransfer { to, .. } | Event::Migration { to, .. } => u64::from(to.0),
+            Event::GcConsolidated { owner, .. } => u64::from(owner.0),
+            Event::CorrelationFault { .. }
+            | Event::BarrierRelease { .. }
+            | Event::LockGranted { .. } => self.nodes as u64,
+        }
+    }
+
+    fn instant(&mut self, at: SimTime, name: &str, tid: u64, args_json: &str) {
+        let mut obj = Obj::new();
+        obj.str("name", name)
+            .str("ph", "i")
+            .str("s", "t")
+            .u64("pid", u64::from(PID_PROTOCOL))
+            .u64("tid", tid)
+            .raw("ts", &micros(at.as_nanos()))
+            .raw("args", args_json);
+        self.events.push(obj.finish());
+    }
+
+    fn slice(&mut self, end: SimTime, name: &str, tid: u64, dur: SimDuration) {
+        let start_ns = end.as_nanos().saturating_sub(dur.as_nanos());
+        let mut obj = Obj::new();
+        obj.str("name", name)
+            .str("ph", "X")
+            .u64("pid", u64::from(PID_LATENCY))
+            .u64("tid", tid)
+            .raw("ts", &micros(start_ns))
+            .raw("dur", &micros(dur.as_nanos()));
+        self.events.push(obj.finish());
+    }
+
+    /// The rendered trace document: `{"displayTimeUnit":"ns",
+    /// "traceEvents":[...]}`.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(ev);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl EventSink for ChromeTraceSink {
+    fn record_event(&mut self, at: SimTime, event: &Event) {
+        let tid = self.lane_of(event);
+        let mut args = Obj::new();
+        push_event_fields(&mut args, event);
+        let args_json = args.finish();
+        // The "type" member doubles as the slice name; Perfetto groups
+        // instants by name, so kinds form visual rows.
+        let name = match *event {
+            Event::CorrelationFault { .. } => "correlation_fault",
+            Event::RemoteMiss { .. } => "remote_miss",
+            Event::WriteFault { .. } => "write_fault",
+            Event::OwnershipTransfer { .. } => "ownership_transfer",
+            Event::DiffCreated { .. } => "diff_created",
+            Event::GcConsolidated { .. } => "gc_consolidated",
+            Event::BarrierRelease { .. } => "barrier_release",
+            Event::LockGranted { .. } => "lock_granted",
+            Event::Migration { .. } => "migration",
+        };
+        self.instant(at, name, tid, &args_json);
+    }
+
+    fn record_fetch_latency(&mut self, at: SimTime, node: NodeId, latency: SimDuration) {
+        self.slice(at, "fetch", u64::from(node.0), latency);
+    }
+
+    fn record_lock_latency(&mut self, at: SimTime, node: NodeId, latency: SimDuration) {
+        self.slice(at, "lock", u64::from(node.0), latency);
+    }
+
+    fn record_interval(&mut self, at: SimTime, barrier: u64, delta: &IterStats) {
+        let mut args = Obj::new();
+        args.u64("retries", delta.retries)
+            .u64("retrans_bytes", delta.net.total_retrans_bytes());
+        let mut obj = Obj::new();
+        obj.str("name", "fault-plan")
+            .str("ph", "C")
+            .u64("pid", u64::from(PID_FAULTS))
+            .u64("tid", 0)
+            .u64("id", barrier)
+            .raw("ts", &micros(at.as_nanos()))
+            .raw("args", &args.finish());
+        self.events.push(obj.finish());
+    }
+}
+
+/// The backend buffers a [`MultiSink`] writes into, shared with the
+/// [`ObsHandle`] that outlives the run.
+#[derive(Debug, Default)]
+pub struct ObsBuffers {
+    /// JSONL structured log, when enabled.
+    pub jsonl: Option<JsonlSink>,
+    /// Chrome/Perfetto trace, when enabled.
+    pub chrome: Option<ChromeTraceSink>,
+    /// Interval time series + latency histograms, when enabled.
+    pub metrics: Option<MetricsRegistry>,
+    /// Bounded event ring, when a non-zero capacity was configured.
+    pub ring: Option<Trace>,
+}
+
+type Shared = Arc<Mutex<ObsBuffers>>;
+
+/// A composite [`EventSink`] fanning each callback out to every enabled
+/// backend. The buffers live behind an `Arc`, so the paired [`ObsHandle`]
+/// can collect the results after the engine (which owns the boxed sink)
+/// is done — no trait-object downcasting required.
+#[derive(Debug)]
+pub struct MultiSink {
+    inner: Shared,
+}
+
+/// The collection side of a [`MultiSink`]: call [`ObsHandle::finish`] once
+/// the run completes to take the rendered artifacts.
+#[derive(Debug, Clone)]
+pub struct ObsHandle {
+    inner: Shared,
+}
+
+/// Rendered observability artifacts for one run. Fields are `None` when
+/// the corresponding backend was disabled in the [`crate::ObsConfig`].
+#[derive(Debug, Default)]
+pub struct Observation {
+    /// JSONL structured log (`events.jsonl`).
+    pub events_jsonl: Option<String>,
+    /// Chrome `trace_event` document (`trace.json`).
+    pub chrome_trace: Option<String>,
+    /// Interval time-series CSV (`metrics.csv`).
+    pub metrics_csv: Option<String>,
+    /// Latency histogram CSV (`histograms.csv`).
+    pub histograms_csv: Option<String>,
+    /// The drained bounded event ring.
+    pub ring: Option<Trace>,
+}
+
+impl MultiSink {
+    /// Builds a composite sink from an [`crate::ObsConfig`] for a cluster
+    /// of `nodes` nodes, returning the sink (to attach to the engine) and
+    /// the handle (to collect results from).
+    pub fn new(config: &crate::ObsConfig, nodes: usize) -> (MultiSink, ObsHandle) {
+        let buffers = ObsBuffers {
+            jsonl: config.jsonl.then(JsonlSink::new),
+            chrome: config.chrome.then(|| ChromeTraceSink::new(nodes)),
+            metrics: config.metrics.then(MetricsRegistry::new),
+            ring: (config.ring_capacity > 0).then(|| Trace::new(config.ring_capacity)),
+        };
+        let inner = Arc::new(Mutex::new(buffers));
+        (
+            MultiSink {
+                inner: Arc::clone(&inner),
+            },
+            ObsHandle { inner },
+        )
+    }
+
+    fn with<F: FnOnce(&mut ObsBuffers)>(&self, f: F) {
+        let mut guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut guard);
+    }
+}
+
+impl EventSink for MultiSink {
+    fn record_event(&mut self, at: SimTime, event: &Event) {
+        self.with(|b| {
+            if let Some(s) = b.jsonl.as_mut() {
+                s.record_event(at, event);
+            }
+            if let Some(s) = b.chrome.as_mut() {
+                s.record_event(at, event);
+            }
+            if let Some(s) = b.ring.as_mut() {
+                s.record_event(at, event);
+            }
+        });
+    }
+
+    fn record_fetch_latency(&mut self, at: SimTime, node: NodeId, latency: SimDuration) {
+        self.with(|b| {
+            if let Some(s) = b.jsonl.as_mut() {
+                s.record_fetch_latency(at, node, latency);
+            }
+            if let Some(s) = b.chrome.as_mut() {
+                s.record_fetch_latency(at, node, latency);
+            }
+            if let Some(m) = b.metrics.as_mut() {
+                m.record_fetch(latency);
+            }
+        });
+    }
+
+    fn record_lock_latency(&mut self, at: SimTime, node: NodeId, latency: SimDuration) {
+        self.with(|b| {
+            if let Some(s) = b.jsonl.as_mut() {
+                s.record_lock_latency(at, node, latency);
+            }
+            if let Some(s) = b.chrome.as_mut() {
+                s.record_lock_latency(at, node, latency);
+            }
+            if let Some(m) = b.metrics.as_mut() {
+                m.record_lock(latency);
+            }
+        });
+    }
+
+    fn record_interval(&mut self, at: SimTime, barrier: u64, delta: &IterStats) {
+        self.with(|b| {
+            if let Some(s) = b.jsonl.as_mut() {
+                s.record_interval(at, barrier, delta);
+            }
+            if let Some(s) = b.chrome.as_mut() {
+                s.record_interval(at, barrier, delta);
+            }
+            if let Some(m) = b.metrics.as_mut() {
+                m.record_interval(at, barrier, delta);
+            }
+        });
+    }
+}
+
+impl ObsHandle {
+    /// Takes the buffers and renders them. Call after the run; artifacts
+    /// recorded afterwards are lost.
+    pub fn finish(&self) -> Observation {
+        let mut guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let buffers = std::mem::take(&mut *guard);
+        drop(guard);
+        Observation {
+            events_jsonl: buffers.jsonl.map(|s| s.render()),
+            chrome_trace: buffers.chrome.map(|s| s.render()),
+            metrics_csv: buffers.metrics.as_ref().map(|m| m.timeseries_csv()),
+            histograms_csv: buffers.metrics.as_ref().map(|m| m.histogram_csv()),
+            ring: buffers.ring,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use acorr_mem::PageId;
+
+    fn feed(sink: &mut dyn EventSink) {
+        sink.record_event(
+            SimTime::from_nanos(100),
+            &Event::RemoteMiss {
+                node: NodeId(1),
+                thread: 3,
+                page: PageId(7),
+            },
+        );
+        sink.record_event(
+            SimTime::from_nanos(200),
+            &Event::BarrierRelease { index: 0 },
+        );
+        sink.record_fetch_latency(
+            SimTime::from_nanos(300),
+            NodeId(1),
+            SimDuration::from_nanos(250),
+        );
+        sink.record_lock_latency(
+            SimTime::from_nanos(400),
+            NodeId(0),
+            SimDuration::from_nanos(50),
+        );
+        let mut delta = IterStats::new();
+        delta.retries = 2;
+        sink.record_interval(SimTime::from_nanos(500), 0, &delta);
+    }
+
+    #[test]
+    fn jsonl_lines_are_each_valid_json() {
+        let mut sink = JsonlSink::new();
+        feed(&mut sink);
+        assert_eq!(sink.len(), 5);
+        let text = sink.render();
+        let mut types = Vec::new();
+        for line in text.lines() {
+            let v = parse(line).expect("valid JSON line");
+            types.push(v.get("type").unwrap().as_str().unwrap().to_string());
+        }
+        assert_eq!(
+            types,
+            vec![
+                "remote_miss",
+                "barrier_release",
+                "fetch_latency",
+                "lock_latency",
+                "interval"
+            ]
+        );
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_structured() {
+        let mut sink = ChromeTraceSink::new(2);
+        feed(&mut sink);
+        let doc = parse(&sink.render()).expect("valid trace JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // Metadata: 3 process names + 2 nodes x 2 pids + control lane.
+        let meta = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .count();
+        assert_eq!(meta, 8);
+        // The miss is an instant on node 1's protocol track.
+        let miss = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("remote_miss"))
+            .unwrap();
+        assert_eq!(miss.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(miss.get("tid").unwrap().as_u64(), Some(1));
+        // The barrier lands on the control lane (tid == nodes).
+        let barrier = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("barrier_release"))
+            .unwrap();
+        assert_eq!(barrier.get("tid").unwrap().as_u64(), Some(2));
+        // The fetch is a duration slice ending at its completion time.
+        let fetch = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("fetch"))
+            .unwrap();
+        assert_eq!(fetch.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(fetch.get("ts").unwrap().as_f64(), Some(0.05));
+        assert_eq!(fetch.get("dur").unwrap().as_f64(), Some(0.25));
+        // The fault lane is a counter.
+        let faults = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("fault-plan"))
+            .unwrap();
+        assert_eq!(faults.get("ph").unwrap().as_str(), Some("C"));
+        assert_eq!(
+            faults.get("args").unwrap().get("retries").unwrap().as_u64(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn multi_sink_fans_out_and_handle_collects() {
+        let config = crate::ObsConfig::all();
+        let (mut sink, handle) = MultiSink::new(&config, 2);
+        feed(&mut sink);
+        let obs = handle.finish();
+        let jsonl = obs.events_jsonl.expect("jsonl enabled");
+        assert_eq!(jsonl.lines().count(), 5);
+        let chrome = obs.chrome_trace.expect("chrome enabled");
+        assert!(parse(&chrome).is_ok());
+        let metrics = obs.metrics_csv.expect("metrics enabled");
+        assert_eq!(metrics.lines().count(), 2);
+        let hists = obs.histograms_csv.expect("metrics enabled");
+        assert!(hists.contains("fetch,"));
+        let ring = obs.ring.expect("ring enabled");
+        assert_eq!(ring.len(), 2);
+        // A second finish sees empty buffers.
+        let again = handle.finish();
+        assert!(again.events_jsonl.is_none());
+    }
+
+    #[test]
+    fn disabled_backends_stay_none() {
+        let config = crate::ObsConfig {
+            jsonl: true,
+            chrome: false,
+            metrics: false,
+            ring_capacity: 0,
+        };
+        let (mut sink, handle) = MultiSink::new(&config, 1);
+        feed(&mut sink);
+        let obs = handle.finish();
+        assert!(obs.events_jsonl.is_some());
+        assert!(obs.chrome_trace.is_none());
+        assert!(obs.metrics_csv.is_none());
+        assert!(obs.histograms_csv.is_none());
+        assert!(obs.ring.is_none());
+    }
+}

@@ -9,7 +9,7 @@
 
 use crate::time::SimDuration;
 use std::fmt;
-use std::ops::{Add, AddAssign};
+use std::ops::{Add, AddAssign, Sub};
 
 /// Classifies simulated protocol messages for accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -236,6 +236,25 @@ impl Add for NetStats {
     }
 }
 
+/// Counter difference between two snapshots of the *same* accumulating
+/// ledger (`later - earlier`), used to derive per-interval traffic. All
+/// counters are monotonic, and subtraction saturates so misuse yields zeros
+/// rather than a panic.
+impl Sub for NetStats {
+    type Output = NetStats;
+    fn sub(self, rhs: NetStats) -> NetStats {
+        let mut out = NetStats::new();
+        for i in 0..7 {
+            out.messages[i] = self.messages[i].saturating_sub(rhs.messages[i]);
+            out.bytes[i] = self.bytes[i].saturating_sub(rhs.bytes[i]);
+            out.retrans_messages[i] =
+                self.retrans_messages[i].saturating_sub(rhs.retrans_messages[i]);
+            out.retrans_bytes[i] = self.retrans_bytes[i].saturating_sub(rhs.retrans_bytes[i]);
+        }
+        out
+    }
+}
+
 impl AddAssign for NetStats {
     fn add_assign(&mut self, rhs: NetStats) {
         for i in 0..7 {
@@ -359,6 +378,23 @@ mod tests {
         assert_eq!(sum.retrans_messages(MessageKind::PageFetch), 4);
         assert!(sum.to_string().contains("retrans"));
         assert!(!NetStats::new().to_string().contains("retrans"));
+    }
+
+    #[test]
+    fn snapshot_subtraction_isolates_an_interval() {
+        let mut earlier = NetStats::new();
+        earlier.record(MessageKind::PageFetch, 4096);
+        earlier.record_retrans(MessageKind::PageFetch, 4096, 1);
+        let mut later = earlier;
+        later.record(MessageKind::DiffFetch, 100);
+        later.record(MessageKind::PageFetch, 4096);
+        let delta = later - earlier;
+        assert_eq!(delta.messages(MessageKind::PageFetch), 1);
+        assert_eq!(delta.messages(MessageKind::DiffFetch), 1);
+        assert_eq!(delta.total_bytes(), 4196);
+        assert_eq!(delta.total_retrans_messages(), 0);
+        // Misuse saturates to zero.
+        assert_eq!((earlier - later).total_bytes(), 0);
     }
 
     #[test]

@@ -1,0 +1,69 @@
+#!/usr/bin/env sh
+# Validates an `acorr run --obs-dir` artifact bundle: every expected file
+# present, JSONL lines parse as JSON objects, the Chrome trace is a valid
+# trace_event document, the CSVs carry their headers, and the manifest has
+# the right schema and a digest. Dependency-free beyond python3 (used only
+# for JSON parsing, no third-party modules).
+#
+# Usage: scripts/check_obs.sh DIR
+set -eu
+
+dir="${1:?usage: scripts/check_obs.sh DIR}"
+
+fail() {
+    echo "check_obs: $1" >&2
+    exit 1
+}
+
+for f in events.jsonl trace.json metrics.csv histograms.csv manifest.json; do
+    [ -s "$dir/$f" ] || fail "missing or empty $dir/$f"
+done
+
+python3 - "$dir" <<'EOF'
+import json, sys
+
+dir = sys.argv[1]
+
+def fail(msg):
+    print(f"check_obs: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+# events.jsonl: every line a standalone JSON object with a type tag.
+with open(f"{dir}/events.jsonl") as f:
+    for n, line in enumerate(f, 1):
+        try:
+            event = json.loads(line)
+        except ValueError as e:
+            fail(f"events.jsonl:{n}: {e}")
+        if not isinstance(event, dict) or "type" not in event:
+            fail(f"events.jsonl:{n}: not an object with a 'type' tag")
+
+# trace.json: Chrome trace_event envelope with a non-empty event array.
+with open(f"{dir}/trace.json") as f:
+    trace = json.load(f)
+if trace.get("displayTimeUnit") != "ns":
+    fail("trace.json: displayTimeUnit is not 'ns'")
+events = trace.get("traceEvents")
+if not isinstance(events, list) or not events:
+    fail("trace.json: traceEvents missing or empty")
+if any("ph" not in e for e in events):
+    fail("trace.json: event without a phase")
+
+# manifest.json: schema, tool, and a digest to replay against.
+with open(f"{dir}/manifest.json") as f:
+    manifest = json.load(f)
+if manifest.get("schema") != "acorr-obs/1":
+    fail(f"manifest.json: unexpected schema {manifest.get('schema')!r}")
+for key in ("tool", "digest"):
+    if not manifest.get(key):
+        fail(f"manifest.json: missing {key}")
+if not manifest["digest"].startswith("fnv1a:"):
+    fail("manifest.json: digest is not an fnv1a digest")
+EOF
+
+head -1 "$dir/metrics.csv" | grep -q "^barrier,at_ns,elapsed_ns" \
+    || fail "metrics.csv: bad header"
+head -1 "$dir/histograms.csv" | grep -q "^histogram,bucket,lo_ns,hi_ns,count" \
+    || fail "histograms.csv: bad header"
+
+echo "check_obs: OK ($dir)"

@@ -19,6 +19,14 @@ cargo build --release --workspace
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> observability smoke (run --obs-dir + manifest replay)"
+obs_dir="$(mktemp -d)"
+./target/release/acorr run --app SOR --threads 8 --nodes 2 \
+    --iters 2 --faults moderate --obs-dir "$obs_dir"
+sh scripts/check_obs.sh "$obs_dir"
+./target/release/acorr report --manifest "$obs_dir/manifest.json"
+rm -rf "$obs_dir"
+
 # Opt-in property tests: needs a networked machine and the proptest
 # dev-dependency restored first (scripts/enable_proptest.sh).
 if [ "${ACORR_PROPTEST:-0}" = "1" ]; then

@@ -1,0 +1,182 @@
+//! Acceptance tests for the structured observability layer: sinks are pure
+//! observers (bit-identical statistics and golden tables with observability
+//! on or off, under fault injection, at any thread count), exported
+//! artifacts are well-formed, and run manifests replay to matching digests.
+
+use active_correlation_tracking::apps::{self, Sor};
+use active_correlation_tracking::experiment::Workbench;
+use active_correlation_tracking::obs::{self, json, ObsConfig, RunManifest};
+use active_correlation_tracking::place::Strategy;
+use active_correlation_tracking::sim::FaultPlan;
+
+fn bench() -> Workbench {
+    Workbench::new(4, 16).unwrap()
+}
+
+#[test]
+fn observer_is_pure_under_every_fault_preset() {
+    for spec in ["none", "light", "moderate", "heavy"] {
+        let faults = FaultPlan::parse(spec).unwrap();
+        let app = || apps::by_name("FFT6", 16).unwrap();
+        let plain = bench()
+            .with_faults(faults.clone())
+            .observed_heuristic_run(app, Strategy::MinCost, 2)
+            .unwrap();
+        let observed = bench()
+            .with_faults(faults.clone())
+            .with_observer(ObsConfig::all())
+            .observed_heuristic_run(app, Strategy::MinCost, 2)
+            .unwrap();
+        assert_eq!(plain.row, observed.row, "{spec}: row drifted");
+        assert_eq!(plain.stats, observed.stats, "{spec}: stats drifted");
+        assert!(plain.observation.is_none(), "{spec}");
+        assert!(observed.observation.is_some(), "{spec}");
+
+        // And the observed row still matches the un-instrumented Table 6
+        // driver exactly.
+        let rows = bench()
+            .with_faults(faults)
+            .heuristic_comparison(app, &[Strategy::MinCost], 2)
+            .unwrap();
+        assert_eq!(rows[0], observed.row, "{spec}: Table 6 row drifted");
+    }
+}
+
+#[test]
+fn observer_is_pure_at_every_thread_count() {
+    let reference = bench()
+        .with_faults(FaultPlan::heavy(11))
+        .conformance_run(Sor::new(128, 128, 16), 2)
+        .unwrap();
+    for threads in [1, 2, 4] {
+        let observed = bench()
+            .with_threads(threads)
+            .with_faults(FaultPlan::heavy(11))
+            .with_observer(ObsConfig::all())
+            .conformance_run(Sor::new(128, 128, 16), 2)
+            .unwrap();
+        assert_eq!(reference, observed, "threads={threads}");
+    }
+}
+
+#[test]
+fn golden_tables_are_unchanged_with_all_sinks_attached() {
+    let golden = |name: &str| {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(name);
+        std::fs::read_to_string(path).unwrap()
+    };
+
+    // Table 2 snapshot, regenerated with every sink attached.
+    let mut table2 = String::from("app,sample,cut_cost,remote_misses\n");
+    for name in ["SOR", "Water"] {
+        let study = Workbench::new(8, 64)
+            .unwrap()
+            .with_threads(4)
+            .with_observer(ObsConfig::all())
+            .cutcost_study(|| apps::by_name(name, 64).unwrap(), 6, 1)
+            .unwrap();
+        for (i, s) in study.samples.iter().enumerate() {
+            table2.push_str(&format!("{name},{i},{},{}\n", s.cut_cost, s.remote_misses));
+        }
+    }
+    assert_eq!(
+        golden("table2.txt"),
+        table2,
+        "Table 2 drifted under observation"
+    );
+
+    // Table 5 fault counts for a representative subset, compared against
+    // the corresponding rows of the full golden snapshot.
+    let full = golden("table5.txt");
+    for name in ["SOR", "Water", "FFT6"] {
+        let row = Workbench::new(8, 64)
+            .unwrap()
+            .with_threads(2)
+            .with_observer(ObsConfig::all())
+            .tracking_overhead(|| apps::by_name(name, 64).unwrap())
+            .unwrap();
+        let line = format!("{name},{},{}\n", row.tracking_faults, row.coherence_faults);
+        assert!(
+            full.contains(&line),
+            "Table 5 drifted under observation: {line:?} not in golden"
+        );
+    }
+}
+
+#[test]
+fn manifest_replays_to_a_matching_digest() {
+    let app = || apps::by_name("Water", 16).unwrap();
+    let run = bench()
+        .with_faults(FaultPlan::moderate(7))
+        .with_observer(ObsConfig::all())
+        .observed_heuristic_run(app, Strategy::MinCost, 2)
+        .unwrap();
+    let manifest = RunManifest::new("observability-test")
+        .param("app", "Water")
+        .param("faults", "moderate:7")
+        .with_digest(obs::stats_digest(&run.stats));
+
+    // Round-trip through JSON, then replay with the same parameters: the
+    // recorded digest must match the replayed statistics bit-for-bit.
+    let parsed = RunManifest::from_json(&manifest.to_json()).unwrap();
+    assert_eq!(parsed.get("app"), Some("Water"));
+    let replay = bench()
+        .with_faults(FaultPlan::moderate(7))
+        .observed_heuristic_run(app, Strategy::MinCost, 2)
+        .unwrap();
+    assert_eq!(parsed.digest, obs::stats_digest(&replay.stats));
+
+    // A perturbed run is detected.
+    let other = bench()
+        .with_faults(FaultPlan::moderate(8))
+        .observed_heuristic_run(app, Strategy::MinCost, 2)
+        .unwrap();
+    assert_ne!(parsed.digest, obs::stats_digest(&other.stats));
+}
+
+#[test]
+fn exported_artifacts_are_well_formed_under_heavy_faults() {
+    let run = bench()
+        .with_faults(FaultPlan::heavy(3))
+        .with_observer(ObsConfig::all())
+        .observed_heuristic_run(|| Sor::new(256, 256, 16), Strategy::MinCost, 2)
+        .unwrap();
+    let observation = run.observation.unwrap();
+
+    // The Chrome trace parses as JSON with the trace_event envelope.
+    let chrome = json::parse(observation.chrome_trace.as_ref().unwrap()).unwrap();
+    assert_eq!(
+        chrome.get("displayTimeUnit").and_then(|v| v.as_str()),
+        Some("ns")
+    );
+    let events = chrome.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+    assert!(!events.is_empty());
+    let phase = |e: &json::Value| e.get("ph").and_then(|v| v.as_str()).map(str::to_owned);
+    assert!(events.iter().any(|e| phase(e).as_deref() == Some("M")));
+    assert!(events.iter().any(|e| phase(e).as_deref() == Some("X")));
+    assert!(events.iter().any(|e| phase(e).as_deref() == Some("C")));
+
+    // Every JSONL line is a standalone JSON object with a type tag.
+    let jsonl = observation.events_jsonl.as_ref().unwrap();
+    assert!(!jsonl.is_empty());
+    for line in jsonl.lines() {
+        let value = json::parse(line).unwrap();
+        assert!(value.get("type").and_then(|v| v.as_str()).is_some());
+    }
+
+    // The metrics time series has one row per barrier interval, and the
+    // histograms carry at least the fetch-latency distribution.
+    let metrics = observation.metrics_csv.as_ref().unwrap();
+    let mut rows = metrics.lines();
+    assert!(rows.next().unwrap().starts_with("barrier,at_ns,elapsed_ns"));
+    assert!(rows.count() >= 2, "at least one interval per iteration");
+    let histograms = observation.histograms_csv.as_ref().unwrap();
+    assert!(histograms.starts_with("histogram,bucket,lo_ns,hi_ns,count"));
+    assert!(histograms.lines().any(|l| l.starts_with("fetch,")));
+
+    // The bounded ring drained events too.
+    let ring = observation.ring.as_ref().unwrap();
+    assert!(ring.iter().next().is_some());
+}
