@@ -16,7 +16,9 @@
 //!
 //! Each module's docs explain which paper observation its access pattern
 //! reproduces and how. [`suite`] and [`by_name`] build the standard
-//! configurations used by the benchmark harness.
+//! configurations used by the benchmark harness. [`Racey`] is a
+//! deliberately racy two-thread fixture for the schedule explorer; it is
+//! not part of the suite.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +29,7 @@ pub mod drift;
 pub mod fft;
 pub mod lu;
 pub mod ocean;
+pub mod racey;
 pub mod sor;
 pub mod spatial;
 pub mod water;
@@ -36,6 +39,7 @@ pub use drift::Drift;
 pub use fft::Fft;
 pub use lu::Lu;
 pub use ocean::Ocean;
+pub use racey::Racey;
 pub use sor::Sor;
 pub use spatial::Spatial;
 pub use water::Water;

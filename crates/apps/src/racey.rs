@@ -1,0 +1,81 @@
+//! Racey — a deliberately data-racy two-thread fixture.
+//!
+//! Not part of the paper's Table 1 suite (and deliberately excluded from
+//! [`SUITE_NAMES`](crate::SUITE_NAMES)): this program exists to give the
+//! schedule explorer a known needle to find. Both threads write the same
+//! 64 bytes of page 0, and the lock *almost* orders the writes:
+//!
+//! * thread 0: `Write(0..64)`, then `Lock(0)` / `Unlock(0)`;
+//! * thread 1: `Lock(0)` / `Unlock(0)`, then `Write(0..64)`.
+//!
+//! Under the engine's default FIFO schedule thread 0 runs first, so its
+//! release happens-before thread 1's acquire and the two writes are
+//! ordered — no race. A scheduler that dispatches thread 1 first breaks
+//! the chain: thread 1's write precedes its *own* acquire-side history of
+//! thread 0 entirely, thread 0's write precedes its release, and the two
+//! writes become concurrent. One steered decision is enough, which makes
+//! the shrunk counterexample (`s1:1`) a good end-to-end check of
+//! exploration, happens-before detection and replay.
+//!
+//! Both threads must share a node for the dispatch order to be steerable,
+//! so run it on a single-node cluster.
+
+use acorr_dsm::{LockId, Op, Program};
+use acorr_mem::PAGE_SIZE;
+
+/// The seeded-race fixture (2 threads, 1 lock, 1 shared page).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Racey;
+
+impl Program for Racey {
+    fn name(&self) -> &str {
+        "Racey"
+    }
+
+    fn shared_bytes(&self) -> u64 {
+        PAGE_SIZE as u64
+    }
+
+    fn num_threads(&self) -> usize {
+        2
+    }
+
+    fn num_locks(&self) -> usize {
+        1
+    }
+
+    fn default_iterations(&self) -> usize {
+        2
+    }
+
+    fn script(&self, thread: usize, _iteration: usize) -> Vec<Op> {
+        let lock = LockId(0);
+        match thread {
+            0 => vec![Op::write(0, 64), Op::Lock(lock), Op::Unlock(lock)],
+            _ => vec![Op::Lock(lock), Op::Unlock(lock), Op::write(0, 64)],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acorr_dsm::validate_iteration;
+
+    #[test]
+    fn fixture_validates() {
+        validate_iteration(&Racey, 0).unwrap();
+        assert_eq!(Racey.num_threads(), 2);
+        assert_eq!(Racey.num_locks(), 1);
+    }
+
+    #[test]
+    fn writes_overlap_and_straddle_the_lock() {
+        let t0 = Racey.script(0, 0);
+        let t1 = Racey.script(1, 0);
+        assert_eq!(t0[0], Op::write(0, 64));
+        assert_eq!(t1[2], Op::write(0, 64));
+        assert!(matches!(t0[1], Op::Lock(_)));
+        assert!(matches!(t1[0], Op::Lock(_)));
+    }
+}

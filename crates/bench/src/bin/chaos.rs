@@ -15,22 +15,36 @@
 //! legitimately reorders lock grants, and release consistency admits
 //! either order; the oracle still certifies every outcome.
 //!
-//! Usage: `chaos [--threads T] [--nodes N] [--iters I] [--seed S] [--jobs J]`
-//! (defaults: 16 threads, 4 nodes, 3 iterations, seed 7, all cores).
+//! Usage: `chaos [--threads T] [--nodes N] [--iters I] [--seed S] [--jobs J]
+//! [--plans LIST]` (defaults: 16 threads, 4 nodes, 3 iterations, seed 7,
+//! all cores, all four presets). `--plans` is a comma-separated list of
+//! preset names; a malformed name is reported through the same
+//! `DsmError::FaultSpec` diagnostic the CLI prints, not a panic.
 //! `--threads 64 --nodes 8` reproduces the acceptance configuration.
 
 use acorr::apps;
+use acorr::dsm::DsmError;
 use acorr::experiment::{ConformanceRun, Workbench};
 use acorr::sim::{par_map_indexed, resolve_threads, FaultPlan};
-use acorr_bench::{arg_usize, write_artifact, Table};
+use acorr_bench::{arg_str, arg_usize, write_artifact, Table};
 
-fn plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
-    vec![
-        ("none", FaultPlan::none()),
-        ("light", FaultPlan::light(seed)),
-        ("moderate", FaultPlan::moderate(seed)),
-        ("heavy", FaultPlan::heavy(seed)),
-    ]
+/// Resolves the `--plans` preset list. Each label round-trips through
+/// [`FaultPlan::parse`] with the study seed appended, so unknown presets
+/// surface as [`DsmError::FaultSpec`] exactly like `acorr run --faults`.
+fn plans(spec: &str, seed: u64) -> Result<Vec<(String, FaultPlan)>, DsmError> {
+    spec.split(',')
+        .map(str::trim)
+        .filter(|label| !label.is_empty())
+        .map(|label| {
+            let plan = if label == "none" {
+                FaultPlan::parse(label)
+            } else {
+                FaultPlan::parse(&format!("{label},seed={seed}"))
+            }
+            .map_err(DsmError::from)?;
+            Ok((label.to_string(), plan))
+        })
+        .collect()
 }
 
 fn main() {
@@ -39,17 +53,26 @@ fn main() {
     let iters = arg_usize("--iters", 3);
     let seed = arg_usize("--seed", 7) as u64;
     let jobs = resolve_threads(arg_usize("--jobs", 0));
+    let plan_spec = arg_str("--plans", "none,light,moderate,heavy");
+    let plans = plans(&plan_spec, seed).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    if plans.is_empty() {
+        eprintln!("--plans selected no fault plans");
+        std::process::exit(2);
+    }
     println!(
         "Chaos study: {threads} threads on {nodes} nodes, {iters} iterations, \
          fault seed {seed} ({jobs} worker thread(s))\n"
     );
 
-    let cells: Vec<(&'static str, &'static str, FaultPlan)> = apps::SUITE_NAMES
+    let cells: Vec<(&'static str, String, FaultPlan)> = apps::SUITE_NAMES
         .iter()
         .flat_map(|&app| {
-            plans(seed)
-                .into_iter()
-                .map(move |(label, plan)| (app, label, plan))
+            plans
+                .iter()
+                .map(move |(label, plan)| (app, label.clone(), plan.clone()))
         })
         .collect();
     let runs: Vec<ConformanceRun> = par_map_indexed(jobs, cells.clone(), |_, (app, _, plan)| {
@@ -108,7 +131,7 @@ fn main() {
 
     // Invariant: without locks there is no timing-dependent ordering, so
     // the paper-reproduction counters never move with the plan.
-    for (cell_chunk, run_chunk) in cells.chunks(4).zip(runs.chunks(4)) {
+    for (cell_chunk, run_chunk) in cells.chunks(plans.len()).zip(runs.chunks(plans.len())) {
         let app = cell_chunk[0].0;
         if apps::by_name(app, threads).expect("known app").num_locks() > 0 {
             continue;
@@ -128,4 +151,28 @@ fn main() {
          first-send bytes across plans"
     );
     write_artifact("chaos.csv", &csv);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_list_matches_the_presets() {
+        let resolved = plans("none,light,moderate,heavy", 7).unwrap();
+        let labels: Vec<&str> = resolved.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, ["none", "light", "moderate", "heavy"]);
+        assert_eq!(resolved[0].1, FaultPlan::none());
+        assert_eq!(resolved[1].1, FaultPlan::light(7));
+        assert_eq!(resolved[2].1, FaultPlan::moderate(7));
+        assert_eq!(resolved[3].1, FaultPlan::heavy(7));
+    }
+
+    #[test]
+    fn malformed_preset_routes_through_dsm_error() {
+        let err = plans("light,bogus", 7).unwrap_err();
+        assert!(matches!(err, DsmError::FaultSpec(_)));
+        assert!(err.to_string().starts_with("fault spec error:"), "{err}");
+        assert!(err.to_string().contains("bogus"), "{err}");
+    }
 }

@@ -106,6 +106,17 @@ pub fn arg_usize(flag: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Parses `--flag value` style string options from the command line, with a
+/// default. E.g. `arg_str("--plans", "none,light")`.
+pub fn arg_str(flag: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
 /// A simple markdown table builder for terminal reports.
 #[derive(Debug, Clone)]
 pub struct Table {
@@ -276,6 +287,7 @@ mod tests {
     #[test]
     fn arg_parsing_falls_back_to_default() {
         assert_eq!(arg_usize("--definitely-not-passed", 42), 42);
+        assert_eq!(arg_str("--also-not-passed", "fallback"), "fallback");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! acorr place   --app LU2k --threads 64 --nodes 8 --strategy min-cost | --csv corr.csv
 //! acorr run     --app Ocean --threads 64 --nodes 8 --strategy min-cost --iters 10
 //! acorr overhead --app Water --threads 64 --nodes 8
+//! acorr explore --app sor --budget 500 [--mode random|systematic] [--replay TOKEN]
 //! acorr apps
 //! ```
 //!
@@ -52,6 +53,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "run" => run_cmd(args),
         "report" => report(args),
         "overhead" => overhead(args),
+        "explore" => explore(args),
         "hot" => hot(args),
         "verify" => verify(args),
         "help" | "--help" => Ok(usage()),
@@ -73,6 +75,9 @@ USAGE:
                  [--obs-dir DIR]
   acorr report   --manifest FILE [--jobs N]
   acorr overhead --app NAME [--threads N] [--nodes N] [--faults SPEC]
+  acorr explore  --app NAME [--threads N] [--nodes N] [--budget N] [--iters N]
+                 [--mode random|systematic] [--seed N] [--preemptions N]
+                 [--strategy S] [--replay TOKEN]
   acorr hot      --app NAME [--threads N] [--k N]
   acorr verify   --app NAME [--threads N] [--nodes N] [--iters N] [--faults SPEC]
 
@@ -90,6 +95,12 @@ chrome://tracing or Perfetto), metrics.csv, histograms.csv and manifest.json
 into DIR; sinks are pure observers, so the reported row is unchanged.
 `report --manifest FILE` replays a run from its manifest and checks the
 final statistics digest bit-for-bit.
+Exploration: `explore` drives the app under steered schedules, checking each
+against the default-schedule baseline with happens-before race detection,
+the conformance oracle, and multi-writer vs single-writer differential
+memory comparison. App names are case-insensitive here, and the seeded-race
+fixture `Racey` is accepted (forced to 2 threads on 1 node). Counterexamples
+shrink to a minimal replay token; `--replay TOKEN` reruns one exactly.
 "
     .to_owned()
 }
@@ -329,6 +340,74 @@ fn verify(args: &Args) -> Result<String, String> {
         .conformance_run(build(&name, threads), iters)
         .map_err(|e| e.to_string())?;
     Ok(format!("{run}\nconformance OK\n"))
+}
+
+/// Resolves `--app` case-insensitively against the suite plus the
+/// explorer-only names, returning the canonical spelling. The acceptance
+/// workflow spells apps in lowercase (`--app sor`), so `explore` is more
+/// forgiving than the measurement commands.
+fn explore_app(raw: &str) -> Result<&'static str, String> {
+    apps::SUITE_NAMES
+        .iter()
+        .copied()
+        .chain(["Drift", "Racey"])
+        .find(|n| n.eq_ignore_ascii_case(raw))
+        .ok_or_else(|| format!("unknown application `{raw}` (try `acorr apps`)"))
+}
+
+fn explore(args: &Args) -> Result<String, String> {
+    use acorr::explore::ExploreOptions;
+    use acorr::sched::{ExploreMode, Schedule};
+
+    let name = explore_app(args.get("app").ok_or("--app is required")?)?;
+    // Racey's shape is fixed: two threads that must share a node for
+    // dispatch order to be steerable.
+    let racey = name == "Racey";
+    let threads = if racey {
+        2
+    } else {
+        args.get_usize("threads", 64)?
+    };
+    let nodes = if racey {
+        1
+    } else {
+        args.get_usize("nodes", 8)?
+    };
+    let mode = match args.get_or("mode", "random") {
+        "random" => ExploreMode::Random {
+            seed: args.get_usize("seed", 0xACE5)? as u64,
+        },
+        "systematic" => ExploreMode::Systematic {
+            preemptions: args.get_usize("preemptions", 1)?,
+        },
+        other => return Err(format!("unknown mode `{other}` (random|systematic)")),
+    };
+    let replay = match args.get("replay") {
+        Some(token) => Some(Schedule::parse_token(token).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let options = ExploreOptions {
+        strategy: strategy_of(args.get_or("strategy", "min-cost"))?,
+        iterations: args.get_usize("iters", 1)?,
+        budget: args.get_usize("budget", 20)?.max(1),
+        mode,
+        replay,
+        ..ExploreOptions::default()
+    };
+    let bench = Workbench::new(nodes, threads).map_err(|e| e.to_string())?;
+    let report = bench
+        .explore_run(
+            || {
+                if racey {
+                    Box::new(apps::Racey) as Box<dyn acorr::dsm::Program>
+                } else {
+                    build(name, threads)
+                }
+            },
+            &options,
+        )
+        .map_err(|e| e.to_string())?;
+    Ok(format!("{report}\n"))
 }
 
 fn hot(args: &Args) -> Result<String, String> {
@@ -604,6 +683,53 @@ mod tests {
             .unwrap_err();
             assert!(err.starts_with("fault spec error:"), "{cmd}: {err}");
         }
+    }
+
+    #[test]
+    fn explore_is_case_insensitive_and_reports_clean_apps() {
+        let out = cli(&[
+            "explore",
+            "--app",
+            "sor",
+            "--threads",
+            "8",
+            "--nodes",
+            "2",
+            "--budget",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("SOR: 2 schedule(s)"), "{out}");
+        assert!(out.contains("no new races, no divergences"), "{out}");
+    }
+
+    #[test]
+    fn explore_finds_and_replays_the_seeded_race() {
+        let out = cli(&[
+            "explore",
+            "--app",
+            "racey",
+            "--mode",
+            "systematic",
+            "--budget",
+            "8",
+        ])
+        .unwrap();
+        assert!(out.contains("FAILED"), "{out}");
+        assert!(out.contains("s1:1"), "{out}");
+        assert!(out.contains("write-write race"), "{out}");
+        // The printed token replays the identical counterexample.
+        let replayed = cli(&["explore", "--app", "Racey", "--replay", "s1:1"]).unwrap();
+        assert!(replayed.contains("FAILED"), "{replayed}");
+        assert!(replayed.contains("s1:1"), "{replayed}");
+    }
+
+    #[test]
+    fn explore_rejects_bad_modes_and_tokens() {
+        let err = cli(&["explore", "--app", "SOR", "--mode", "magic"]).unwrap_err();
+        assert!(err.contains("magic"), "{err}");
+        let err = cli(&["explore", "--app", "SOR", "--replay", "v2:9"]).unwrap_err();
+        assert!(err.contains("v2:9"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,489 @@
+//! Schedule-space exploration: the driver tying `acorr-sched` to the
+//! engine and its checkers.
+//!
+//! [`Workbench::explore_run`] runs one application under many thread
+//! interleavings and checks every run three ways:
+//!
+//! 1. **Happens-before races** — the vector-clock detector records the
+//!    races of each run; the *default* schedule's race set is the
+//!    per-protocol baseline (the paper's applications are structurally
+//!    racy by design, e.g. Water's multi-writer windows), and any race
+//!    *not* in the baseline is a schedule-dependent bug.
+//! 2. **Differential protocol checking** — every run's per-barrier
+//!    program-visible memory digests must equal the multi-writer default
+//!    baseline's. Since both the multi-writer and single-writer protocol
+//!    are checked against the same anchor, MW and SW agree at every
+//!    barrier of every schedule transitively.
+//! 3. **Oracle cross-checks** — the coherence oracle shadows every run
+//!    (violations fail the schedule), and every page the oracle marked
+//!    *hazy* must carry a detector write-write race: the two mechanisms
+//!    must agree on where unordered writes live.
+//!
+//! On failure the schedule is concretized (the failing run's decision log
+//! replayed as an explicit prefix), shrunk to a minimal prefix with
+//! [`acorr_sched::shrink`], and reported as a replay token that
+//! `acorr explore --replay TOKEN` (or [`ExploreOptions::replay`])
+//! reproduces byte-for-byte.
+//!
+//! With `budget: 1` only the default schedule runs, and its multi-writer
+//! measurement is bit-identical to
+//! [`Workbench::heuristic_comparison`]'s row for the same parameters —
+//! steering with all-default choices is the unsteered engine.
+
+use crate::experiment::{HeuristicRow, Workbench};
+use acorr_dsm::{Dsm, DsmError, Program, WriteMode};
+use acorr_mem::{PageId, Race, RaceReport};
+use acorr_place::{place, Strategy};
+use acorr_sched::{shrink, ExploreMode, Explorer, Schedule, ScheduleDriver};
+use acorr_sim::{DecisionRecord, DetRng, Mapping, SimDuration};
+use acorr_track::cut_cost;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// What [`Workbench::explore_run`] should do.
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Placement strategy for the explored runs (the mapping is computed
+    /// once, from the unsteered ground truth, exactly as
+    /// [`Workbench::heuristic_comparison`] does for its first strategy).
+    pub strategy: Strategy,
+    /// Measured iterations per run (after one warm-up iteration).
+    pub iterations: usize,
+    /// Maximum schedules to try, including the default schedule. Each
+    /// schedule runs twice: once multi-writer, once single-writer.
+    pub budget: usize,
+    /// How schedules beyond the default are generated.
+    pub mode: ExploreMode,
+    /// Delta interval of the single-writer runs.
+    pub sw_delta: SimDuration,
+    /// Replay exactly this schedule instead of exploring (the budget and
+    /// mode are ignored; the default-schedule baseline still runs first).
+    pub replay: Option<Schedule>,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            strategy: Strategy::MinCost,
+            iterations: 2,
+            budget: 20,
+            mode: ExploreMode::Random { seed: 0xACE5 },
+            sw_delta: SimDuration::from_micros(200),
+            replay: None,
+        }
+    }
+}
+
+/// The kind of check a schedule failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The coherence oracle flagged a violation during the run.
+    OracleViolation,
+    /// The run produced a happens-before race absent from the default
+    /// schedule's baseline race set for the same protocol.
+    NewRace,
+    /// A per-barrier program-visible memory digest differed from the
+    /// multi-writer default baseline.
+    Divergence,
+    /// The oracle marked a page hazy but the detector recorded no
+    /// write-write race on it (the two mechanisms disagree).
+    HazyUncovered,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::OracleViolation => write!(f, "oracle violation"),
+            FailureKind::NewRace => write!(f, "new race"),
+            FailureKind::Divergence => write!(f, "visible-memory divergence"),
+            FailureKind::HazyUncovered => write!(f, "hazy page without write-write race"),
+        }
+    }
+}
+
+/// A failing schedule, shrunk and ready to replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreFailure {
+    /// Replay token of the (shrunk) failing schedule.
+    pub token: String,
+    /// Which check failed.
+    pub kind: FailureKind,
+    /// Protocol under which the check failed.
+    pub write_mode: &'static str,
+    /// Human-readable description of the failure.
+    pub detail: String,
+}
+
+impl fmt::Display for ExploreFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} under {} at schedule {}: {}",
+            self.kind, self.write_mode, self.token, self.detail
+        )
+    }
+}
+
+/// Outcome of a schedule-space exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Application name.
+    pub app: String,
+    /// Schedules evaluated (each under both protocols), incl. the default.
+    pub schedules_run: usize,
+    /// Decision points the default multi-writer run consulted.
+    pub decision_points: usize,
+    /// The default schedule's multi-writer measurement — bit-identical to
+    /// [`Workbench::heuristic_comparison`]'s row for the same strategy.
+    pub baseline: HeuristicRow,
+    /// Distinct baseline races under (multi-writer, single-writer); these
+    /// are the program's structural races, present in every schedule.
+    pub baseline_races: (usize, usize),
+    /// The first failing schedule found, if any, shrunk to a minimal
+    /// replay token.
+    pub failure: Option<ExploreFailure>,
+}
+
+impl fmt::Display for ExploreReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} schedule(s), {} decision point(s) in the default run",
+            self.app, self.schedules_run, self.decision_points
+        )?;
+        writeln!(
+            f,
+            "baseline races: {} multi-writer, {} single-writer (structural)",
+            self.baseline_races.0, self.baseline_races.1
+        )?;
+        match &self.failure {
+            None => write!(f, "no new races, no divergences"),
+            Some(fail) => write!(f, "FAILED: {fail}"),
+        }
+    }
+}
+
+/// One protocol's run of one schedule.
+struct ProtoRun {
+    stats_row: Option<HeuristicRow>,
+    races: BTreeSet<Race>,
+    report: RaceReport,
+    digests: Vec<u64>,
+    hazy: Vec<PageId>,
+    log: Vec<DecisionRecord>,
+    violation: Option<String>,
+}
+
+const MW: &str = "multi-writer";
+const SW: &str = "single-writer";
+
+/// Applies every check to a schedule's two runs against the default
+/// baselines. Returns the first failure as (kind, protocol, detail).
+fn judge(
+    mw: &ProtoRun,
+    sw: &ProtoRun,
+    base_mw: &ProtoRun,
+    base_sw: &ProtoRun,
+) -> Option<(FailureKind, &'static str, String)> {
+    for (run, base, mode) in [(mw, base_mw, MW), (sw, base_sw, SW)] {
+        if let Some(v) = &run.violation {
+            return Some((FailureKind::OracleViolation, mode, v.clone()));
+        }
+        // A race is *new* when the default schedule produced no race at
+        // all on the same page. Novelty is judged per page, not per
+        // thread pair or kind: inside a structurally racy page (a
+        // multi-writer window, an unsynchronized producer/consumer
+        // overlap) steering dispatch and lock-grant order legitimately
+        // permutes which threads collide and how — but no schedule can
+        // make a race-free page racy.
+        let known: BTreeSet<PageId> = base.races.iter().map(|r| r.page).collect();
+        if let Some(race) = run.races.iter().find(|r| !known.contains(&r.page)) {
+            return Some((
+                FailureKind::NewRace,
+                mode,
+                format!("{race} (the default schedule has no race on {})", race.page),
+            ));
+        }
+        // Every schedule's digests must match the MW default baseline:
+        // non-sensitive bytes are single-writer-per-interval with pure
+        // write tokens, so they are schedule- and protocol-invariant.
+        if run.digests != base_mw.digests {
+            let barrier = run
+                .digests
+                .iter()
+                .zip(&base_mw.digests)
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| run.digests.len().min(base_mw.digests.len()));
+            return Some((
+                FailureKind::Divergence,
+                mode,
+                format!(
+                    "visible-memory digest differs from the multi-writer default \
+                     baseline first at barrier {barrier} \
+                     ({} vs {} barriers total)",
+                    run.digests.len(),
+                    base_mw.digests.len()
+                ),
+            ));
+        }
+    }
+    // Hazy/race agreement is only meaningful where hazy bytes exist: the
+    // multi-writer protocol's unordered concurrent diffs.
+    for page in &mw.hazy {
+        if !mw.report.has_ww_on(*page) {
+            return Some((
+                FailureKind::HazyUncovered,
+                MW,
+                format!("oracle marked {page} hazy but no write-write race was detected on it"),
+            ));
+        }
+    }
+    None
+}
+
+impl Workbench {
+    /// Explores the schedule space of `factory`'s application, checking
+    /// every run for new happens-before races, visible-memory divergence
+    /// against the multi-writer default baseline, and oracle agreement
+    /// (see the [module docs](crate::explore)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors other than oracle violations (those are a
+    /// per-schedule failure signal, reported in the returned
+    /// [`ExploreReport`], not an `Err`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.budget` is zero.
+    pub fn explore_run<P, F>(
+        &self,
+        factory: F,
+        options: &ExploreOptions,
+    ) -> Result<ExploreReport, DsmError>
+    where
+        P: Program,
+        F: Fn() -> P + Sync,
+    {
+        assert!(options.budget > 0, "budget must be at least 1");
+        let truth = self.ground_truth(&factory)?;
+        // Same recipe as heuristic_comparison's first strategy, so the
+        // baseline row is bit-identical to its row.
+        let mut rng = DetRng::new(self.seed).fork(0x6E1);
+        let mapping = place(options.strategy, &truth.corr, &self.cluster, &mut rng);
+        let cut = cut_cost(&truth.corr, &mapping);
+
+        let default = Schedule::default_order();
+        let base_mw = self.steered_run(&factory, &mapping, &default, MW, options)?;
+        let base_sw = self.steered_run(&factory, &mapping, &default, SW, options)?;
+        let baseline = match &base_mw.stats_row {
+            Some(row) => HeuristicRow {
+                app: truth.app.clone(),
+                strategy: options.strategy,
+                cut_cost: cut,
+                ..row.clone()
+            },
+            None => HeuristicRow {
+                app: truth.app.clone(),
+                strategy: options.strategy,
+                time: SimDuration::from_nanos(0),
+                remote_misses: 0,
+                total_mbytes: 0.0,
+                diff_mbytes: 0.0,
+                cut_cost: cut,
+            },
+        };
+        let mut report = ExploreReport {
+            app: truth.app.clone(),
+            schedules_run: 1,
+            decision_points: base_mw.log.len(),
+            baseline,
+            baseline_races: (base_mw.races.len(), base_sw.races.len()),
+            failure: None,
+        };
+
+        // The default schedule itself must pass the absolute checks
+        // (oracle, digest agreement, hazy coverage).
+        if let Some(fail) = judge(&base_mw, &base_sw, &base_mw, &base_sw) {
+            report.failure = Some(self.shrunk(
+                &factory, &mapping, options, &base_mw, &base_sw, &base_mw, &base_sw, fail,
+            )?);
+            return Ok(report);
+        }
+
+        if let Some(replay) = &options.replay {
+            let mw = self.steered_run(&factory, &mapping, replay, MW, options)?;
+            let sw = self.steered_run(&factory, &mapping, replay, SW, options)?;
+            report.schedules_run += 1;
+            // A replay reports what it found verbatim — no shrinking; the
+            // token the caller passed in is already the counterexample.
+            report.failure =
+                judge(&mw, &sw, &base_mw, &base_sw).map(|(kind, mode, detail)| ExploreFailure {
+                    token: replay.token(),
+                    kind,
+                    write_mode: mode,
+                    detail,
+                });
+            return Ok(report);
+        }
+
+        let mut explorer = Explorer::new(options.mode, options.budget);
+        let first = explorer
+            .next_schedule()
+            .expect("budget >= 1 yields the default schedule");
+        debug_assert!(first.is_default());
+        explorer.observe(&base_mw.log);
+        while let Some(schedule) = explorer.next_schedule() {
+            let mw = self.steered_run(&factory, &mapping, &schedule, MW, options)?;
+            let sw = self.steered_run(&factory, &mapping, &schedule, SW, options)?;
+            report.schedules_run += 1;
+            explorer.observe(&mw.log);
+            if let Some(fail) = judge(&mw, &sw, &base_mw, &base_sw) {
+                report.failure = Some(self.shrunk(
+                    &factory, &mapping, options, &base_mw, &base_sw, &mw, &sw, fail,
+                )?);
+                return Ok(report);
+            }
+        }
+        Ok(report)
+    }
+
+    /// Runs one (schedule, protocol) instance with the oracle, the race
+    /// detector and the visible image attached, collecting everything the
+    /// checks need. Oracle violations are captured, not propagated.
+    fn steered_run<P, F>(
+        &self,
+        factory: &F,
+        mapping: &Mapping,
+        schedule: &Schedule,
+        write_mode: &'static str,
+        options: &ExploreOptions,
+    ) -> Result<ProtoRun, DsmError>
+    where
+        P: Program,
+        F: Fn() -> P + Sync,
+    {
+        let mut config = self.config.clone();
+        config.write_mode = if write_mode == MW {
+            WriteMode::MultiWriter
+        } else {
+            WriteMode::SingleWriter {
+                delta: options.sw_delta,
+            }
+        };
+        let mut dsm = Dsm::new(config, factory(), mapping.clone())?;
+        if let Some(obs) = &self.observer {
+            let (sink, _handle) = acorr_obs::observer(obs, self.cluster.num_nodes());
+            dsm.attach_sink(sink);
+        }
+        let (driver, log) = ScheduleDriver::new(schedule);
+        dsm.set_schedule_policy(Box::new(driver));
+        dsm.enable_oracle();
+        dsm.enable_race_detection();
+        dsm.enable_visible_image();
+        let outcome = dsm
+            .run_iterations(1) // cold-start warm-up
+            .and_then(|_| dsm.run_iterations(options.iterations));
+        let (stats_row, violation) = match outcome {
+            Ok(stats) => (
+                Some(HeuristicRow {
+                    app: String::new(),
+                    strategy: options.strategy,
+                    time: stats.elapsed,
+                    remote_misses: stats.remote_misses,
+                    total_mbytes: stats.total_mbytes(),
+                    diff_mbytes: stats.diff_mbytes(),
+                    cut_cost: 0,
+                }),
+                None,
+            ),
+            Err(DsmError::OracleViolation { iteration, detail }) => {
+                (None, Some(format!("iteration {iteration}: {detail}")))
+            }
+            Err(e) => return Err(e),
+        };
+        let race = dsm.race_report().expect("race detection was enabled");
+        Ok(ProtoRun {
+            stats_row,
+            races: race.races.iter().copied().collect(),
+            report: race,
+            digests: dsm
+                .visible_image()
+                .expect("visible image was enabled")
+                .digests()
+                .to_vec(),
+            hazy: dsm.oracle_hazy_pages().expect("oracle was enabled"),
+            log: log.records(),
+            violation,
+        })
+    }
+
+    /// Concretizes a failing schedule from its decision logs, shrinks it
+    /// to a minimal prefix and renders the replay token. Shrinking
+    /// re-runs both protocols per candidate; a candidate "fails" when
+    /// *any* check fails, so the result stays a genuine counterexample
+    /// throughout.
+    #[allow(clippy::too_many_arguments)]
+    fn shrunk<P, F>(
+        &self,
+        factory: &F,
+        mapping: &Mapping,
+        options: &ExploreOptions,
+        base_mw: &ProtoRun,
+        base_sw: &ProtoRun,
+        mw: &ProtoRun,
+        sw: &ProtoRun,
+        fail: (FailureKind, &'static str, String),
+    ) -> Result<ExploreFailure, DsmError>
+    where
+        P: Program,
+        F: Fn() -> P + Sync,
+    {
+        let choices = |run: &ProtoRun| -> Vec<u32> { run.log.iter().map(|r| r.chosen).collect() };
+        // Concretize from the failing protocol's log: a prescribed prefix
+        // of its own recorded choices reproduces that run — and therefore
+        // its failure — exactly.
+        let primary = if fail.1 == SW {
+            choices(sw)
+        } else {
+            choices(mw)
+        };
+        let mut error: Option<DsmError> = None;
+        let minimal = shrink(&primary, |prefix| {
+            if error.is_some() {
+                return false;
+            }
+            let schedule = Schedule::prescribed(prefix.to_vec());
+            let m = match self.steered_run(factory, mapping, &schedule, MW, options) {
+                Ok(m) => m,
+                Err(e) => {
+                    error = Some(e);
+                    return false;
+                }
+            };
+            let s = match self.steered_run(factory, mapping, &schedule, SW, options) {
+                Ok(s) => s,
+                Err(e) => {
+                    error = Some(e);
+                    return false;
+                }
+            };
+            judge(&m, &s, base_mw, base_sw).is_some()
+        });
+        if let Some(e) = error {
+            return Err(e);
+        }
+        // Re-judge the minimal schedule so the reported kind and detail
+        // describe the schedule the token actually names.
+        let schedule = Schedule::prescribed(minimal);
+        let m = self.steered_run(factory, mapping, &schedule, MW, options)?;
+        let s = self.steered_run(factory, mapping, &schedule, SW, options)?;
+        let (kind, mode, detail) = judge(&m, &s, base_mw, base_sw).unwrap_or(fail);
+        Ok(ExploreFailure {
+            token: schedule.token(),
+            kind,
+            write_mode: mode,
+            detail,
+        })
+    }
+}

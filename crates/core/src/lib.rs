@@ -43,12 +43,17 @@
 //! * [`apps`] — the Table 1 application suite.
 //! * [`obs`] — observability: event sinks (JSONL, Chrome/Perfetto trace),
 //!   metrics time series and histograms, reproducible run manifests.
+//! * [`sched`] — controllable schedules: replay tokens, random and
+//!   preemption-bounded systematic exploration, shrinking.
 //! * [`experiment`] — drivers for Tables 1-6 and Figures 1-3.
+//! * [`explore`] — schedule-space exploration with happens-before race
+//!   detection and differential protocol checking.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod explore;
 
 /// The application suite (re-export of `acorr-apps`).
 pub mod apps {
@@ -75,6 +80,11 @@ pub mod place {
     pub use acorr_place::*;
 }
 
+/// Controllable schedules and exploration (re-export of `acorr-sched`).
+pub mod sched {
+    pub use acorr_sched::*;
+}
+
 /// Simulation substrate (re-export of `acorr-sim`).
 pub mod sim {
     pub use acorr_sim::*;
@@ -90,3 +100,4 @@ pub use experiment::{
     HeuristicRow, NodeCountRow, ObservedRun, OnDemandStudy, PassiveStudy, TrackingOverheadRow,
     Workbench,
 };
+pub use explore::{ExploreFailure, ExploreOptions, ExploreReport, FailureKind};

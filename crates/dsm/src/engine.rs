@@ -30,9 +30,13 @@ use crate::oracle::{CoherenceOracle, OracleReport};
 use crate::program::{validate_iteration, LockId, Op, Program};
 use crate::protocol::PageDirectory;
 use crate::stats::IterStats;
+use crate::steer::{DecisionPoint, SchedulePolicy};
 use crate::thread::{OngoingAccess, ThreadState, ThreadStatus};
 use crate::trace::{Event, EventSink, Trace};
-use acorr_mem::{pages_for, span_pages, AccessKind, AccessMatrix, PageId, PageSpan, Protection};
+use acorr_mem::{
+    pages_for, span_pages, AccessKind, AccessMatrix, HbRaceDetector, PageId, PageSpan, Protection,
+    RaceReport, VisibleImage,
+};
 use acorr_sim::{FaultInjector, Mapping, MessageKind, NodeId, SimDuration, SimTime};
 
 /// Fixed framing overhead charged per diff, on top of the dirty bytes.
@@ -119,6 +123,10 @@ pub struct Dsm<P: Program> {
     barrier_arrived: usize,
     faults: FaultInjector,
     oracle: Option<CoherenceOracle>,
+    policy: Option<Box<dyn SchedulePolicy>>,
+    race: Option<HbRaceDetector>,
+    visible: Option<VisibleImage>,
+    decision_seq: u64,
 }
 
 impl<P: Program> Dsm<P> {
@@ -174,6 +182,10 @@ impl<P: Program> Dsm<P> {
             barrier_arrived: 0,
             faults,
             oracle: None,
+            policy: None,
+            race: None,
+            visible: None,
+            decision_seq: 0,
         })
     }
 
@@ -330,6 +342,100 @@ impl<P: Program> Dsm<P> {
     /// The oracle's checking summary, if the oracle is enabled.
     pub fn oracle_report(&self) -> Option<OracleReport> {
         self.oracle.as_ref().map(|o| o.report())
+    }
+
+    /// Pages the oracle currently masks as hazy (data-raced), if enabled.
+    pub fn oracle_hazy_pages(&self) -> Option<Vec<PageId>> {
+        self.oracle.as_ref().map(|o| o.hazy_pages())
+    }
+
+    /// Attaches a scheduling policy consulted at every steerable decision
+    /// point (ready-queue dispatch, lock-grant order) with more than one
+    /// legal choice. A policy that always answers `0` reproduces the
+    /// unsteered engine bit-for-bit; detaching restores FIFO behavior.
+    pub fn set_schedule_policy(&mut self, policy: Box<dyn SchedulePolicy>) {
+        self.policy = Some(policy);
+    }
+
+    /// Detaches and returns the scheduling policy, if any.
+    pub fn take_schedule_policy(&mut self) -> Option<Box<dyn SchedulePolicy>> {
+        self.policy.take()
+    }
+
+    /// Decision points consulted so far (0 while no policy is attached).
+    pub fn decision_points(&self) -> u64 {
+        self.decision_seq
+    }
+
+    /// Enables happens-before race detection over the simulated page
+    /// accesses: vector clocks per thread and lock, histories cleared at
+    /// each global barrier. Observation-only, like the oracle.
+    pub fn enable_race_detection(&mut self) {
+        if self.race.is_none() {
+            self.race = Some(HbRaceDetector::new(
+                self.threads.len(),
+                self.locks.len(),
+                self.num_pages,
+            ));
+        }
+    }
+
+    /// The race detector's findings, if enabled.
+    pub fn race_report(&self) -> Option<RaceReport> {
+        self.race.as_ref().map(|r| r.report())
+    }
+
+    /// Enables the program-visible memory model used for differential
+    /// protocol checking: deterministic write tokens, order-sensitive byte
+    /// masking, and a per-barrier digest stream. When the oracle is also
+    /// enabled, its committed image is cross-checked against this model at
+    /// every barrier. Observation-only.
+    pub fn enable_visible_image(&mut self) {
+        if self.visible.is_none() {
+            self.visible = Some(VisibleImage::new(self.threads.len(), self.num_pages));
+        }
+    }
+
+    /// The visible-memory model, if enabled.
+    pub fn visible_image(&self) -> Option<&VisibleImage> {
+        self.visible.as_ref()
+    }
+
+    /// Consults the attached policy at a decision point with `alternatives`
+    /// legal choices (callers guarantee a policy is attached and
+    /// `alternatives >= 2`), emitting the decision as a trace event.
+    fn decide(&mut self, i: usize, point: DecisionPoint, alternatives: usize) -> usize {
+        let policy = self.policy.as_mut().expect("caller checked policy");
+        let choice = policy.choose(point, alternatives).min(alternatives - 1);
+        let seq = self.decision_seq;
+        self.decision_seq += 1;
+        self.emit(
+            i,
+            Event::ScheduleDecision {
+                seq,
+                alternatives: alternatives as u32,
+                choice: choice as u32,
+            },
+        );
+        choice
+    }
+
+    /// Forwards one completed application access to the race detector and
+    /// (for writes) the visible-memory model.
+    fn observe_access(&mut self, t: usize, span: PageSpan, kind: AccessKind) {
+        if self.race.is_none() && self.visible.is_none() {
+            return;
+        }
+        let write = kind == AccessKind::Write;
+        if let Some(r) = self.race.as_mut() {
+            r.on_access(t, span, write);
+        }
+        if write {
+            let under_lock = !self.threads[t].held_locks.is_empty();
+            if let Some(v) = self.visible.as_mut() {
+                v.on_write(t, span, under_lock);
+            }
+        }
     }
 
     /// Sends one protocol message charged to node `i`: records it, lets the
@@ -646,8 +752,16 @@ impl<P: Program> Dsm<P> {
             node.time = node.time.max(min_wake);
             self.wake_eligible(i);
         }
-        let Some(t) = self.nodes[i].ready.pop_front() else {
-            return;
+        let t = if self.policy.is_some() && self.nodes[i].ready.len() > 1 {
+            let alternatives = self.nodes[i].ready.len();
+            let node = self.nodes[i].id;
+            let c = self.decide(i, DecisionPoint::Run { node }, alternatives);
+            self.nodes[i].ready.remove(c).expect("choice in range")
+        } else {
+            let Some(t) = self.nodes[i].ready.pop_front() else {
+                return;
+            };
+            t
         };
         if self.nodes[i].last_ran != Some(t) {
             self.nodes[i].time += self.config.cost.context_switch;
@@ -785,7 +899,13 @@ impl<P: Program> Dsm<P> {
             self.emit(i, Event::CorrelationFault { thread: t, page });
         }
         if let WriteMode::SingleWriter { delta } = self.config.write_mode {
-            return self.access_page_sw(i, t, span, kind, delta);
+            let outcome = self.access_page_sw(i, t, span, kind, delta);
+            // Every single-writer outcome except a plain retrying block
+            // completes the access (see `AccessOutcome::BlockCompleted`).
+            if !matches!(outcome, AccessOutcome::Block(_)) {
+                self.observe_access(t, span, kind);
+            }
+            return outcome;
         }
         // Coherence fault: fetch a current copy.
         if !self.nodes[i].pages[page.idx()].valid {
@@ -849,6 +969,9 @@ impl<P: Program> Dsm<P> {
                 self.threads[t].lock_writes.push(page);
             }
         }
+        // Multi-writer accesses complete exactly once on this path (the
+        // fetch above blocks and *retries* the span).
+        self.observe_access(t, span, kind);
         AccessOutcome::Proceed
     }
 
@@ -1029,6 +1152,20 @@ impl<P: Program> Dsm<P> {
         // sequential reference memory now that write intervals are closed.
         if let Some(o) = self.oracle.as_mut() {
             o.check_barrier(&self.nodes, &self.directory);
+        }
+        // Differential checking: the protocol-independent visible-memory
+        // model must agree with the oracle's committed image, then both the
+        // model and the race detector roll into the next interval.
+        if let Some(v) = self.visible.as_ref() {
+            if let Some(o) = self.oracle.as_mut() {
+                o.check_visible(v);
+            }
+        }
+        if let Some(v) = self.visible.as_mut() {
+            v.on_barrier();
+        }
+        if let Some(r) = self.race.as_mut() {
+            r.on_barrier();
         }
         // Rendezvous: each non-root node reports in, the root releases.
         // Fault-injected delays on these control messages push out the
@@ -1243,6 +1380,9 @@ impl<P: Program> Dsm<P> {
         let grant_base = self.nodes[i].time.max(lock.free_at);
         self.threads[t].held_locks.push(l);
         self.threads[t].pc += 1;
+        if let Some(r) = self.race.as_mut() {
+            r.on_lock_acquire(t, l.idx());
+        }
         self.emit(
             i,
             Event::LockGranted {
@@ -1285,11 +1425,21 @@ impl<P: Program> Dsm<P> {
         if let Some(o) = self.oracle.as_mut() {
             o.check_lock_release(i, &pages, &self.directory);
         }
+        if let Some(r) = self.race.as_mut() {
+            r.on_lock_release(t, l.idx());
+        }
         let now = self.nodes[i].time;
         let lock = &mut self.locks[l.idx()];
         lock.holder = None;
         lock.free_at = now;
-        if let Some(next) = self.locks[l.idx()].queue.pop_front() {
+        let next = if self.policy.is_some() && self.locks[l.idx()].queue.len() > 1 {
+            let alternatives = self.locks[l.idx()].queue.len();
+            let c = self.decide(i, DecisionPoint::Grant { lock: l.idx() }, alternatives);
+            self.locks[l.idx()].queue.remove(c)
+        } else {
+            self.locks[l.idx()].queue.pop_front()
+        };
+        if let Some(next) = next {
             self.grant_queued(next, l, now);
         }
     }
@@ -1312,6 +1462,9 @@ impl<P: Program> Dsm<P> {
         };
         self.threads[t].held_locks.push(l);
         self.threads[t].pc += 1;
+        if let Some(r) = self.race.as_mut() {
+            r.on_lock_acquire(t, l.idx());
+        }
         self.threads[t].status = ThreadStatus::Blocked;
         self.cur.stall += delay;
         self.threads[t].wake_at = unlock_time + delay;

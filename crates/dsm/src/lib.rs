@@ -32,6 +32,12 @@
 //!   [`CoherenceOracle`] ([`Dsm::enable_oracle`]) shadows the protocol
 //!   with a sequential reference memory and checks release-consistency
 //!   expectations at every barrier and lock release ([`oracle`]).
+//! * **Controllable scheduling** — a [`SchedulePolicy`]
+//!   ([`Dsm::set_schedule_policy`]) steers the engine's legal-but-arbitrary
+//!   choices (ready-queue dispatch, lock-grant order) for schedule-space
+//!   exploration; happens-before race detection
+//!   ([`Dsm::enable_race_detection`]) and the program-visible memory model
+//!   ([`Dsm::enable_visible_image`]) ride the same hooks ([`steer`]).
 //!
 //! [`FaultPlan`]: acorr_sim::FaultPlan
 //!
@@ -52,6 +58,7 @@ pub mod oracle;
 pub mod program;
 pub mod protocol;
 pub mod stats;
+pub mod steer;
 pub mod thread;
 pub mod trace;
 
@@ -62,4 +69,5 @@ pub use ids::ThreadId;
 pub use oracle::{CoherenceOracle, OracleReport};
 pub use program::{validate_iteration, LockId, Op, Program, ScriptError};
 pub use stats::IterStats;
+pub use steer::{DecisionPoint, FifoPolicy, SchedulePolicy};
 pub use trace::{Event, EventSink, Trace};

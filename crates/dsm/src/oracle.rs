@@ -26,7 +26,7 @@
 
 use crate::node::NodeState;
 use crate::protocol::PageDirectory;
-use acorr_mem::{PageId, PageSpan, PAGE_SIZE};
+use acorr_mem::{write_token, PageId, PageSpan, VisibleImage, PAGE_SIZE};
 
 /// How many violations the oracle records in detail before only counting.
 const MAX_RECORDED: usize = 8;
@@ -119,7 +119,9 @@ pub struct CoherenceOracle {
     num_pages: usize,
     single_writer: bool,
     iteration: u64,
-    write_counter: u64,
+    /// Per-thread count of nonempty writes: the token ordinal, shared with
+    /// [`VisibleImage`] so differential checks can compare byte-for-byte.
+    write_seq: Vec<u64>,
     shadows: Vec<Option<Box<PageShadow>>>,
     /// Indexed `node * num_pages + page`.
     views: Vec<Option<Box<NodeView>>>,
@@ -145,7 +147,7 @@ impl CoherenceOracle {
             num_pages,
             single_writer,
             iteration: 0,
-            write_counter: 0,
+            write_seq: Vec::new(),
             shadows: (0..num_pages).map(|_| None).collect(),
             views: (0..num_nodes * num_pages).map(|_| None).collect(),
             violations: Vec::new(),
@@ -165,6 +167,20 @@ impl CoherenceOracle {
     /// The first recorded violation, if any.
     pub fn first_violation(&self) -> Option<&str> {
         self.violations.first().map(String::as_str)
+    }
+
+    /// Pages that currently contain hazy (data-raced) bytes. Used by the
+    /// exploration layer to cross-check the happens-before race detector:
+    /// every hazy page must also carry a detected write-write race.
+    pub fn hazy_pages(&self) -> Vec<PageId> {
+        self.shadows
+            .iter()
+            .enumerate()
+            .filter_map(|(p, s)| match s {
+                Some(s) if s.hazy_count() > 0 => Some(PageId(p as u32)),
+                _ => None,
+            })
+            .collect()
     }
 
     fn violate(&mut self, detail: String) {
@@ -187,17 +203,19 @@ impl CoherenceOracle {
         views[node * num_pages + page.idx()].get_or_insert_with(|| Box::new(NodeView::new()))
     }
 
-    /// A fresh, non-zero write token: unique per write event, so merge
-    /// mistakes cannot alias back to a correct-looking byte by accident.
+    /// A fresh, non-zero write token, so merge mistakes cannot alias back
+    /// to a correct-looking byte by accident. A pure function of the
+    /// writing thread and its per-thread write ordinal — *not* of global
+    /// write order — so the token stream is identical across schedules and
+    /// protocols, and [`CoherenceOracle::check_visible`] can compare the
+    /// committed image against the [`VisibleImage`] model byte-for-byte.
     fn token(&mut self, thread: usize) -> u8 {
-        self.write_counter += 1;
-        let mut x = self
-            .write_counter
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            .wrapping_add((thread as u64) << 32)
-            .wrapping_add(self.iteration);
-        x ^= x >> 31;
-        (x as u8) | 1
+        if thread >= self.write_seq.len() {
+            self.write_seq.resize(thread + 1, 0);
+        }
+        let seq = self.write_seq[thread];
+        self.write_seq[thread] += 1;
+        write_token(thread, seq)
     }
 
     /// Called at the start of every iteration.
@@ -471,6 +489,45 @@ impl CoherenceOracle {
             }
         }
         self.report.bytes_compared += compared;
+    }
+
+    /// Differential check at a barrier: the committed image must agree with
+    /// the protocol-independent [`VisibleImage`] model on every byte that
+    /// is neither order-sensitive (the model's mask) nor hazy (the
+    /// oracle's). Any disagreement means the protocol delivered a value the
+    /// program could not have produced under *any* legal ordering.
+    pub fn check_visible(&mut self, image: &VisibleImage) {
+        let zeros = [0u8; PAGE_SIZE];
+        let mut compared = 0u64;
+        let mut mismatch = None;
+        'pages: for p in 0..self.num_pages.min(image.num_pages()) {
+            let shadow = self.shadows[p].as_deref();
+            let committed: &[u8; PAGE_SIZE] = shadow.map_or(&zeros, |s| &s.committed);
+            let modeled: &[u8; PAGE_SIZE] = image.page_data(p).unwrap_or(&zeros);
+            for b in 0..PAGE_SIZE {
+                if image.is_sensitive(p, b) {
+                    continue;
+                }
+                if let Some(s) = shadow {
+                    if s.hazy[b / 64] >> (b % 64) & 1 == 1 {
+                        continue;
+                    }
+                }
+                compared += 1;
+                if committed[b] != modeled[b] {
+                    mismatch = Some((p, b, committed[b], modeled[b]));
+                    break 'pages;
+                }
+            }
+        }
+        self.report.bytes_compared += compared;
+        if let Some((p, b, got, want)) = mismatch {
+            let iter = self.iteration;
+            self.violate(format!(
+                "visible-memory check (iteration {iter}): page {p} byte {b} committed \
+                 {got:#04x} but the program-order model holds {want:#04x}"
+            ));
+        }
     }
 }
 

@@ -138,6 +138,16 @@ pub enum Event {
         /// Destination node.
         to: NodeId,
     },
+    /// A schedule policy was consulted at a decision point (only emitted
+    /// while a policy is attached and more than one choice was legal).
+    ScheduleDecision {
+        /// Run-global decision ordinal.
+        seq: u64,
+        /// Number of legal alternatives at this point.
+        alternatives: u32,
+        /// Index the policy chose (`0` is the engine's FIFO default).
+        choice: u32,
+    },
 }
 
 impl fmt::Display for Event {
@@ -166,6 +176,11 @@ impl fmt::Display for Event {
                 if remote { " (remote)" } else { "" }
             ),
             Event::Migration { thread, to } => write!(f, "migrate t{thread} -> {to}"),
+            Event::ScheduleDecision {
+                seq,
+                alternatives,
+                choice,
+            } => write!(f, "decide #{seq} {choice}/{alternatives}"),
         }
     }
 }
@@ -362,6 +377,11 @@ mod tests {
             Event::Migration {
                 thread: 2,
                 to: NodeId(1),
+            },
+            Event::ScheduleDecision {
+                seq: 0,
+                alternatives: 2,
+                choice: 1,
             },
         ];
         for ev in samples {

@@ -18,6 +18,10 @@
 //! * [`access`] — the [`AccessMatrix`]: per-thread page-access bitmaps, the
 //!   direct output of a tracking phase and the input to correlation
 //!   analysis.
+//! * [`vclock`] — vector clocks and a happens-before race detector
+//!   ([`HbRaceDetector`]) over the same page accesses.
+//! * [`visible`] — the protocol-independent program-visible memory model
+//!   ([`VisibleImage`]) behind differential MW-vs-SW checking.
 //!
 //! ```
 //! use acorr_mem::{AccessMatrix, PageId, PAGE_SIZE};
@@ -37,6 +41,8 @@ pub mod layout;
 pub mod page;
 pub mod prot;
 pub mod ranges;
+pub mod vclock;
+pub mod visible;
 
 pub use access::AccessMatrix;
 pub use bitset::FixedBitset;
@@ -44,3 +50,5 @@ pub use layout::{Segment, SharedLayout};
 pub use page::{page_of, pages_for, span_pages, PageId, PageSpan, PAGE_SIZE};
 pub use prot::{AccessKind, Protection};
 pub use ranges::RangeSet;
+pub use vclock::{HbRaceDetector, Race, RaceKind, RaceReport, VectorClock};
+pub use visible::{write_token, VisibleImage};

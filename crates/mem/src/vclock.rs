@@ -1,0 +1,414 @@
+//! Vector clocks and a happens-before race detector over page accesses.
+//!
+//! The DSM engine forwards every completed shared-memory access (the same
+//! per-page spans that drive the protocol) plus every synchronization event
+//! (lock acquire/release, global barrier) into an [`HbRaceDetector`]. The
+//! detector maintains one [`VectorClock`] per thread and per lock and flags
+//! *conflicting concurrent accesses*: two accesses to overlapping bytes of
+//! the same page, at least one a write, with neither ordered before the
+//! other by the program's synchronization.
+//!
+//! Two properties shape the implementation:
+//!
+//! * Barriers are **global** joins: everything before a barrier
+//!   happens-before everything after it, so per-page access histories are
+//!   cleared at each barrier — memory use is bounded by one barrier
+//!   interval, and every conflict check only scans the current interval.
+//! * Each access record stores the **epoch** `(thread, clock-component)` of
+//!   the accessor, the FastTrack-style compression: record `r` by thread
+//!   `u` happens-before the current access by `t` iff
+//!   `clock_of(t)[u] >= r.clock`.
+//!
+//! Detected races are deduplicated by `(page, thread pair, kind)`, so a
+//! structurally racy program (the paper's Water deliberately merges
+//! unordered same-page writes) reports a stable set rather than one
+//! finding per access. Every distinct race is recorded: truncating here
+//! would make the reported set depend on detection order, which the
+//! schedule explorer compares across runs.
+
+use crate::page::{PageId, PageSpan};
+use std::collections::HashSet;
+
+/// A classic vector clock: one logical-clock component per thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorClock {
+    c: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock over `threads` components.
+    pub fn new(threads: usize) -> Self {
+        VectorClock {
+            c: vec![0; threads],
+        }
+    }
+
+    /// This clock's component for `thread`.
+    pub fn get(&self, thread: usize) -> u64 {
+        self.c[thread]
+    }
+
+    /// Increments `thread`'s own component (a local step).
+    pub fn tick(&mut self, thread: usize) {
+        self.c[thread] += 1;
+    }
+
+    /// Pointwise maximum with `other` (a join on message receipt).
+    pub fn join(&mut self, other: &VectorClock) {
+        for (a, b) in self.c.iter_mut().zip(&other.c) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Whether every component of `self` is ≤ the matching component of
+    /// `other` — i.e. `self` happens-before-or-equals `other`.
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.c.iter().zip(&other.c).all(|(a, b)| a <= b)
+    }
+}
+
+/// The flavor of a conflicting concurrent access pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RaceKind {
+    /// Two concurrent writes overlapped.
+    WriteWrite,
+    /// A concurrent read and write overlapped (either order).
+    ReadWrite,
+}
+
+impl std::fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RaceKind::WriteWrite => write!(f, "write-write"),
+            RaceKind::ReadWrite => write!(f, "read-write"),
+        }
+    }
+}
+
+/// One detected race, identified by page, unordered thread pair, and kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Race {
+    /// Page on which the accesses overlapped.
+    pub page: PageId,
+    /// Smaller global thread index of the pair.
+    pub first: usize,
+    /// Larger global thread index of the pair.
+    pub second: usize,
+    /// Conflict flavor.
+    pub kind: RaceKind,
+}
+
+impl std::fmt::Display for Race {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} race on {} between t{} and t{}",
+            self.kind, self.page, self.first, self.second
+        )
+    }
+}
+
+/// Summary of a detector's findings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RaceReport {
+    /// All distinct races, sorted.
+    pub races: Vec<Race>,
+    /// Total distinct races observed (equals `races.len()`).
+    pub distinct: usize,
+    /// Accesses checked.
+    pub accesses: u64,
+    /// Barriers processed (history epochs).
+    pub barriers: u64,
+}
+
+impl RaceReport {
+    /// Distinct write-write races (the kind release consistency leaves
+    /// unordered and the conformance oracle masks as *hazy*).
+    pub fn write_write(&self) -> impl Iterator<Item = &Race> {
+        self.races.iter().filter(|r| r.kind == RaceKind::WriteWrite)
+    }
+
+    /// Whether a write-write race was recorded on `page`.
+    pub fn has_ww_on(&self, page: PageId) -> bool {
+        self.write_write().any(|r| r.page == page)
+    }
+}
+
+/// One completed access in the current barrier interval.
+#[derive(Debug, Clone, Copy)]
+struct AccessRec {
+    thread: u32,
+    /// The accessor's own clock component at access time (its epoch).
+    clock: u64,
+    write: bool,
+    start: u16,
+    end: u16,
+}
+
+/// Happens-before race detector over per-page byte spans.
+#[derive(Debug)]
+pub struct HbRaceDetector {
+    threads: Vec<VectorClock>,
+    locks: Vec<VectorClock>,
+    /// Per-page access history of the current barrier interval.
+    history: Vec<Vec<AccessRec>>,
+    seen: HashSet<Race>,
+    report: RaceReport,
+}
+
+impl HbRaceDetector {
+    /// Creates a detector for `threads` threads, `locks` locks and `pages`
+    /// pages.
+    pub fn new(threads: usize, locks: usize, pages: usize) -> Self {
+        let mut tclocks = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let mut c = VectorClock::new(threads);
+            c.tick(t); // distinguish epoch 0 from "never accessed"
+            tclocks.push(c);
+        }
+        HbRaceDetector {
+            threads: tclocks,
+            locks: (0..locks).map(|_| VectorClock::new(threads)).collect(),
+            history: (0..pages).map(|_| Vec::new()).collect(),
+            seen: HashSet::new(),
+            report: RaceReport::default(),
+        }
+    }
+
+    /// The findings so far. Races come back sorted for deterministic
+    /// reporting independent of detection order.
+    pub fn report(&self) -> RaceReport {
+        let mut r = self.report.clone();
+        r.races.sort_unstable();
+        r
+    }
+
+    fn record_race(&mut self, race: Race) {
+        if self.seen.insert(race) {
+            self.report.distinct += 1;
+            self.report.races.push(race);
+        }
+    }
+
+    /// A thread completed an access to `span`. `write` distinguishes loads
+    /// from stores. Zero-length spans leave no trace.
+    pub fn on_access(&mut self, thread: usize, span: PageSpan, write: bool) {
+        if span.start == span.end {
+            return;
+        }
+        self.report.accesses += 1;
+        let me = &self.threads[thread];
+        let mut found: Vec<Race> = Vec::new();
+        let history = &self.history[span.page.idx()];
+        for rec in history {
+            let other = rec.thread as usize;
+            if other == thread || (!write && !rec.write) {
+                continue;
+            }
+            if rec.end <= span.start || span.end <= rec.start {
+                continue; // disjoint bytes
+            }
+            // `rec` happens-before the current access iff the accessor has
+            // seen the recorder's epoch. (The current access can never
+            // happen-before `rec`: `rec` was completed earlier in a run
+            // whose observation order respects causality.)
+            if me.get(other) >= rec.clock {
+                continue;
+            }
+            let kind = if write && rec.write {
+                RaceKind::WriteWrite
+            } else {
+                RaceKind::ReadWrite
+            };
+            found.push(Race {
+                page: span.page,
+                first: thread.min(other),
+                second: thread.max(other),
+                kind,
+            });
+        }
+        for race in found {
+            self.record_race(race);
+        }
+        // Coalesce with an identical trailing record (common for a thread
+        // streaming through a page in same-epoch span chunks).
+        let epoch = self.threads[thread].get(thread);
+        let history = &mut self.history[span.page.idx()];
+        if let Some(last) = history.last_mut() {
+            if last.thread as usize == thread
+                && last.clock == epoch
+                && last.write == write
+                && span.start <= last.end
+                && last.start <= span.end
+            {
+                last.start = last.start.min(span.start);
+                last.end = last.end.max(span.end);
+                return;
+            }
+        }
+        history.push(AccessRec {
+            thread: thread as u32,
+            clock: epoch,
+            write,
+            start: span.start,
+            end: span.end,
+        });
+    }
+
+    /// A thread was granted `lock`: it inherits everything the previous
+    /// holder released (acquire edge).
+    pub fn on_lock_acquire(&mut self, thread: usize, lock: usize) {
+        let l = self.locks[lock].clone();
+        self.threads[thread].join(&l);
+    }
+
+    /// A thread released `lock`: its history-to-date transfers to the next
+    /// acquirer (release edge), and the thread starts a fresh epoch.
+    pub fn on_lock_release(&mut self, thread: usize, lock: usize) {
+        self.locks[lock].join(&self.threads[thread]);
+        self.threads[thread].tick(thread);
+    }
+
+    /// A global barrier released: everyone joins with everyone, all lock
+    /// clocks are absorbed, per-page histories reset, and every thread
+    /// starts a fresh epoch.
+    pub fn on_barrier(&mut self) {
+        self.report.barriers += 1;
+        let n = self.threads.first().map_or(0, |c| c.c.len());
+        let mut all = VectorClock::new(n);
+        for c in &self.threads {
+            all.join(c);
+        }
+        for c in &self.locks {
+            all.join(c);
+        }
+        for (t, c) in self.threads.iter_mut().enumerate() {
+            *c = all.clone();
+            c.tick(t);
+        }
+        for c in &mut self.locks {
+            *c = all.clone();
+        }
+        for h in &mut self.history {
+            h.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(page: u32, start: u16, end: u16) -> PageSpan {
+        PageSpan {
+            page: PageId(page),
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn clock_ordering() {
+        let mut a = VectorClock::new(3);
+        let mut b = VectorClock::new(3);
+        a.tick(0);
+        assert!(!a.le(&b) && b.le(&a));
+        b.tick(1);
+        assert!(!a.le(&b) && !b.le(&a)); // concurrent
+        b.join(&a);
+        assert!(a.le(&b));
+    }
+
+    #[test]
+    fn unsynchronized_overlapping_writes_race() {
+        let mut d = HbRaceDetector::new(2, 0, 1);
+        d.on_access(0, span(0, 0, 64), true);
+        d.on_access(1, span(0, 32, 96), true);
+        let r = d.report();
+        assert_eq!(r.distinct, 1);
+        assert_eq!(
+            r.races[0],
+            Race {
+                page: PageId(0),
+                first: 0,
+                second: 1,
+                kind: RaceKind::WriteWrite
+            }
+        );
+        assert!(r.has_ww_on(PageId(0)));
+    }
+
+    #[test]
+    fn disjoint_bytes_and_read_read_do_not_race() {
+        let mut d = HbRaceDetector::new(2, 0, 1);
+        d.on_access(0, span(0, 0, 32), true);
+        d.on_access(1, span(0, 32, 64), true); // disjoint
+        d.on_access(0, span(0, 100, 200), false);
+        d.on_access(1, span(0, 150, 250), false); // read-read
+        assert_eq!(d.report().distinct, 0);
+    }
+
+    #[test]
+    fn lock_ordering_suppresses_the_race() {
+        let mut d = HbRaceDetector::new(2, 1, 1);
+        // t0 writes, then releases; t1 acquires, then writes: ordered.
+        d.on_access(0, span(0, 0, 8), true);
+        d.on_lock_acquire(0, 0);
+        d.on_lock_release(0, 0);
+        d.on_lock_acquire(1, 0);
+        d.on_lock_release(1, 0);
+        d.on_access(1, span(0, 0, 8), true);
+        assert_eq!(d.report().distinct, 0, "{:?}", d.report().races);
+    }
+
+    #[test]
+    fn write_before_own_acquire_still_races() {
+        let mut d = HbRaceDetector::new(2, 1, 1);
+        // t1 locks/unlocks first, then writes; t0 writes *before* its own
+        // acquire — the lock edge does not cover t0's write.
+        d.on_lock_acquire(1, 0);
+        d.on_lock_release(1, 0);
+        d.on_access(1, span(0, 0, 8), true);
+        d.on_access(0, span(0, 0, 8), true);
+        d.on_lock_acquire(0, 0);
+        d.on_lock_release(0, 0);
+        assert_eq!(d.report().distinct, 1);
+    }
+
+    #[test]
+    fn barrier_orders_everything_and_clears_history() {
+        let mut d = HbRaceDetector::new(2, 0, 1);
+        d.on_access(0, span(0, 0, 8), true);
+        d.on_barrier();
+        d.on_access(1, span(0, 0, 8), true);
+        let r = d.report();
+        assert_eq!(r.distinct, 0);
+        assert_eq!(r.barriers, 1);
+    }
+
+    #[test]
+    fn read_write_overlap_is_flagged_in_both_orders() {
+        let mut d = HbRaceDetector::new(2, 0, 2);
+        d.on_access(0, span(0, 0, 8), false);
+        d.on_access(1, span(0, 0, 8), true); // write after read
+        d.on_access(0, span(1, 0, 8), true);
+        d.on_access(1, span(1, 0, 8), false); // read after write
+        let r = d.report();
+        assert_eq!(r.distinct, 2);
+        assert!(r.races.iter().all(|x| x.kind == RaceKind::ReadWrite));
+    }
+
+    #[test]
+    fn duplicate_pairs_dedup_and_coalesce() {
+        let mut d = HbRaceDetector::new(2, 0, 1);
+        for chunk in 0..8 {
+            d.on_access(0, span(0, chunk * 8, chunk * 8 + 8), true);
+        }
+        // Same-epoch adjacent spans coalesced into one record.
+        assert_eq!(d.history[0].len(), 1);
+        for chunk in 0..8 {
+            d.on_access(1, span(0, chunk * 8, chunk * 8 + 8), true);
+        }
+        assert_eq!(d.report().distinct, 1);
+    }
+}

@@ -1,0 +1,282 @@
+//! Program-visible memory image for differential protocol checking.
+//!
+//! The multi-writer and single-writer protocols move bytes very differently
+//! (twins/diffs vs whole-page ownership), but for a *correct* engine the
+//! memory the program observes must be the same. [`VisibleImage`] is the
+//! protocol-independent model of that memory: every completed application
+//! write deposits a deterministic [`write_token`] derived from the writing
+//! thread and its per-thread write ordinal — a pure function of the
+//! program, independent of schedule and protocol.
+//!
+//! Bytes whose final value legitimately depends on ordering are masked out
+//! as **sensitive** rather than checked:
+//!
+//! * bytes written under a lock — the lock admits any grant order, so the
+//!   last writer varies by schedule;
+//! * bytes written by more than one thread within one barrier interval —
+//!   release consistency leaves those unordered (the oracle marks them
+//!   *hazy*).
+//!
+//! Both conditions are program-static (which writes a script performs, and
+//! under which locks, does not depend on the schedule), so the sensitive
+//! set — and therefore the set of checked byte positions — is identical
+//! across schedules and protocols. The per-barrier FNV digest over the
+//! non-sensitive bytes is then a schedule- and protocol-invariant signature
+//! of program-visible memory: any divergence between two runs of the same
+//! program is an engine bug.
+//!
+//! The sensitive mask is *sticky* across barriers: once a byte's value is
+//! order-dependent it stays unreliable for the rest of the run.
+
+use crate::page::{PageSpan, PAGE_SIZE};
+
+/// The deterministic byte a thread's `seq`-th write deposits.
+///
+/// Nonzero, so written bytes are always distinguishable from untouched
+/// (zero) memory; a pure function of `(thread, seq)` so the value stream is
+/// independent of global scheduling order. Shared by [`VisibleImage`] and
+/// the DSM coherence oracle — the differential check compares the two.
+pub fn write_token(thread: usize, seq: u64) -> u8 {
+    let mut h = (thread as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(seq.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    h ^= h >> 31;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 29;
+    (h % 251) as u8 + 1
+}
+
+/// Per-page state: token data, this interval's writer map, sticky
+/// sensitive mask.
+struct PageImage {
+    data: Box<[u8; PAGE_SIZE]>,
+    /// Writer of each byte *this barrier interval*: 0 = none,
+    /// `t + 1` = thread `t`, `u16::MAX` = more than one thread.
+    writer: Box<[u16; PAGE_SIZE]>,
+    /// Sticky order-sensitivity mask, one bit per byte.
+    sensitive: Box<[u64; PAGE_SIZE / 64]>,
+}
+
+impl PageImage {
+    fn new() -> Self {
+        PageImage {
+            data: Box::new([0; PAGE_SIZE]),
+            writer: Box::new([0; PAGE_SIZE]),
+            sensitive: Box::new([0; PAGE_SIZE / 64]),
+        }
+    }
+}
+
+impl std::fmt::Debug for PageImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageImage").finish_non_exhaustive()
+    }
+}
+
+/// The protocol-independent model of program-visible shared memory.
+#[derive(Debug)]
+pub struct VisibleImage {
+    pages: Vec<Option<PageImage>>,
+    /// Per-thread count of nonempty writes performed (the token ordinal).
+    seq: Vec<u64>,
+    digests: Vec<u64>,
+    sensitive_bytes: u64,
+}
+
+impl VisibleImage {
+    /// Creates an image for `threads` threads over `pages` pages.
+    pub fn new(threads: usize, pages: usize) -> Self {
+        VisibleImage {
+            pages: (0..pages).map(|_| None).collect(),
+            seq: vec![0; threads],
+            digests: Vec::new(),
+            sensitive_bytes: 0,
+        }
+    }
+
+    /// Number of pages modeled.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The modeled bytes of `page`, if any write has touched it.
+    pub fn page_data(&self, page: usize) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages[page].as_ref().map(|p| &*p.data)
+    }
+
+    /// Whether `byte` of `page` is order-sensitive (masked from checking).
+    pub fn is_sensitive(&self, page: usize, byte: usize) -> bool {
+        match &self.pages[page] {
+            Some(p) => p.sensitive[byte / 64] >> (byte % 64) & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// Total bytes currently masked as sensitive.
+    pub fn sensitive_bytes(&self) -> u64 {
+        self.sensitive_bytes
+    }
+
+    /// Digest stream so far, one entry per completed barrier.
+    pub fn digests(&self) -> &[u64] {
+        &self.digests
+    }
+
+    /// A thread completed a write of `span`. Zero-length spans consume no
+    /// token (mirroring the coherence oracle). `under_lock` marks the bytes
+    /// order-sensitive.
+    pub fn on_write(&mut self, thread: usize, span: PageSpan, under_lock: bool) {
+        if span.is_empty() {
+            return;
+        }
+        let token = write_token(thread, self.seq[thread]);
+        self.seq[thread] += 1;
+        let slot = &mut self.pages[span.page.idx()];
+        let img = slot.get_or_insert_with(PageImage::new);
+        let tag = thread as u16 + 1;
+        for b in span.start as usize..span.end as usize {
+            img.data[b] = token;
+            let mut sensitive = under_lock;
+            if img.writer[b] == 0 {
+                img.writer[b] = tag;
+            } else if img.writer[b] != tag {
+                img.writer[b] = u16::MAX;
+                sensitive = true;
+            }
+            if sensitive {
+                let mask = 1u64 << (b % 64);
+                if img.sensitive[b / 64] & mask == 0 {
+                    img.sensitive[b / 64] |= mask;
+                    self.sensitive_bytes += 1;
+                }
+            }
+        }
+    }
+
+    /// A barrier released: append the FNV-1a digest of all non-sensitive
+    /// bytes to the digest stream and start a fresh writer interval.
+    pub fn on_barrier(&mut self) {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for slot in &mut self.pages {
+            let Some(img) = slot else { continue };
+            for (w, &mask) in img.sensitive.iter().enumerate() {
+                for bit in 0..64 {
+                    if mask >> bit & 1 == 0 {
+                        h ^= img.data[w * 64 + bit] as u64;
+                        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                    }
+                }
+            }
+            img.writer.fill(0);
+        }
+        self.digests.push(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageId;
+
+    fn span(page: u32, start: u16, end: u16) -> PageSpan {
+        PageSpan {
+            page: PageId(page),
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn tokens_are_nonzero_and_thread_seq_pure() {
+        for t in 0..16 {
+            for s in 0..64 {
+                assert_ne!(write_token(t, s), 0);
+            }
+        }
+        assert_eq!(write_token(3, 7), write_token(3, 7));
+        assert_ne!(write_token(0, 0), write_token(1, 0));
+    }
+
+    #[test]
+    fn single_writer_bytes_are_checked_and_digest_is_order_free() {
+        // Two threads write disjoint bytes; interleaving order must not
+        // matter to the digest stream.
+        let run = |flip: bool| {
+            let mut v = VisibleImage::new(2, 1);
+            let (a, b) = (span(0, 0, 8), span(0, 8, 16));
+            if flip {
+                v.on_write(1, b, false);
+                v.on_write(0, a, false);
+            } else {
+                v.on_write(0, a, false);
+                v.on_write(1, b, false);
+            }
+            v.on_barrier();
+            v.digests().to_vec()
+        };
+        assert_eq!(run(false), run(true));
+        let mut v = VisibleImage::new(2, 1);
+        v.on_write(0, span(0, 0, 8), false);
+        assert_eq!(v.sensitive_bytes(), 0);
+        assert!(!v.is_sensitive(0, 0));
+        assert_eq!(v.page_data(0).unwrap()[0], write_token(0, 0));
+    }
+
+    #[test]
+    fn overlapping_writers_become_sensitive_and_sticky() {
+        let mut v = VisibleImage::new(2, 1);
+        v.on_write(0, span(0, 0, 8), false);
+        v.on_write(1, span(0, 4, 12), false);
+        assert_eq!(v.sensitive_bytes(), 4);
+        assert!(v.is_sensitive(0, 4) && !v.is_sensitive(0, 2));
+        v.on_barrier();
+        // Next interval: single writer again, but the mask is sticky.
+        v.on_write(0, span(0, 4, 8), false);
+        assert!(v.is_sensitive(0, 4));
+        // Digests ignore sensitive bytes, so writer-order flips there do
+        // not change the stream.
+        let mut w = VisibleImage::new(2, 1);
+        w.on_write(1, span(0, 4, 12), false);
+        w.on_write(0, span(0, 0, 8), false);
+        w.on_barrier();
+        assert_eq!(v.digests()[0], w.digests()[0]);
+    }
+
+    #[test]
+    fn under_lock_writes_are_sensitive() {
+        let mut v = VisibleImage::new(2, 1);
+        v.on_write(0, span(0, 0, 4), true);
+        assert_eq!(v.sensitive_bytes(), 4);
+    }
+
+    #[test]
+    fn empty_spans_consume_no_token() {
+        let mut v = VisibleImage::new(1, 1);
+        v.on_write(0, span(0, 5, 5), false);
+        v.on_write(0, span(0, 0, 1), false);
+        assert_eq!(v.page_data(0).unwrap()[0], write_token(0, 0));
+    }
+
+    #[test]
+    fn writer_interval_resets_at_barrier() {
+        let mut v = VisibleImage::new(2, 1);
+        v.on_write(0, span(0, 0, 8), false);
+        v.on_barrier();
+        v.on_write(1, span(0, 0, 8), false);
+        // Different threads, different intervals: barrier-ordered, not
+        // sensitive.
+        assert_eq!(v.sensitive_bytes(), 0);
+        assert_eq!(v.page_data(0).unwrap()[0], write_token(1, 0));
+    }
+
+    #[test]
+    fn digest_differs_when_checked_bytes_differ() {
+        let mut a = VisibleImage::new(1, 1);
+        a.on_write(0, span(0, 0, 8), false);
+        a.on_barrier();
+        let mut b = VisibleImage::new(1, 1);
+        b.on_write(0, span(0, 0, 9), false);
+        b.on_barrier();
+        assert_ne!(a.digests()[0], b.digests()[0]);
+    }
+}

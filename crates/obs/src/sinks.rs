@@ -62,6 +62,16 @@ fn push_event_fields(obj: &mut Obj, event: &Event) {
                 .u64("thread", thread as u64)
                 .u64("to", u64::from(to.0));
         }
+        Event::ScheduleDecision {
+            seq,
+            alternatives,
+            choice,
+        } => {
+            obj.str("type", "schedule_decision")
+                .u64("seq", seq)
+                .u64("alternatives", u64::from(alternatives))
+                .u64("choice", u64::from(choice));
+        }
     }
 }
 
@@ -203,13 +213,15 @@ impl ChromeTraceSink {
                 sink.events.push(obj.finish());
             }
         }
-        let mut obj = Obj::new();
-        obj.str("name", "thread_name")
-            .str("ph", "M")
-            .u64("pid", u64::from(PID_PROTOCOL))
-            .u64("tid", nodes as u64)
-            .raw("args", &Obj::new().str("name", "control").finish());
-        sink.events.push(obj.finish());
+        for (offset, name) in [(0u64, "control"), (1, "scheduler")] {
+            let mut obj = Obj::new();
+            obj.str("name", "thread_name")
+                .str("ph", "M")
+                .u64("pid", u64::from(PID_PROTOCOL))
+                .u64("tid", nodes as u64 + offset)
+                .raw("args", &Obj::new().str("name", name).finish());
+            sink.events.push(obj.finish());
+        }
         sink
     }
 
@@ -235,6 +247,9 @@ impl ChromeTraceSink {
             Event::CorrelationFault { .. }
             | Event::BarrierRelease { .. }
             | Event::LockGranted { .. } => self.nodes as u64,
+            // Schedule decisions get their own track, so an explored
+            // interleaving reads as a lane of choice markers in Perfetto.
+            Event::ScheduleDecision { .. } => self.nodes as u64 + 1,
         }
     }
 
@@ -295,6 +310,7 @@ impl EventSink for ChromeTraceSink {
             Event::BarrierRelease { .. } => "barrier_release",
             Event::LockGranted { .. } => "lock_granted",
             Event::Migration { .. } => "migration",
+            Event::ScheduleDecision { .. } => "schedule_decision",
         };
         self.instant(at, name, tid, &args_json);
     }
@@ -535,12 +551,13 @@ mod tests {
         feed(&mut sink);
         let doc = parse(&sink.render()).expect("valid trace JSON");
         let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
-        // Metadata: 3 process names + 2 nodes x 2 pids + control lane.
+        // Metadata: 3 process names + 2 nodes x 2 pids + control and
+        // scheduler lanes.
         let meta = events
             .iter()
             .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
             .count();
-        assert_eq!(meta, 8);
+        assert_eq!(meta, 9);
         // The miss is an instant on node 1's protocol track.
         let miss = events
             .iter()

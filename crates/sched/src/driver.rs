@@ -1,0 +1,116 @@
+//! The schedule-driving policy and its shared decision log.
+//!
+//! A [`ScheduleDriver`] feeds a [`Schedule`]'s choices into the engine
+//! through the [`SchedulePolicy`] hook, recording every consulted decision
+//! point. The driver itself is boxed into the engine
+//! ([`Dsm::set_schedule_policy`](acorr_dsm::Dsm::set_schedule_policy)), so
+//! the log lives behind a shared handle ([`DecisionLog`]) the caller keeps:
+//! after the run, the log *is* the concrete schedule — replaying its
+//! `chosen` column reproduces the run exactly, which is what makes random
+//! failures shrinkable.
+
+use crate::schedule::Schedule;
+use acorr_dsm::{DecisionPoint, SchedulePolicy};
+use acorr_sim::{DecisionQueue, DecisionRecord};
+use std::sync::{Arc, Mutex, PoisonError};
+
+type SharedLog = Arc<Mutex<Vec<DecisionRecord>>>;
+
+/// Caller-side handle to the decisions a [`ScheduleDriver`] recorded.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionLog {
+    inner: SharedLog,
+}
+
+impl DecisionLog {
+    /// Decision points consulted so far.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no decision point has been consulted.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// A snapshot of the recorded decisions.
+    pub fn records(&self) -> Vec<DecisionRecord> {
+        self.lock().clone()
+    }
+
+    /// The `chosen` column: the concrete all-explicit schedule prefix that
+    /// reproduces the recorded run.
+    pub fn choices(&self) -> Vec<u32> {
+        self.lock().iter().map(|r| r.chosen).collect()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<DecisionRecord>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A [`SchedulePolicy`] that realizes a [`Schedule`] and logs what it did.
+#[derive(Debug)]
+pub struct ScheduleDriver {
+    queue: DecisionQueue,
+    log: SharedLog,
+}
+
+impl ScheduleDriver {
+    /// Creates a driver for `schedule` plus the log handle to keep.
+    pub fn new(schedule: &Schedule) -> (Self, DecisionLog) {
+        let log = DecisionLog::default();
+        (
+            ScheduleDriver {
+                queue: schedule.queue(),
+                log: Arc::clone(&log.inner),
+            },
+            log,
+        )
+    }
+}
+
+impl SchedulePolicy for ScheduleDriver {
+    fn choose(&mut self, _point: DecisionPoint, alternatives: usize) -> usize {
+        let choice = self.queue.next(alternatives);
+        self.log
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(DecisionRecord {
+                alternatives: alternatives as u32,
+                chosen: choice as u32,
+            });
+        choice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acorr_sim::NodeId;
+
+    #[test]
+    fn driver_replays_prefix_and_logs_choices() {
+        let (mut d, log) = ScheduleDriver::new(&Schedule::prescribed(vec![1, 5]));
+        let p = DecisionPoint::Run { node: NodeId(0) };
+        assert_eq!(d.choose(p, 3), 1);
+        assert_eq!(d.choose(p, 3), 2); // 5 clamped by the queue
+        assert_eq!(d.choose(p, 3), 0); // default tail
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.choices(), vec![1, 2, 0]);
+        assert_eq!(log.records()[1].alternatives, 3);
+    }
+
+    #[test]
+    fn replaying_a_logged_random_run_reproduces_it() {
+        let points = [4usize, 2, 7, 3, 2];
+        let (mut d, log) = ScheduleDriver::new(&Schedule::random(42));
+        let p = DecisionPoint::Grant { lock: 0 };
+        let first: Vec<usize> = points.iter().map(|&n| d.choose(p, n)).collect();
+        // Concretize: the log's choices as an explicit prefix.
+        let concrete = Schedule::prescribed(log.choices());
+        let (mut r, _) = ScheduleDriver::new(&concrete);
+        let second: Vec<usize> = points.iter().map(|&n| r.choose(p, n)).collect();
+        assert_eq!(first, second);
+    }
+}

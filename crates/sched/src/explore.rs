@@ -1,0 +1,272 @@
+//! Schedule-space exploration strategies and counterexample shrinking.
+//!
+//! An [`Explorer`] yields [`Schedule`]s to try, always starting with the
+//! default schedule (the baseline every check compares against). Two modes:
+//!
+//! * **Random** — schedule `k` draws every decision uniformly from a
+//!   stream derived from `(seed, k)`; cheap, embarrassingly parallel
+//!   coverage of deep interleavings.
+//! * **Systematic** — preemption-bounded breadth-first enumeration in the
+//!   spirit of CHESS-style bounded model checking: after observing a run's
+//!   decision log, every single-point deviation (`log[..i]` plus one
+//!   non-chosen alternative at `i`) within the preemption bound joins the
+//!   frontier. The bound counts non-default choices, so depth grows one
+//!   deviation at a time and small bounds already cover the
+//!   "one untimely preemption" bugs that dominate practice.
+//!
+//! Exploration is feedback-driven: callers run each schedule, then hand
+//! the observed [`DecisionRecord`] log back via [`Explorer::observe`] so
+//! the systematic frontier can expand (random mode ignores feedback).
+
+use crate::schedule::Schedule;
+use acorr_sim::DecisionRecord;
+use std::collections::{HashSet, VecDeque};
+
+/// How schedules are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExploreMode {
+    /// Seeded random tails; schedule `k` uses a stream derived from
+    /// `(seed, k)`.
+    Random {
+        /// Base seed for the per-schedule streams.
+        seed: u64,
+    },
+    /// Preemption-bounded systematic enumeration: at most `preemptions`
+    /// non-default choices per schedule.
+    Systematic {
+        /// Maximum non-default choices per schedule.
+        preemptions: usize,
+    },
+}
+
+/// splitmix64: derives one tail seed per (base, index) pair.
+fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Yields schedules to run, up to a budget.
+#[derive(Debug)]
+pub struct Explorer {
+    mode: ExploreMode,
+    budget: usize,
+    emitted: usize,
+    /// Systematic mode: prefixes waiting to run, oldest first.
+    frontier: VecDeque<Vec<u32>>,
+    /// Systematic mode: prefixes ever enqueued (dedup).
+    visited: HashSet<Vec<u32>>,
+}
+
+impl Explorer {
+    /// Creates an explorer that will yield at most `budget` schedules,
+    /// the first being the default schedule.
+    pub fn new(mode: ExploreMode, budget: usize) -> Self {
+        let mut visited = HashSet::new();
+        visited.insert(Vec::new());
+        Explorer {
+            mode,
+            budget,
+            emitted: 0,
+            frontier: VecDeque::from([Vec::new()]),
+            visited,
+        }
+    }
+
+    /// Schedules yielded so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// The next schedule to run, or `None` when the budget is exhausted
+    /// (or, in systematic mode, the bounded space is).
+    pub fn next_schedule(&mut self) -> Option<Schedule> {
+        if self.emitted >= self.budget {
+            return None;
+        }
+        let schedule = match self.mode {
+            ExploreMode::Random { seed } => {
+                if self.emitted == 0 {
+                    Schedule::default_order()
+                } else {
+                    Schedule::random(derive_seed(seed, self.emitted as u64))
+                }
+            }
+            ExploreMode::Systematic { .. } => Schedule::prescribed(self.frontier.pop_front()?),
+        };
+        self.emitted += 1;
+        Some(schedule)
+    }
+
+    /// Feeds back the decision log one yielded schedule produced. In
+    /// systematic mode this expands the frontier with every in-bound,
+    /// not-yet-seen single-point deviation; random mode ignores it.
+    pub fn observe(&mut self, log: &[DecisionRecord]) {
+        let ExploreMode::Systematic { preemptions } = self.mode else {
+            return;
+        };
+        for (i, rec) in log.iter().enumerate() {
+            for alt in 0..rec.alternatives {
+                if alt == rec.chosen {
+                    continue;
+                }
+                let mut candidate: Vec<u32> = log[..i].iter().map(|r| r.chosen).collect();
+                candidate.push(alt);
+                // Canonical form: a FIFO tail reproduces trailing defaults,
+                // so `[1, 0]` and `[1]` are the same schedule.
+                while candidate.last() == Some(&0) {
+                    candidate.pop();
+                }
+                let deviations = candidate.iter().filter(|&&c| c != 0).count();
+                if deviations > preemptions {
+                    continue;
+                }
+                if self.visited.insert(candidate.clone()) {
+                    self.frontier.push_back(candidate);
+                }
+            }
+        }
+    }
+}
+
+/// Shrinks a failing decision prefix to a minimal counterexample.
+///
+/// `fails` must return `true` when running the given prefix (with a FIFO
+/// tail) still reproduces the failure; it is called once per candidate.
+/// The result is minimal in the sense that no single prescribed choice can
+/// be reverted to the default and no trailing defaults remain — typically
+/// a handful of choices pinpointing the racy window.
+pub fn shrink<F: FnMut(&[u32]) -> bool>(prefix: &[u32], mut fails: F) -> Vec<u32> {
+    let mut cur: Vec<u32> = prefix.to_vec();
+    loop {
+        let mut changed = false;
+        // Drop trailing default choices (a FIFO tail reproduces them).
+        while cur.last() == Some(&0) {
+            cur.pop();
+            changed = true;
+        }
+        // Try reverting each non-default choice to the default.
+        for i in 0..cur.len() {
+            if cur[i] == 0 {
+                continue;
+            }
+            let saved = cur[i];
+            cur[i] = 0;
+            if fails(&cur) {
+                changed = true;
+            } else {
+                cur[i] = saved;
+            }
+        }
+        if !changed {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Tail;
+
+    fn rec(alternatives: u32, chosen: u32) -> DecisionRecord {
+        DecisionRecord {
+            alternatives,
+            chosen,
+        }
+    }
+
+    #[test]
+    fn first_schedule_is_always_the_default() {
+        for mode in [
+            ExploreMode::Random { seed: 7 },
+            ExploreMode::Systematic { preemptions: 2 },
+        ] {
+            let mut e = Explorer::new(mode, 10);
+            assert!(e.next_schedule().unwrap().is_default());
+        }
+    }
+
+    #[test]
+    fn random_mode_yields_distinct_seeds_up_to_budget() {
+        let mut e = Explorer::new(ExploreMode::Random { seed: 3 }, 4);
+        let mut seeds = HashSet::new();
+        e.next_schedule().unwrap();
+        while let Some(s) = e.next_schedule() {
+            match s.tail {
+                Tail::Random { seed } => assert!(seeds.insert(seed)),
+                Tail::Default => panic!("random mode yielded a default tail"),
+            }
+        }
+        assert_eq!(seeds.len(), 3);
+        assert_eq!(e.emitted(), 4);
+        // Same base seed, same streams.
+        let mut f = Explorer::new(ExploreMode::Random { seed: 3 }, 4);
+        f.next_schedule();
+        assert_eq!(
+            f.next_schedule().unwrap().tail,
+            Tail::Random {
+                seed: derive_seed(3, 1)
+            }
+        );
+    }
+
+    #[test]
+    fn systematic_mode_expands_single_point_deviations() {
+        let mut e = Explorer::new(ExploreMode::Systematic { preemptions: 1 }, 100);
+        assert_eq!(e.next_schedule().unwrap().prefix, Vec::<u32>::new());
+        // Default run consulted two points with 2 and 3 alternatives.
+        e.observe(&[rec(2, 0), rec(3, 0)]);
+        let mut got: Vec<Vec<u32>> = Vec::new();
+        while let Some(s) = e.next_schedule() {
+            got.push(s.prefix.clone());
+            // Every deviation reproduces the same two decision points.
+            let log: Vec<DecisionRecord> = [2u32, 3]
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| rec(n, s.prefix.get(i).copied().unwrap_or(0).min(n - 1)))
+                .collect();
+            e.observe(&log);
+        }
+        // Bound 1: exactly the three single-deviation prefixes, each
+        // re-observed without growing the frontier past the bound.
+        got.sort();
+        assert_eq!(got, vec![vec![0, 1], vec![0, 2], vec![1]]);
+    }
+
+    #[test]
+    fn systematic_bound_two_reaches_paired_deviations() {
+        let mut e = Explorer::new(ExploreMode::Systematic { preemptions: 2 }, 100);
+        let mut seen = HashSet::new();
+        while let Some(s) = e.next_schedule() {
+            seen.insert(s.prefix.clone());
+            let log: Vec<DecisionRecord> = (0..2)
+                .map(|i| rec(2, s.prefix.get(i).copied().unwrap_or(0)))
+                .collect();
+            e.observe(&log);
+        }
+        assert!(seen.contains(&vec![1, 1]), "{seen:?}");
+    }
+
+    #[test]
+    fn shrink_reverts_and_trims_to_minimal() {
+        // Failure iff choice at index 2 is nonzero AND choice at 0 is
+        // nonzero; everything else is noise.
+        let fails =
+            |p: &[u32]| p.first().is_some_and(|&c| c != 0) && p.get(2).is_some_and(|&c| c != 0);
+        let min = shrink(&[2, 1, 3, 0, 4, 0], fails);
+        assert_eq!(min, vec![2, 0, 3]);
+        assert!(fails(&min));
+        // Already-minimal input is a fixpoint.
+        assert_eq!(shrink(&min, fails), min);
+    }
+
+    #[test]
+    fn shrink_of_all_noise_is_empty() {
+        let min = shrink(&[1, 2, 3], |_| true);
+        assert_eq!(min, Vec::<u32>::new());
+    }
+}

@@ -1,0 +1,35 @@
+//! # acorr-sched — controllable-schedule exploration
+//!
+//! The DSM engine is deterministic, but several of its scheduling choices
+//! are policy rather than causality: which ready thread a node dispatches,
+//! which queued waiter receives a released lock. This crate turns those
+//! decision points (exposed by `acorr-dsm`'s
+//! [`SchedulePolicy`](acorr_dsm::SchedulePolicy) hook) into a searchable
+//! schedule space:
+//!
+//! * [`schedule`] — [`Schedule`]: a decision prefix plus a tail policy
+//!   (engine default or seeded random), with a replay-token grammar
+//!   (`s1`, `s1:1.0.2`) so any failing schedule can be reproduced
+//!   byte-for-byte from a printed string.
+//! * [`driver`] — [`ScheduleDriver`]: the policy implementation that feeds
+//!   a schedule's choices into the engine while recording every consulted
+//!   decision point into a shared [`DecisionLog`].
+//! * [`explore`] — [`Explorer`]: seeded random exploration and a
+//!   preemption-bounded systematic mode (breadth-first enumeration of
+//!   single-point deviations from observed runs), plus [`shrink`]:
+//!   reducing a failing decision prefix to a minimal counterexample.
+//!
+//! The crate knows nothing about *what* failure means — callers run each
+//! yielded schedule, decide pass/fail (races, divergences, oracle
+//! violations), and hand observed decision logs back to the explorer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod explore;
+pub mod schedule;
+
+pub use driver::{DecisionLog, ScheduleDriver};
+pub use explore::{shrink, ExploreMode, Explorer};
+pub use schedule::{Schedule, ScheduleParseError, Tail};

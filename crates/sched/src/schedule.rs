@@ -1,0 +1,217 @@
+//! Schedules and the replay-token grammar.
+//!
+//! A [`Schedule`] prescribes the engine's choices at its steerable decision
+//! points: an explicit finite *prefix*, then a [`Tail`] policy for every
+//! point past it. Replay tokens serialize default-tail schedules:
+//!
+//! ```text
+//! token   := "s1" [ ":" choices ]
+//! choices := u32 ( "." u32 )*
+//! ```
+//!
+//! `s1` is the default schedule (all-FIFO, bit-identical to the unsteered
+//! engine); `s1:1.0.2` prescribes choices 1, 0, 2 at the first three
+//! decision points and FIFO after. The `s1` version marker ties a token to
+//! this decision-point model — a future engine with different decision
+//! points would bump it rather than silently replay garbage.
+//!
+//! Random-tail schedules have no token: a failing random run is first
+//! *concretized* (its recorded decision log replayed as an explicit
+//! prefix), and the concrete schedule — which has a token — is what gets
+//! shrunk and reported.
+
+use acorr_sim::{DecisionQueue, DetRng};
+use std::fmt;
+
+/// Policy for decision points past the explicit prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tail {
+    /// The engine default (choice 0, FIFO) everywhere.
+    Default,
+    /// Uniformly random choices drawn from a [`DetRng`] stream.
+    Random {
+        /// Seed of the tail's generator.
+        seed: u64,
+    },
+}
+
+/// A prescription of engine scheduling choices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Explicit choices for the first decision points.
+    pub prefix: Vec<u32>,
+    /// Policy past the prefix.
+    pub tail: Tail,
+}
+
+/// A replay token that failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleParseError {
+    /// The token did not start with the `s1` version marker.
+    BadVersion(String),
+    /// A choice was not a decimal `u32`.
+    BadChoice(String),
+}
+
+impl fmt::Display for ScheduleParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleParseError::BadVersion(t) => {
+                write!(f, "schedule token {t:?} does not start with \"s1\"")
+            }
+            ScheduleParseError::BadChoice(c) => {
+                write!(f, "schedule token choice {c:?} is not a u32")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleParseError {}
+
+impl Schedule {
+    /// The default schedule: no prefix, FIFO tail. Steering with it is
+    /// bit-identical to not steering at all.
+    pub fn default_order() -> Self {
+        Schedule {
+            prefix: Vec::new(),
+            tail: Tail::Default,
+        }
+    }
+
+    /// An explicit-prefix schedule with a FIFO tail (the replayable kind).
+    pub fn prescribed(prefix: Vec<u32>) -> Self {
+        Schedule {
+            prefix,
+            tail: Tail::Default,
+        }
+    }
+
+    /// A seeded random schedule: every decision drawn uniformly from a
+    /// deterministic stream.
+    pub fn random(seed: u64) -> Self {
+        Schedule {
+            prefix: Vec::new(),
+            tail: Tail::Random { seed },
+        }
+    }
+
+    /// Builds the decision queue realizing this schedule.
+    pub fn queue(&self) -> DecisionQueue {
+        let tail = match self.tail {
+            Tail::Default => None,
+            Tail::Random { seed } => Some(DetRng::new(seed)),
+        };
+        DecisionQueue::new(self.prefix.clone(), tail)
+    }
+
+    /// Whether every prescribed choice is the engine default.
+    pub fn is_default(&self) -> bool {
+        self.tail == Tail::Default && self.prefix.iter().all(|&c| c == 0)
+    }
+
+    /// The replay token.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a random-tail schedule — concretize it first (replay it,
+    /// record the decision log, and tokenize the concrete prefix).
+    pub fn token(&self) -> String {
+        assert_eq!(
+            self.tail,
+            Tail::Default,
+            "random-tail schedules must be concretized before tokenizing"
+        );
+        if self.prefix.is_empty() {
+            return "s1".to_string();
+        }
+        let choices: Vec<String> = self.prefix.iter().map(u32::to_string).collect();
+        format!("s1:{}", choices.join("."))
+    }
+
+    /// Parses a replay token produced by [`Schedule::token`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleParseError`] on a missing version marker or a
+    /// malformed choice.
+    pub fn parse_token(token: &str) -> Result<Self, ScheduleParseError> {
+        let rest = token
+            .strip_prefix("s1")
+            .ok_or_else(|| ScheduleParseError::BadVersion(token.to_string()))?;
+        if rest.is_empty() {
+            return Ok(Schedule::default_order());
+        }
+        let choices = rest
+            .strip_prefix(':')
+            .ok_or_else(|| ScheduleParseError::BadVersion(token.to_string()))?;
+        let prefix = choices
+            .split('.')
+            .map(|c| {
+                c.parse::<u32>()
+                    .map_err(|_| ScheduleParseError::BadChoice(c.to_string()))
+            })
+            .collect::<Result<Vec<u32>, _>>()?;
+        Ok(Schedule::prescribed(prefix))
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.tail {
+            Tail::Default => write!(f, "{}", self.token()),
+            Tail::Random { seed } => write!(f, "random(seed={seed})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_round_trips() {
+        for s in [
+            Schedule::default_order(),
+            Schedule::prescribed(vec![1]),
+            Schedule::prescribed(vec![0, 3, 2, 0]),
+        ] {
+            assert_eq!(Schedule::parse_token(&s.token()).unwrap(), s);
+        }
+        assert_eq!(Schedule::default_order().token(), "s1");
+        assert_eq!(Schedule::prescribed(vec![1, 0, 2]).token(), "s1:1.0.2");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_tokens() {
+        for bad in ["", "s2", "s1;1", "s1:", "s1:1..2", "s1:x", "s1:-1"] {
+            assert!(Schedule::parse_token(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn default_detection() {
+        assert!(Schedule::default_order().is_default());
+        assert!(Schedule::prescribed(vec![0, 0]).is_default());
+        assert!(!Schedule::prescribed(vec![0, 1]).is_default());
+        assert!(!Schedule::random(7).is_default());
+    }
+
+    #[test]
+    fn queue_realizes_prefix_and_tail() {
+        let mut q = Schedule::prescribed(vec![2, 1]).queue();
+        assert_eq!(q.next(3), 2);
+        assert_eq!(q.next(3), 1);
+        assert_eq!(q.next(3), 0);
+        let mut a = Schedule::random(9).queue();
+        let mut b = Schedule::random(9).queue();
+        for _ in 0..16 {
+            assert_eq!(a.next(5), b.next(5));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "concretized")]
+    fn random_schedules_have_no_token() {
+        let _ = Schedule::random(1).token();
+    }
+}

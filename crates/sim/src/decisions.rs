@@ -1,0 +1,119 @@
+//! Decision-point queues for controllable scheduling.
+//!
+//! A deterministic engine occasionally reaches a point where several
+//! outcomes are all legal — which ready thread to dispatch next, which
+//! queued waiter receives a released lock. The engine's built-in policy is
+//! always choice `0` (FIFO); a schedule explorer instead *prescribes* the
+//! choices up front. A [`DecisionQueue`] holds that prescription: a finite
+//! prefix of explicit choices, then a tail policy (the default choice `0`,
+//! or a forked [`DetRng`] stream for seeded random exploration).
+//!
+//! The queue is a pure chooser — it holds no log. Recording what was chosen
+//! (so a failing random run can be replayed and shrunk) is the caller's
+//! job; [`DecisionRecord`] is the agreed unit of that log.
+//!
+//! ```
+//! use acorr_sim::{DecisionQueue, DetRng};
+//!
+//! let mut q = DecisionQueue::new(vec![2, 0], None);
+//! assert_eq!(q.next(3), 2); // prescribed
+//! assert_eq!(q.next(3), 0); // prescribed
+//! assert_eq!(q.next(3), 0); // past the prefix: default
+//!
+//! let mut r = DecisionQueue::new(vec![], Some(DetRng::new(7)));
+//! assert!(r.next(4) < 4); // past the prefix: seeded random
+//! ```
+
+use crate::rng::DetRng;
+use std::collections::VecDeque;
+
+/// One consulted decision point: how many alternatives were available and
+/// which was taken. A sequence of records *is* a schedule — replaying the
+/// `chosen` column through a fresh [`DecisionQueue`] reproduces the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecisionRecord {
+    /// Number of legal alternatives at this point (always ≥ 2; points with
+    /// a single option are never consulted).
+    pub alternatives: u32,
+    /// Index chosen, in `0..alternatives`; `0` is the engine's default.
+    pub chosen: u32,
+}
+
+/// A prescription of scheduling choices: explicit prefix, then a tail.
+#[derive(Debug, Clone)]
+pub struct DecisionQueue {
+    prefix: VecDeque<u32>,
+    tail: Option<DetRng>,
+}
+
+impl DecisionQueue {
+    /// Creates a queue that yields `prefix` first, then falls back to the
+    /// default choice `0` — or, when `tail_rng` is given, to uniformly
+    /// random choices drawn from that stream.
+    pub fn new(prefix: Vec<u32>, tail_rng: Option<DetRng>) -> Self {
+        DecisionQueue {
+            prefix: prefix.into(),
+            tail: tail_rng,
+        }
+    }
+
+    /// Returns the next choice among `alternatives` options. Prescribed
+    /// choices beyond the range are clamped to the last alternative, so a
+    /// stale prefix (replayed against a slightly different run) degrades
+    /// gracefully instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alternatives` is zero — a decision point with no options
+    /// is a caller bug.
+    pub fn next(&mut self, alternatives: usize) -> usize {
+        assert!(alternatives > 0, "decision point with no alternatives");
+        match self.prefix.pop_front() {
+            Some(c) => (c as usize).min(alternatives - 1),
+            None => match &mut self.tail {
+                Some(rng) => rng.index(alternatives),
+                None => 0,
+            },
+        }
+    }
+
+    /// Prescribed choices not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.prefix.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_then_default_tail() {
+        let mut q = DecisionQueue::new(vec![1, 3, 0], None);
+        assert_eq!(q.remaining(), 3);
+        assert_eq!(q.next(2), 1);
+        assert_eq!(q.next(2), 1); // 3 clamped to alternatives-1
+        assert_eq!(q.next(5), 0);
+        assert_eq!(q.remaining(), 0);
+        for n in 1..5 {
+            assert_eq!(q.next(n), 0, "default tail is always 0");
+        }
+    }
+
+    #[test]
+    fn random_tail_is_deterministic_per_seed() {
+        let draw = |seed| {
+            let mut q = DecisionQueue::new(vec![], Some(DetRng::new(seed)));
+            (0..32).map(|_| q.next(7)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+        assert!(draw(9).iter().all(|&c| c < 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "no alternatives")]
+    fn zero_alternatives_panics() {
+        DecisionQueue::new(vec![], None).next(0);
+    }
+}

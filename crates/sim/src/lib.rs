@@ -7,6 +7,8 @@
 //!   the simulator never consults a wall clock.
 //! * [`rng`] — a seedable, fork-able xoshiro256** generator ([`DetRng`]) so a
 //!   run is a pure function of its seed.
+//! * [`decisions`] — decision-point queues ([`DecisionQueue`]) prescribing
+//!   scheduler choices for controllable-schedule exploration.
 //! * [`pool`] — deterministic scoped-thread parallelism
 //!   ([`par_map_indexed`]): seeds forked up-front, results collected in
 //!   index order, bit-identical to sequential execution at any worker count.
@@ -45,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod decisions;
 pub mod faults;
 pub mod network;
 pub mod pool;
@@ -54,6 +57,7 @@ pub mod time;
 pub mod topology;
 
 pub use cost::CostModel;
+pub use decisions::{DecisionQueue, DecisionRecord};
 pub use faults::{Delivery, FaultInjector, FaultPlan, FaultSpecError};
 pub use network::{MessageKind, NetStats, NetworkModel};
 pub use pool::{available_threads, par_map_indexed, par_map_range, resolve_threads};

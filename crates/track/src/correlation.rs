@@ -125,6 +125,21 @@ impl CorrelationMatrix {
         self.vals[b * self.n + a] = v;
     }
 
+    /// Accumulates another tracked round into this matrix (elementwise
+    /// sum, diagonal included). Partial rounds — per-node shards, or a
+    /// re-track split across barrier intervals — therefore combine in any
+    /// order: merging is commutative and associative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrices cover different thread counts.
+    pub fn merge(&mut self, other: &CorrelationMatrix) {
+        assert_eq!(self.n, other.n, "matrices must cover the same threads");
+        for (v, o) in self.vals.iter_mut().zip(&other.vals) {
+            *v += o;
+        }
+    }
+
     /// The largest off-diagonal correlation (used to scale map shading).
     pub fn max_off_diagonal(&self) -> u64 {
         let mut max = 0;
@@ -236,6 +251,20 @@ mod tests {
     #[should_panic(expected = "n x n")]
     fn from_raw_rejects_bad_shape() {
         CorrelationMatrix::from_raw(2, vec![0, 5, 5]);
+    }
+
+    #[test]
+    fn merge_accumulates_rounds() {
+        let mut a = CorrelationMatrix::from_raw(2, vec![1, 2, 2, 3]);
+        let b = CorrelationMatrix::from_raw(2, vec![10, 0, 0, 5]);
+        a.merge(&b);
+        assert_eq!(a, CorrelationMatrix::from_raw(2, vec![11, 2, 2, 8]));
+    }
+
+    #[test]
+    #[should_panic(expected = "same threads")]
+    fn merge_shape_mismatch_panics() {
+        CorrelationMatrix::zeros(2).merge(&CorrelationMatrix::zeros(3));
     }
 
     #[test]

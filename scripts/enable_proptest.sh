@@ -3,14 +3,20 @@
 # deliberately omits (see the workspace Cargo.toml). Needs a networked
 # machine to fetch the crate afterwards. Then run:
 #
-#   cargo test -p acorr-dsm --features proptest --test proptest_engine
+#   ACORR_PROPTEST=1 sh scripts/verify.sh
+#
+# or test one crate directly:
+#
+#   cargo test -p acorr-track --features proptest --test properties
 set -eu
 
 cd "$(dirname "$0")/.."
 
 sed -i 's/^# proptest = "1"$/proptest = "1"/' Cargo.toml
-sed -i 's/^# \[dev-dependencies\]$/[dev-dependencies]/' crates/dsm/Cargo.toml
-sed -i 's/^# proptest = { workspace = true }$/proptest = { workspace = true }/' \
-    crates/dsm/Cargo.toml
+for crate in sim mem dsm place track; do
+    sed -i 's/^# \[dev-dependencies\]$/[dev-dependencies]/' "crates/$crate/Cargo.toml"
+    sed -i 's/^# proptest = { workspace = true }$/proptest = { workspace = true }/' \
+        "crates/$crate/Cargo.toml"
+done
 
-echo "proptest restored; run: cargo test -p acorr-dsm --features proptest"
+echo "proptest restored; run: ACORR_PROPTEST=1 sh scripts/verify.sh"

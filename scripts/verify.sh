@@ -19,6 +19,13 @@ cargo build --release --workspace
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> examples build and run"
+for src in examples/*.rs; do
+    name="$(basename "$src" .rs)"
+    echo "    --example $name"
+    cargo run --release --example "$name" -q >/dev/null
+done
+
 echo "==> observability smoke (run --obs-dir + manifest replay)"
 obs_dir="$(mktemp -d)"
 ./target/release/acorr run --app SOR --threads 8 --nodes 2 \
@@ -30,8 +37,10 @@ rm -rf "$obs_dir"
 # Opt-in property tests: needs a networked machine and the proptest
 # dev-dependency restored first (scripts/enable_proptest.sh).
 if [ "${ACORR_PROPTEST:-0}" = "1" ]; then
-    echo "==> cargo test -p acorr-dsm --features proptest -q (property tests)"
-    cargo test -p acorr-dsm --features proptest -q
+    for crate in acorr-sim acorr-mem acorr-dsm acorr-place acorr-track; do
+        echo "==> cargo test -p $crate --features proptest -q (property tests)"
+        cargo test -p "$crate" --features proptest -q
+    done
 fi
 
 echo "==> OK"

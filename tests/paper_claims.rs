@@ -159,7 +159,8 @@ fn suite_runs_clean_at_reduced_scale() {
 
 // ---------------------------------------------------------------------
 // Golden regressions: byte-exact snapshots of the count columns behind
-// Tables 1, 2, and 5 at paper scale (64 threads on 8 nodes). The engine
+// every paper table and figure (Tables 1-6, Figures 1-3) at paper scale
+// (64 threads on 8 nodes unless the exhibit says otherwise). The engine
 // is deterministic, so these catch any unintended protocol drift.
 //
 // Regenerate after an *intentional* behaviour change with:
@@ -239,4 +240,127 @@ fn golden_table5_fault_counts() {
         ));
     }
     assert_golden("table5.txt", &out);
+}
+
+#[test]
+fn golden_table3_correlation_totals() {
+    // Table 3 renders correlation maps at 32/48/64 threads; the count
+    // columns behind each map are the total and peak pairwise correlation.
+    let mut out = String::from("app,threads,total_correlation,max_off_diagonal\n");
+    for name in apps::SUITE_NAMES {
+        for threads in [32, 48, 64] {
+            let truth = Workbench::new(8, threads)
+                .unwrap()
+                .ground_truth(|| apps::by_name(name, threads).unwrap())
+                .unwrap();
+            out.push_str(&format!(
+                "{name},{threads},{},{}\n",
+                truth.corr.total_correlation(),
+                truth.corr.max_off_diagonal()
+            ));
+        }
+    }
+    assert_golden("table3.txt", &out);
+}
+
+#[test]
+fn golden_table4_fft_input_sets() {
+    // Table 4: 64-thread FFT maps across the three input sets. The input
+    // set reshapes the thread clusters, which these totals pin down.
+    let mut out = String::from("app,total_correlation,max_off_diagonal\n");
+    for name in ["FFT6", "FFT7", "FFT8"] {
+        let truth = Workbench::new(8, 64)
+            .unwrap()
+            .ground_truth(|| apps::by_name(name, 64).unwrap())
+            .unwrap();
+        out.push_str(&format!(
+            "{name},{},{}\n",
+            truth.corr.total_correlation(),
+            truth.corr.max_off_diagonal()
+        ));
+    }
+    assert_golden("table4.txt", &out);
+}
+
+#[test]
+fn golden_table6_heuristic_counts() {
+    // Table 6 compares full runs under each placement; the count columns
+    // are remote misses and the placement's cut cost.
+    use active_correlation_tracking::place::Strategy;
+    let mut out = String::from("app,strategy,remote_misses,cut_cost\n");
+    for name in ["SOR", "Water"] {
+        let rows = Workbench::new(8, 64)
+            .unwrap()
+            .heuristic_comparison(
+                || apps::by_name(name, 64).unwrap(),
+                &[
+                    Strategy::MinCost,
+                    Strategy::Stretch,
+                    Strategy::RandomBalanced,
+                ],
+                2,
+            )
+            .unwrap();
+        for row in rows {
+            out.push_str(&format!(
+                "{name},{},{},{}\n",
+                row.strategy, row.remote_misses, row.cut_cost
+            ));
+        }
+    }
+    assert_golden("table6.txt", &out);
+}
+
+#[test]
+fn golden_fig1_scatter() {
+    // Figure 1 is the cut-cost vs remote-miss scatter; Barnes complements
+    // the SOR/Water samples already pinned by table2.txt.
+    let study = Workbench::new(8, 64)
+        .unwrap()
+        .with_threads(4)
+        .cutcost_study(|| apps::by_name("Barnes", 64).unwrap(), 6, 1)
+        .unwrap();
+    assert_golden("fig1.txt", &study.to_csv());
+}
+
+#[test]
+fn golden_fig2_passive_rounds() {
+    // Figure 2: passive-tracking completeness and migration churn per
+    // round. Completeness is snapshotted in permille so the file stays
+    // integer-only.
+    let study = Workbench::new(4, 16)
+        .unwrap()
+        .passive_study(|| apps::by_name("Water", 16).unwrap(), 6)
+        .unwrap();
+    let mut out = String::from("round,completeness_permille,moves\n");
+    for (i, (c, m)) in study.completeness.iter().zip(&study.moves).enumerate() {
+        out.push_str(&format!("{i},{},{m}\n", (c * 1000.0).round() as u64));
+    }
+    assert_golden("fig2.txt", &out);
+}
+
+#[test]
+fn golden_fig3_cutcost_by_nodes() {
+    // Figure 3: 32-thread FFT maps on 4 nodes, 8 nodes, and a randomized
+    // 4-node placement; the caption's claim is the cut-cost ordering.
+    use active_correlation_tracking::place::{min_cost, place, Strategy};
+    use active_correlation_tracking::sim::{ClusterConfig, DetRng};
+    let truth = Workbench::new(4, 32)
+        .unwrap()
+        .ground_truth(|| apps::by_name("FFT6", 32).unwrap())
+        .unwrap();
+    let mut out = String::from("config,cut_cost\n");
+    for nodes in [4usize, 8] {
+        let cluster = ClusterConfig::new(nodes, 32).unwrap();
+        let cut = cut_cost(&truth.corr, &min_cost(&truth.corr, &cluster));
+        out.push_str(&format!("min-cost-{nodes}-nodes,{cut}\n"));
+    }
+    let cluster = ClusterConfig::new(4, 32).unwrap();
+    let mut rng = DetRng::new(7);
+    let random = place(Strategy::RandomBalanced, &truth.corr, &cluster, &mut rng);
+    out.push_str(&format!(
+        "randomized-4-nodes,{}\n",
+        cut_cost(&truth.corr, &random)
+    ));
+    assert_golden("fig3.txt", &out);
 }
