@@ -75,9 +75,11 @@ fn main() {
                 .map(move |(label, plan)| (app, label.clone(), plan.clone()))
         })
         .collect();
+    // One base workbench serves every cell; only the fault plan differs.
+    let bench = Workbench::new(nodes, threads).expect("cluster");
     let runs: Vec<ConformanceRun> = par_map_indexed(jobs, cells.clone(), |_, (app, _, plan)| {
-        Workbench::new(nodes, threads)
-            .expect("cluster")
+        bench
+            .clone()
             .with_faults(plan)
             .conformance_run(apps::by_name(app, threads).expect("known app"), iters)
             .expect("oracle-clean run")

@@ -36,13 +36,15 @@ fn main() {
     let mut csv = String::from("app,round,completeness,moves\n");
 
     let per_app = (threads / FIGURE2_APPS.len()).max(1);
+    // One workbench serves every row — it is plain configuration data.
+    let bench = Workbench::new(8, 64)
+        .expect("8x64 cluster")
+        .with_threads(per_app);
     let studies = par_map_indexed(
         threads.min(FIGURE2_APPS.len()),
         FIGURE2_APPS.to_vec(),
         |_, name| {
-            Workbench::new(8, 64)
-                .expect("8x64 cluster")
-                .with_threads(per_app)
+            bench
                 .passive_study(|| apps::by_name(name, 64).expect("known app"), rounds)
                 .expect("passive study")
         },

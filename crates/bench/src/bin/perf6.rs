@@ -1,0 +1,489 @@
+//! Tracked perf trajectory for the engine hot paths (`BENCH_pr6.json`).
+//!
+//! Measures two things per acceptance bin (`chaos`, `explore`), both at the
+//! acceptance configuration of 64 threads on 8 nodes:
+//!
+//! 1. **Hot loop** — the per-interval dirty-tracking cycle (insert write
+//!    spans, size the diff, count fragments, clear) replayed over the write
+//!    streams the bin's applications actually generate. The *reference* is
+//!    the byte-wise representation the engine used before this PR (one
+//!    `bool` per byte, byte-stepped scans); the *optimized* path is the
+//!    `u64`-chunked [`DirtyMask`](acorr::mem::DirtyMask) the engine uses
+//!    now. Outputs are asserted identical before either is timed.
+//! 2. **Wall clock** — an end-to-end representative run of the bin (one
+//!    oracle-shadowed chaos cell, one schedule exploration) so the
+//!    trajectory catches regressions outside the hot loop too.
+//!
+//! Writes `results/BENCH_pr6.json` (schema `acorr-bench/v1`, see
+//! EXPERIMENTS.md). With `--baseline FILE` it additionally compares the
+//! fresh measurement against the committed baseline and exits non-zero when
+//! the hot-loop speedup drops below the 5x floor or regresses by more than
+//! 10% relative to the baseline's machine-relative ratio —
+//! `scripts/check_perf.sh` is a thin wrapper around this mode.
+//!
+//! Usage: `perf6 [--reps R] [--baseline FILE]` (default: 5 measured reps).
+
+use acorr::apps;
+use acorr::dsm::{Op, Program};
+use acorr::experiment::Workbench;
+use acorr::explore::ExploreOptions;
+use acorr::mem::{span_pages, DirtyMask, PAGE_SIZE};
+use acorr::sched::ExploreMode;
+use acorr::sim::FaultPlan;
+use acorr_bench::{arg_str, arg_usize, best_of, try_write_artifact, Table};
+
+const NODES: usize = 8;
+const THREADS: usize = 64;
+/// Hot-loop speedup floor the gate enforces.
+const SPEEDUP_FLOOR: f64 = 5.0;
+/// Allowed relative slack vs the baseline's speedup ratio.
+const REGRESSION_SLACK: f64 = 0.10;
+
+/// One step of a bin's dirty-tracking replay: a write span landing on a
+/// page, or a barrier closing the interval (size diffs, clear masks).
+#[derive(Clone, Copy)]
+enum Step {
+    Span { page: u32, start: u16, end: u16 },
+    Flush,
+}
+
+/// Extracts the dirty-tracking work an application generates: every write
+/// span of every thread's script, page-split, with a flush per barrier.
+/// `iters` repeats the script (LU's phases differ per iteration).
+fn steps_of(program: &dyn Program, iters: usize) -> Vec<Step> {
+    let mut steps = Vec::new();
+    for iter in 0..iters {
+        for t in 0..program.num_threads() {
+            for op in program.script(t, iter) {
+                match op {
+                    Op::Write { addr, len } => {
+                        for span in span_pages(addr, len) {
+                            steps.push(Step::Span {
+                                page: span.page.0,
+                                start: span.start,
+                                end: span.end,
+                            });
+                        }
+                    }
+                    Op::Barrier => steps.push(Step::Flush),
+                    _ => {}
+                }
+            }
+        }
+        steps.push(Step::Flush);
+    }
+    steps
+}
+
+/// Replays the steps through the byte-wise reference representation: one
+/// `bool` per byte, inserts and interval scans all step byte-at-a-time —
+/// the shape of the pre-PR twin/diff comparison. Returns a checksum over
+/// every interval's (dirty length, fragment count).
+fn replay_bytewise(steps: &[Step], num_pages: usize) -> u64 {
+    let mut masks: Vec<Vec<bool>> = vec![vec![false; PAGE_SIZE]; num_pages];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut sum: u64 = 0;
+    for step in steps {
+        match *step {
+            Step::Span { page, start, end } => {
+                let mask = &mut masks[page as usize];
+                if !mask.iter().any(|&b| b) {
+                    touched.push(page);
+                }
+                for b in &mut mask[start as usize..end as usize] {
+                    *b = true;
+                }
+            }
+            Step::Flush => {
+                for &page in &touched {
+                    let mask = &mut masks[page as usize];
+                    let mut len = 0u64;
+                    let mut fragments = 0u64;
+                    let mut prev = false;
+                    for &b in mask.iter() {
+                        len += b as u64;
+                        fragments += (b && !prev) as u64;
+                        prev = b;
+                    }
+                    sum = sum
+                        .wrapping_mul(0x100000001b3)
+                        .wrapping_add(len)
+                        .wrapping_mul(0x100000001b3)
+                        .wrapping_add(fragments);
+                    mask.fill(false);
+                }
+                touched.clear();
+            }
+        }
+    }
+    sum
+}
+
+/// Replays the same steps through the word-chunked [`DirtyMask`]: inserts
+/// are masked `u64` ORs, interval scans are popcounts and rising-edge
+/// counts over 64 words, clears are word fills.
+fn replay_mask(steps: &[Step], num_pages: usize) -> u64 {
+    let mut masks: Vec<DirtyMask> = vec![DirtyMask::new(); num_pages];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut sum: u64 = 0;
+    for step in steps {
+        match *step {
+            Step::Span { page, start, end } => {
+                let mask = &mut masks[page as usize];
+                if mask.is_empty() {
+                    touched.push(page);
+                }
+                mask.insert(start, end);
+            }
+            Step::Flush => {
+                for &page in &touched {
+                    let mask = &mut masks[page as usize];
+                    sum = sum
+                        .wrapping_mul(0x100000001b3)
+                        .wrapping_add(mask.total_len())
+                        .wrapping_mul(0x100000001b3)
+                        .wrapping_add(mask.fragment_count() as u64);
+                    mask.clear();
+                }
+                touched.clear();
+            }
+        }
+    }
+    sum
+}
+
+/// One bin's measurements.
+#[derive(Clone)]
+struct BinResult {
+    name: &'static str,
+    wall_ms: f64,
+    reference_ms: f64,
+    optimized_ms: f64,
+}
+
+impl BinResult {
+    fn speedup(&self) -> f64 {
+        self.reference_ms / self.optimized_ms.max(1e-9)
+    }
+}
+
+/// Times one bin: the hot-loop replay over `apps_of` write streams and the
+/// end-to-end `wall` closure.
+fn measure_bin(
+    name: &'static str,
+    reps: usize,
+    step_sets: &[(Vec<Step>, usize)],
+    wall: impl FnMut(),
+) -> BinResult {
+    for (steps, num_pages) in step_sets {
+        assert_eq!(
+            replay_bytewise(steps, *num_pages),
+            replay_mask(steps, *num_pages),
+            "{name}: representations disagree on the diff stream"
+        );
+    }
+    let reference = best_of(reps, || {
+        for (steps, num_pages) in step_sets {
+            std::hint::black_box(replay_bytewise(steps, *num_pages));
+        }
+    });
+    let optimized = best_of(reps, || {
+        for (steps, num_pages) in step_sets {
+            std::hint::black_box(replay_mask(steps, *num_pages));
+        }
+    });
+    let wall = best_of(reps.clamp(1, 2), wall);
+    BinResult {
+        name,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        reference_ms: reference.as_secs_f64() * 1e3,
+        optimized_ms: optimized.as_secs_f64() * 1e3,
+    }
+}
+
+/// `git describe --always --dirty`, or `unknown` outside a checkout.
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn render_json(git: &str, reps: usize, bins: &[BinResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"acorr-bench/v1\",\n");
+    out.push_str("  \"bin\": \"perf6\",\n");
+    out.push_str(&format!("  \"git\": \"{git}\",\n"));
+    out.push_str(&format!("  \"reps\": {reps},\n"));
+    out.push_str(&format!(
+        "  \"cluster\": {{ \"nodes\": {NODES}, \"threads\": {THREADS} }},\n"
+    ));
+    out.push_str("  \"bins\": {\n");
+    for (i, bin) in bins.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{ \"wall_ms\": {:.3}, \"hot_loop\": {{ \
+             \"reference_ms\": {:.3}, \"optimized_ms\": {:.3}, \
+             \"speedup\": {:.2} }} }}{}\n",
+            bin.name,
+            bin.wall_ms,
+            bin.reference_ms,
+            bin.optimized_ms,
+            bin.speedup(),
+            if i + 1 < bins.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Pulls `"key": <number>` out of `json`, scoped to the section following
+/// `"<bin>"`. Tiny by design: the schema is authored by this binary.
+fn extract_f64(json: &str, bin: &str, key: &str) -> Option<f64> {
+    let section = json.split(&format!("\"{bin}\"")).nth(1)?;
+    let after = section.split(&format!("\"{key}\":")).nth(1)?;
+    let num: String = after
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// Compares the fresh bins against a baseline JSON. Returns the failures.
+fn gate(baseline: &str, bins: &[BinResult]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for bin in bins {
+        let fresh = bin.speedup();
+        if fresh < SPEEDUP_FLOOR {
+            failures.push(format!(
+                "{}: hot-loop speedup {fresh:.2}x below the {SPEEDUP_FLOOR:.0}x floor",
+                bin.name
+            ));
+        }
+        match extract_f64(baseline, bin.name, "speedup") {
+            Some(base) => {
+                let allowed = base * (1.0 - REGRESSION_SLACK);
+                if fresh < allowed {
+                    failures.push(format!(
+                        "{}: hot-loop speedup {fresh:.2}x regressed more than {:.0}% \
+                         vs the baseline's {base:.2}x (floor {allowed:.2}x)",
+                        bin.name,
+                        REGRESSION_SLACK * 100.0
+                    ));
+                }
+            }
+            None => failures.push(format!(
+                "{}: baseline JSON has no hot-loop speedup for this bin",
+                bin.name
+            )),
+        }
+    }
+    failures
+}
+
+fn main() {
+    let reps = arg_usize("--reps", 5).max(1);
+    let baseline_path = arg_str("--baseline", "");
+    println!(
+        "perf6: engine hot-path trajectory ({THREADS} threads x {NODES} nodes, \
+         best of {reps} reps)\n"
+    );
+
+    // Chaos bin: every suite application's write streams (the diff churn an
+    // oracle-shadowed chaos cell drives), plus one representative
+    // fault-injected conformance run end to end.
+    let chaos_steps: Vec<(Vec<Step>, usize)> = apps::SUITE_NAMES
+        .iter()
+        .map(|&name| {
+            let program = apps::by_name(name, THREADS).expect("known app");
+            let num_pages = acorr::mem::pages_for(program.shared_bytes()) as usize;
+            (steps_of(program.as_ref(), 2), num_pages)
+        })
+        .collect();
+    let chaos_plan = FaultPlan::parse("moderate,seed=7").expect("preset parses");
+    let chaos = measure_bin("chaos", reps, &chaos_steps, || {
+        let run = Workbench::new(NODES, THREADS)
+            .expect("cluster")
+            .with_faults(chaos_plan.clone())
+            .conformance_run(apps::by_name("Water", THREADS).expect("known app"), 1)
+            .expect("oracle-clean run");
+        assert_eq!(run.report.violations, 0);
+    });
+
+    // Explore bin: the write streams of the canonical exploration target,
+    // plus a budget-2 exploration (default schedule + one steered) end to
+    // end with all checkers attached.
+    let sor = apps::by_name("SOR", THREADS).expect("known app");
+    let explore_steps = vec![(
+        steps_of(sor.as_ref(), 4),
+        acorr::mem::pages_for(sor.shared_bytes()) as usize,
+    )];
+    let explore_options = ExploreOptions {
+        budget: 2,
+        iterations: 1,
+        mode: ExploreMode::Random { seed: 5 },
+        ..ExploreOptions::default()
+    };
+    let explore = measure_bin("explore", reps, &explore_steps, || {
+        let report = Workbench::new(NODES, THREADS)
+            .expect("cluster")
+            .explore_run(
+                || apps::by_name("SOR", THREADS).expect("known app"),
+                &explore_options,
+            )
+            .expect("exploration runs");
+        assert!(report.failure.is_none(), "SOR explores clean");
+    });
+
+    let bins = [chaos, explore];
+    let mut table = Table::new(&[
+        "Bin",
+        "Wall (ms)",
+        "Hot loop ref (ms)",
+        "Hot loop opt (ms)",
+        "Speedup",
+    ]);
+    for bin in &bins {
+        table.row(&[
+            bin.name.to_string(),
+            format!("{:.1}", bin.wall_ms),
+            format!("{:.3}", bin.reference_ms),
+            format!("{:.3}", bin.optimized_ms),
+            format!("{:.2}x", bin.speedup()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let json = render_json(&git_describe(), reps, &bins);
+    if let Err(e) = try_write_artifact("BENCH_pr6.json", &json) {
+        // A read-only checkout still prints the JSON; only the gate mode
+        // needs the baseline file, and that is an input, not this output.
+        eprintln!("warning: could not persist the artifact: {e}");
+        println!("{json}");
+    }
+
+    if !baseline_path.is_empty() {
+        let baseline = match std::fs::read_to_string(&baseline_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{}", acorr::dsm::DsmError::io(&baseline_path, &e));
+                std::process::exit(2);
+            }
+        };
+        let failures = gate(&baseline, &bins);
+        if failures.is_empty() {
+            println!(
+                "perf gate OK: every bin holds >={SPEEDUP_FLOOR:.0}x and is within \
+                 {:.0}% of the baseline ratio ({baseline_path})",
+                REGRESSION_SLACK * 100.0
+            );
+        } else {
+            for f in &failures {
+                eprintln!("perf gate FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(page: u32, start: u16, end: u16) -> Step {
+        Step::Span { page, start, end }
+    }
+
+    #[test]
+    fn replays_agree_on_adversarial_streams() {
+        let steps = vec![
+            span(0, 0, 1),
+            span(0, 4095, 4096),
+            span(1, 63, 65),
+            span(1, 100, 100),
+            Step::Flush,
+            span(0, 0, 4096),
+            Step::Flush,
+            span(2, 4090, 4096),
+            span(2, 4000, 4090),
+            Step::Flush,
+        ];
+        assert_eq!(replay_bytewise(&steps, 3), replay_mask(&steps, 3));
+    }
+
+    #[test]
+    fn replays_agree_on_a_real_suite_app() {
+        let program = apps::by_name("Water", 8).expect("known app");
+        let pages = acorr::mem::pages_for(program.shared_bytes()) as usize;
+        let steps = steps_of(program.as_ref(), 2);
+        assert!(!steps.is_empty());
+        assert_eq!(replay_bytewise(&steps, pages), replay_mask(&steps, pages));
+    }
+
+    #[test]
+    fn json_round_trips_through_the_extractor() {
+        let bins = [
+            BinResult {
+                name: "chaos",
+                wall_ms: 1234.5,
+                reference_ms: 100.0,
+                optimized_ms: 4.0,
+            },
+            BinResult {
+                name: "explore",
+                wall_ms: 42.0,
+                reference_ms: 80.0,
+                optimized_ms: 10.0,
+            },
+        ];
+        let json = render_json("deadbeef", 5, &bins);
+        assert_eq!(extract_f64(&json, "chaos", "speedup"), Some(25.0));
+        assert_eq!(extract_f64(&json, "explore", "speedup"), Some(8.0));
+        assert_eq!(extract_f64(&json, "chaos", "wall_ms"), Some(1234.5));
+        assert_eq!(extract_f64(&json, "absent", "speedup"), None);
+    }
+
+    #[test]
+    fn gate_enforces_floor_and_regression_slack() {
+        let ok = BinResult {
+            name: "chaos",
+            wall_ms: 1.0,
+            reference_ms: 100.0,
+            optimized_ms: 10.0, // 10x
+        };
+        let baseline = render_json(
+            "base",
+            5,
+            &[BinResult {
+                name: "chaos",
+                wall_ms: 1.0,
+                reference_ms: 100.0,
+                optimized_ms: 9.5, // ~10.5x baseline
+            }],
+        );
+        assert!(
+            gate(&baseline, std::slice::from_ref(&ok)).is_empty(),
+            "within 10% of baseline"
+        );
+
+        let slow = BinResult {
+            name: "chaos",
+            wall_ms: 1.0,
+            reference_ms: 100.0,
+            optimized_ms: 25.0, // 4x: below floor AND regressed
+        };
+        let failures = gate(&baseline, &[slow]);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures[0].contains("floor"));
+        assert!(failures[1].contains("regressed"));
+
+        let missing = gate("{}", &[ok]);
+        assert_eq!(missing.len(), 1);
+        assert!(missing[0].contains("no hot-loop speedup"));
+    }
+}

@@ -51,15 +51,17 @@ fn main() {
         ("Water", 0.402, 0.779),
     ];
     // One pool worker per application; each application's workbench gets an
-    // equal share of the remaining threads for its sample fan-out.
+    // equal share of the remaining threads for its sample fan-out. One
+    // workbench serves every row — it is plain configuration data.
     let per_app = (threads / paper.len()).max(1);
+    let bench = Workbench::new(8, 64)
+        .expect("8x64 cluster")
+        .with_threads(per_app);
     let studies = par_map_indexed(
         threads.min(paper.len()),
         paper.to_vec(),
         |_, (name, _, _)| {
-            Workbench::new(8, 64)
-                .expect("8x64 cluster")
-                .with_threads(per_app)
+            bench
                 .cutcost_study(
                     || apps::by_name(name, 64).expect("known app"),
                     samples,

@@ -50,10 +50,12 @@ fn main() {
     ]);
     let suite: Vec<&str> = apps::SUITE_NAMES.to_vec();
     let per_app = (threads / suite.len()).max(1);
+    // One workbench serves every row — it is plain configuration data.
+    let bench = Workbench::new(8, 64)
+        .expect("8x64 cluster")
+        .with_threads(per_app);
     let rows = par_map_indexed(threads.min(suite.len()), suite.clone(), |_, name| {
-        Workbench::new(8, 64)
-            .expect("8x64 cluster")
-            .with_threads(per_app)
+        bench
             .tracking_overhead(|| apps::by_name(name, 64).expect("known app"))
             .expect("overhead run")
     });

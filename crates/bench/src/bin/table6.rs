@@ -38,6 +38,10 @@ fn main() {
         "Cut cost",
     ]);
     let per_app = (threads / TABLE6_APPS.len()).max(1);
+    // One workbench serves every row — it is plain configuration data.
+    let bench = Workbench::new(8, 64)
+        .expect("8x64 cluster")
+        .with_threads(per_app);
     let app_rows = par_map_indexed(
         threads.min(TABLE6_APPS.len()),
         TABLE6_APPS.to_vec(),
@@ -48,9 +52,7 @@ fn main() {
             } else {
                 app.default_iterations()
             };
-            Workbench::new(8, 64)
-                .expect("8x64 cluster")
-                .with_threads(per_app)
+            bench
                 .heuristic_comparison(
                     || apps::by_name(name, 64).expect("known app"),
                     &[Strategy::MinCost, Strategy::RandomBalanced],

@@ -17,6 +17,7 @@
 //! Artifacts (CSV, PGM, TXT) land in `./results/`. Criterion micro-benches
 //! for the engine, tracking, analysis, and placement live in `benches/`.
 
+use acorr::dsm::DsmError;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -49,13 +50,24 @@ pub fn best_of(reps: usize, mut f: impl FnMut()) -> Duration {
 
 /// Directory where binaries drop their artifacts (created on demand).
 ///
+/// # Errors
+///
+/// Returns [`DsmError::Io`] when the directory cannot be created (e.g. the
+/// working directory is read-only).
+pub fn try_results_dir() -> Result<PathBuf, DsmError> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir).map_err(|e| DsmError::io(dir.display().to_string(), &e))?;
+    Ok(dir.to_path_buf())
+}
+
+/// Directory where binaries drop their artifacts (created on demand).
+///
 /// # Panics
 ///
-/// Panics if the directory cannot be created.
+/// Panics if the directory cannot be created; callers that want to degrade
+/// gracefully use [`try_results_dir`].
 pub fn results_dir() -> PathBuf {
-    let dir = Path::new("results");
-    std::fs::create_dir_all(dir).expect("create results dir");
-    dir.to_path_buf()
+    try_results_dir().expect("create results dir")
 }
 
 /// Name of the currently running bench binary (for manifest provenance).
@@ -77,22 +89,37 @@ fn tool_name() -> String {
 /// FNV-1a digest of its bytes, so a regenerated artifact can be compared
 /// against the recorded run without diffing the full contents.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on I/O errors (benchmark binaries want loud failures).
-pub fn write_artifact(name: &str, contents: &str) {
-    let path = results_dir().join(name);
-    std::fs::write(&path, contents).expect("write artifact");
+/// Returns [`DsmError::Io`] with the failing path when `results/` cannot be
+/// created or written (e.g. a read-only checkout).
+pub fn try_write_artifact(name: &str, contents: &str) -> Result<(), DsmError> {
+    let path = try_results_dir()?.join(name);
+    std::fs::write(&path, contents).map_err(|e| DsmError::io(path.display().to_string(), &e))?;
     println!("  wrote {}", path.display());
 
-    let manifest_dir = results_dir().join("manifests");
-    std::fs::create_dir_all(&manifest_dir).expect("create manifests dir");
+    let manifest_dir = try_results_dir()?.join("manifests");
+    std::fs::create_dir_all(&manifest_dir)
+        .map_err(|e| DsmError::io(manifest_dir.display().to_string(), &e))?;
     let manifest = acorr::obs::RunManifest::new(&tool_name())
         .param("artifact", name)
         .param("bytes", &contents.len().to_string())
         .with_digest(acorr::obs::bytes_digest(contents.as_bytes()));
     let manifest_path = manifest_dir.join(format!("{name}.json"));
-    std::fs::write(&manifest_path, manifest.to_json()).expect("write manifest");
+    std::fs::write(&manifest_path, manifest.to_json())
+        .map_err(|e| DsmError::io(manifest_path.display().to_string(), &e))?;
+    Ok(())
+}
+
+/// Writes an artifact under `results/`, warning on stderr and continuing if
+/// the write fails — a bench run on a read-only checkout still prints its
+/// tables; only the on-disk copy is lost. Binaries whose exit code *gates*
+/// on the artifact (the perf trajectory) use [`try_write_artifact`] and
+/// fail loudly instead.
+pub fn write_artifact(name: &str, contents: &str) {
+    if let Err(e) = try_write_artifact(name, contents) {
+        eprintln!("  warning: skipping artifact {name}: {e}");
+    }
 }
 
 /// Parses `--flag value` style integer options from the command line, with a

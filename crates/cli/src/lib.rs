@@ -77,7 +77,7 @@ USAGE:
   acorr overhead --app NAME [--threads N] [--nodes N] [--faults SPEC]
   acorr explore  --app NAME [--threads N] [--nodes N] [--budget N] [--iters N]
                  [--mode random|systematic] [--seed N] [--preemptions N]
-                 [--strategy S] [--replay TOKEN]
+                 [--strategy S] [--replay TOKEN] [--jobs N]
   acorr hot      --app NAME [--threads N] [--k N]
   acorr verify   --app NAME [--threads N] [--nodes N] [--iters N] [--faults SPEC]
 
@@ -392,6 +392,7 @@ fn explore(args: &Args) -> Result<String, String> {
         budget: args.get_usize("budget", 20)?.max(1),
         mode,
         replay,
+        jobs: jobs_of(args)?,
         ..ExploreOptions::default()
     };
     let bench = Workbench::new(nodes, threads).map_err(|e| e.to_string())?;

@@ -59,6 +59,14 @@ pub struct ExploreOptions {
     /// Replay exactly this schedule instead of exploring (the budget and
     /// mode are ignored; the default-schedule baseline still runs first).
     pub replay: Option<Schedule>,
+    /// Worker threads for the explored schedules (`0` = all the host
+    /// offers, `1` = sequential). Schedules are drained from the explorer
+    /// in waves and run on [`acorr_sim::pool::par_map_indexed`]; results
+    /// are judged in wave order, so the report — schedules run, first
+    /// failure, shrunk token — is bit-identical at any job count. With an
+    /// observer attached the runs stay sequential regardless (sinks
+    /// stream to external backends).
+    pub jobs: usize,
 }
 
 impl Default for ExploreOptions {
@@ -70,6 +78,7 @@ impl Default for ExploreOptions {
             mode: ExploreMode::Random { seed: 0xACE5 },
             sw_delta: SimDuration::from_micros(200),
             replay: None,
+            jobs: 1,
         }
     }
 }
@@ -125,7 +134,7 @@ impl fmt::Display for ExploreFailure {
 }
 
 /// Outcome of a schedule-space exploration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExploreReport {
     /// Application name.
     pub app: String,
@@ -327,25 +336,55 @@ impl Workbench {
             return Ok(report);
         }
 
+        // Schedules are drained from the explorer in waves of up to `jobs`
+        // and run on the deterministic pool. The wave sequence visits
+        // exactly the serial schedule order: draining never outruns the
+        // frontier (a short wave just ends early), and children observed
+        // while replaying a wave's logs land *behind* every entry the wave
+        // already drained — the same relative order the serial loop
+        // produces. Results are observed and judged in wave index order, so
+        // the first failure (and with it `schedules_run` and the shrunk
+        // token) is bit-identical at any job count. A wave may run a few
+        // schedules past a failure; those runs are pure and discarded.
+        let jobs = if self.observer.is_some() {
+            1 // sinks stream to external backends; keep runs sequential
+        } else {
+            acorr_sim::pool::resolve_threads(options.jobs)
+        };
         let mut explorer = Explorer::new(options.mode, options.budget);
         let first = explorer
             .next_schedule()
             .expect("budget >= 1 yields the default schedule");
         debug_assert!(first.is_default());
         explorer.observe(&base_mw.log);
-        while let Some(schedule) = explorer.next_schedule() {
-            let mw = self.steered_run(&factory, &mapping, &schedule, MW, options)?;
-            let sw = self.steered_run(&factory, &mapping, &schedule, SW, options)?;
-            report.schedules_run += 1;
-            explorer.observe(&mw.log);
-            if let Some(fail) = judge(&mw, &sw, &base_mw, &base_sw) {
-                report.failure = Some(self.shrunk(
-                    &factory, &mapping, options, &base_mw, &base_sw, &mw, &sw, fail,
-                )?);
+        loop {
+            let mut wave = Vec::new();
+            while wave.len() < jobs.max(1) {
+                match explorer.next_schedule() {
+                    Some(schedule) => wave.push(schedule),
+                    None => break,
+                }
+            }
+            if wave.is_empty() {
                 return Ok(report);
             }
+            let runs = acorr_sim::pool::par_map_indexed(jobs, wave, |_, schedule| {
+                let mw = self.steered_run(&factory, &mapping, &schedule, MW, options)?;
+                let sw = self.steered_run(&factory, &mapping, &schedule, SW, options)?;
+                Ok::<_, DsmError>((mw, sw))
+            });
+            for run in runs {
+                let (mw, sw) = run?;
+                report.schedules_run += 1;
+                explorer.observe(&mw.log);
+                if let Some(fail) = judge(&mw, &sw, &base_mw, &base_sw) {
+                    report.failure = Some(self.shrunk(
+                        &factory, &mapping, options, &base_mw, &base_sw, &mw, &sw, fail,
+                    )?);
+                    return Ok(report);
+                }
+            }
         }
-        Ok(report)
     }
 
     /// Runs one (schedule, protocol) instance with the oracle, the race

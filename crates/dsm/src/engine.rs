@@ -28,14 +28,14 @@ use crate::locks::LockState;
 use crate::node::NodeState;
 use crate::oracle::{CoherenceOracle, OracleReport};
 use crate::program::{validate_iteration, LockId, Op, Program};
-use crate::protocol::PageDirectory;
+use crate::protocol::{FetchPlan, PageDirectory};
 use crate::stats::IterStats;
 use crate::steer::{DecisionPoint, SchedulePolicy};
 use crate::thread::{OngoingAccess, ThreadState, ThreadStatus};
 use crate::trace::{Event, EventSink, Trace};
 use acorr_mem::{
-    pages_for, span_pages, AccessKind, AccessMatrix, HbRaceDetector, PageId, PageSpan, Protection,
-    RaceReport, VisibleImage,
+    pages_for, span_pages, AccessKind, AccessMatrix, Arena, HbRaceDetector, PageId, PageSpan,
+    Protection, RaceReport, VisibleImage,
 };
 use acorr_sim::{FaultInjector, Mapping, MessageKind, NodeId, SimDuration, SimTime};
 
@@ -127,6 +127,12 @@ pub struct Dsm<P: Program> {
     race: Option<HbRaceDetector>,
     visible: Option<VisibleImage>,
     decision_seq: u64,
+    /// Bump arena for per-interval page lists (write sets, lock write
+    /// records); reset once per barrier interval.
+    interval_arena: Arena<PageId>,
+    /// Reusable fetch-plan buffer: every coherence fault fills this in
+    /// place instead of allocating a fresh diff vector.
+    plan_scratch: FetchPlan,
 }
 
 impl<P: Program> Dsm<P> {
@@ -186,6 +192,8 @@ impl<P: Program> Dsm<P> {
             race: None,
             visible: None,
             decision_seq: 0,
+            interval_arena: Arena::new(),
+            plan_scratch: FetchPlan::default(),
         })
     }
 
@@ -220,15 +228,7 @@ impl<P: Program> Dsm<P> {
     pub fn page_residency(&self) -> Vec<(usize, usize)> {
         self.nodes
             .iter()
-            .map(|n| {
-                let valid = n.pages.iter().filter(|p| p.valid).count();
-                let writable = n
-                    .pages
-                    .iter()
-                    .filter(|p| p.prot == Protection::ReadWrite)
-                    .count();
-                (valid, writable)
-            })
+            .map(|n| (n.pages.count_valid(), n.pages.count_read_write()))
             .collect()
     }
 
@@ -887,8 +887,8 @@ impl<P: Program> Dsm<P> {
     ) -> AccessOutcome {
         let page = span.page;
         // Correlation fault (active tracking).
-        if tracked && self.nodes[i].pages[page.idx()].corr_armed {
-            self.nodes[i].pages[page.idx()].corr_armed = false;
+        if tracked && self.nodes[i].pages.corr_armed(page.idx()) {
+            self.nodes[i].pages.disarm(page.idx());
             self.tracking
                 .as_mut()
                 .expect("tracking matrix present while tracked")
@@ -908,12 +908,15 @@ impl<P: Program> Dsm<P> {
             return outcome;
         }
         // Coherence fault: fetch a current copy.
-        if !self.nodes[i].pages[page.idx()].valid {
+        if !self.nodes[i].pages.valid(page.idx()) {
             self.record_miss(i, t, page);
-            let ps = &self.nodes[i].pages[page.idx()];
-            let plan =
-                self.directory
-                    .fetch_plan(page, self.nodes[i].id, ps.applied_version, ps.has_copy);
+            let applied = self.nodes[i].pages.applied_version(page.idx());
+            let has_copy = self.nodes[i].pages.has_copy(page.idx());
+            // Fill the reusable scratch plan in place; take/put-back keeps
+            // the borrow checker out of the `net_send` calls below.
+            let mut plan = std::mem::take(&mut self.plan_scratch);
+            self.directory
+                .fetch_plan_into(page, self.nodes[i].id, applied, has_copy, &mut plan);
             let mut dur = SimDuration::ZERO;
             if plan.full_page_from.is_some() {
                 let bytes = acorr_mem::PAGE_SIZE as u64;
@@ -926,28 +929,30 @@ impl<P: Program> Dsm<P> {
             }
             let apply = self.config.cost.diff_apply(plan.diff_bytes());
             self.nodes[i].time += apply;
-            let ps = &mut self.nodes[i].pages[page.idx()];
-            ps.valid = true;
-            ps.has_copy = true;
-            ps.applied_version = plan.new_version;
-            if ps.prot == Protection::None {
-                ps.prot = Protection::Read;
+            let pages = &mut self.nodes[i].pages;
+            pages.set_valid(page.idx(), true);
+            pages.set_has_copy(page.idx(), true);
+            pages.set_applied_version(page.idx(), plan.new_version);
+            if pages.prot(page.idx()) == Protection::None {
+                pages.set_prot(page.idx(), Protection::Read);
             }
             if let Some(o) = self.oracle.as_mut() {
                 o.on_fetch(i, page, plan.new_version);
             }
+            self.plan_scratch = plan;
             self.emit_fetch_latency(i, dur);
             return AccessOutcome::Block(dur);
         }
         // Write fault: twin on first write of the interval.
         if kind == AccessKind::Write {
-            let needs_twin = !self.nodes[i].pages[page.idx()].twin;
+            let needs_twin = !self.nodes[i].pages.twin(page.idx());
             if needs_twin {
                 self.cur.twin_faults += 1;
                 self.nodes[i].time += self.config.cost.twin_create;
-                let ps = &mut self.nodes[i].pages[page.idx()];
-                ps.twin = true;
-                ps.prot = Protection::ReadWrite;
+                self.nodes[i].pages.set_twin(page.idx(), true);
+                self.nodes[i]
+                    .pages
+                    .set_prot(page.idx(), Protection::ReadWrite);
                 self.nodes[i].write_set.push(page);
                 self.emit(
                     i,
@@ -957,8 +962,9 @@ impl<P: Program> Dsm<P> {
                     },
                 );
             }
-            self.nodes[i].pages[page.idx()]
-                .dirty
+            self.nodes[i]
+                .pages
+                .dirty_mut(page.idx())
                 .insert(span.start, span.end);
             if let Some(o) = self.oracle.as_mut() {
                 o.on_write(i, t, span);
@@ -989,7 +995,7 @@ impl<P: Program> Dsm<P> {
         let page = span.page;
         let node_id = self.nodes[i].id;
         let is_owner = self.directory.page(page).owner == node_id;
-        let valid = self.nodes[i].pages[page.idx()].valid;
+        let valid = self.nodes[i].pages.valid(page.idx());
         match kind {
             AccessKind::Read => {
                 if valid {
@@ -1009,15 +1015,15 @@ impl<P: Program> Dsm<P> {
                 // re-invalidates this reader.
                 let owner = self.directory.page(page).owner;
                 if owner != node_id {
-                    let ops = &mut self.nodes[owner.idx()].pages[page.idx()];
-                    if ops.prot == Protection::ReadWrite {
-                        ops.prot = Protection::Read;
+                    let opages = &mut self.nodes[owner.idx()].pages;
+                    if opages.prot(page.idx()) == Protection::ReadWrite {
+                        opages.set_prot(page.idx(), Protection::Read);
                     }
                 }
-                let ps = &mut self.nodes[i].pages[page.idx()];
-                ps.valid = true;
-                ps.has_copy = true;
-                ps.prot = Protection::Read;
+                let pages = &mut self.nodes[i].pages;
+                pages.set_valid(page.idx(), true);
+                pages.set_has_copy(page.idx(), true);
+                pages.set_prot(page.idx(), Protection::Read);
                 if let Some(o) = self.oracle.as_mut() {
                     o.on_fetch_sw(i, page);
                 }
@@ -1026,13 +1032,14 @@ impl<P: Program> Dsm<P> {
             }
             AccessKind::Write => {
                 if is_owner && valid {
-                    if self.nodes[i].pages[page.idx()].prot != Protection::ReadWrite {
+                    if self.nodes[i].pages.prot(page.idx()) != Protection::ReadWrite {
                         // Local re-upgrade: invalidate the reader copies.
                         self.cur.twin_faults += 1;
                         self.nodes[i].time += self.config.cost.twin_create;
                         self.invalidate_others_sw(i, page);
-                        let ps = &mut self.nodes[i].pages[page.idx()];
-                        ps.prot = Protection::ReadWrite;
+                        self.nodes[i]
+                            .pages
+                            .set_prot(page.idx(), Protection::ReadWrite);
                         self.nodes[i].write_set.push(page);
                         self.emit(
                             i,
@@ -1064,10 +1071,10 @@ impl<P: Program> Dsm<P> {
                 self.directory
                     .transfer_ownership(page, node_id, wake + delta);
                 self.emit(i, Event::OwnershipTransfer { page, to: node_id });
-                let ps = &mut self.nodes[i].pages[page.idx()];
-                ps.valid = true;
-                ps.has_copy = true;
-                ps.prot = Protection::ReadWrite;
+                let pages = &mut self.nodes[i].pages;
+                pages.set_valid(page.idx(), true);
+                pages.set_has_copy(page.idx(), true);
+                pages.set_prot(page.idx(), Protection::ReadWrite);
                 self.nodes[i].write_set.push(page);
                 if let Some(o) = self.oracle.as_mut() {
                     o.on_fetch_sw(i, page);
@@ -1103,9 +1110,9 @@ impl<P: Program> Dsm<P> {
     fn invalidate_others_sw(&mut self, i: usize, page: PageId) {
         let mut invalidated = 0u64;
         for (j, node) in self.nodes.iter_mut().enumerate() {
-            if j != i && node.pages[page.idx()].valid {
-                node.pages[page.idx()].valid = false;
-                node.pages[page.idx()].prot = Protection::None;
+            if j != i && node.pages.valid(page.idx()) {
+                node.pages.set_valid(page.idx(), false);
+                node.pages.set_prot(page.idx(), Protection::None);
                 invalidated += 1;
             }
         }
@@ -1137,10 +1144,13 @@ impl<P: Program> Dsm<P> {
             }
         } else {
             // Finalize every node's write intervals (creates diffs, sends
-            // write notices, invalidates remote copies).
+            // write notices, invalidates remote copies). Write sets are
+            // bump-copied into the interval arena so both the node's vector
+            // and the arena keep their capacity across intervals.
             for i in 0..self.nodes.len() {
-                let pages = std::mem::take(&mut self.nodes[i].write_set);
-                for page in pages {
+                let range = self.interval_arena.take_from(&mut self.nodes[i].write_set);
+                for k in range.indices() {
+                    let page = self.interval_arena.at(k);
                     self.finalize_page(i, page);
                 }
             }
@@ -1148,6 +1158,10 @@ impl<P: Program> Dsm<P> {
                 self.run_gc();
             }
         }
+        // The barrier closes the interval: every arena range handed out
+        // since the last barrier (write sets above, lock-write records) is
+        // dead, so the whole buffer resets in one length store.
+        self.interval_arena.reset();
         // Conformance check: every page's visible contents must match the
         // sequential reference memory now that write intervals are closed.
         if let Some(o) = self.oracle.as_mut() {
@@ -1260,12 +1274,12 @@ impl<P: Program> Dsm<P> {
         if matches!(self.config.write_mode, WriteMode::SingleWriter { .. }) {
             return; // single-writer invalidations are eager
         }
-        let ps = &self.nodes[i].pages[page.idx()];
-        if !ps.twin && ps.dirty.is_empty() {
+        let pages = &self.nodes[i].pages;
+        if !pages.twin(page.idx()) && pages.dirty(page.idx()).is_empty() {
             return; // already finalized (e.g. at an earlier unlock)
         }
-        let dirty_len = ps.dirty.total_len();
-        let fragments = ps.dirty.fragment_count();
+        let dirty_len = pages.dirty(page.idx()).total_len();
+        let fragments = pages.dirty(page.idx()).fragment_count();
         let bytes = dirty_len + DIFF_RANGE_BYTES * fragments as u64 + DIFF_HEADER_BYTES;
         self.nodes[i].time += self.config.cost.diff_create(bytes);
         let ver = self.directory.record_diff(page, self.nodes[i].id, bytes);
@@ -1281,26 +1295,26 @@ impl<P: Program> Dsm<P> {
         );
         let extra = self.net_send_extra(i, MessageKind::WriteNotice, NOTICE_BYTES);
         self.nodes[i].time += extra;
-        let ps = &mut self.nodes[i].pages[page.idx()];
-        ps.twin = false;
-        ps.dirty.clear();
-        if ps.prot == Protection::ReadWrite {
-            ps.prot = Protection::Read;
+        let pages = &mut self.nodes[i].pages;
+        pages.set_twin(page.idx(), false);
+        pages.dirty_mut(page.idx()).clear();
+        if pages.prot(page.idx()) == Protection::ReadWrite {
+            pages.set_prot(page.idx(), Protection::Read);
         }
         // Invalidate every other replica; a concurrent writer keeps its twin
         // and will merge on its next fetch.
         for (j, node) in self.nodes.iter_mut().enumerate() {
-            if j != i && node.pages[page.idx()].valid {
-                node.pages[page.idx()].valid = false;
-                node.pages[page.idx()].prot = Protection::None;
+            if j != i && node.pages.valid(page.idx()) {
+                node.pages.set_valid(page.idx(), false);
+                node.pages.set_prot(page.idx(), Protection::None);
             }
         }
         // A still-valid single writer now reflects the newest version.
-        let ps = &mut self.nodes[i].pages[page.idx()];
-        if ps.valid {
-            ps.applied_version = ver;
+        let pages = &mut self.nodes[i].pages;
+        let still_valid = pages.valid(page.idx());
+        if still_valid {
+            pages.set_applied_version(page.idx(), ver);
         }
-        let still_valid = ps.valid;
         if let Some(o) = self.oracle.as_mut() {
             o.on_finalize(i, page, dirty_len, fragments, ver, still_valid);
         }
@@ -1320,10 +1334,11 @@ impl<P: Program> Dsm<P> {
                 .expect("page listed with diffs")
                 .node;
             let oi = owner.idx();
-            let ps = &self.nodes[oi].pages[page.idx()];
-            let plan = self
-                .directory
-                .fetch_plan(page, owner, ps.applied_version, ps.has_copy);
+            let applied = self.nodes[oi].pages.applied_version(page.idx());
+            let has_copy = self.nodes[oi].pages.has_copy(page.idx());
+            let mut plan = std::mem::take(&mut self.plan_scratch);
+            self.directory
+                .fetch_plan_into(page, owner, applied, has_copy, &mut plan);
             if plan.full_page_from.is_some() {
                 let bytes = acorr_mem::PAGE_SIZE as u64;
                 let base = self.config.network.transfer_time(bytes);
@@ -1336,23 +1351,24 @@ impl<P: Program> Dsm<P> {
                 self.nodes[oi].time += dur;
             }
             self.nodes[oi].time += self.config.cost.diff_apply(plan.diff_bytes());
-            let ps = &mut self.nodes[oi].pages[page.idx()];
-            ps.valid = true;
-            ps.has_copy = true;
-            ps.applied_version = plan.new_version;
-            if ps.prot == Protection::None {
-                ps.prot = Protection::Read;
+            let pages = &mut self.nodes[oi].pages;
+            pages.set_valid(page.idx(), true);
+            pages.set_has_copy(page.idx(), true);
+            pages.set_applied_version(page.idx(), plan.new_version);
+            if pages.prot(page.idx()) == Protection::None {
+                pages.set_prot(page.idx(), Protection::Read);
             }
             if let Some(o) = self.oracle.as_mut() {
                 o.on_fetch(oi, page, plan.new_version);
             }
+            self.plan_scratch = plan;
             self.directory.consolidate(page, owner);
             self.cur.gc_pages += 1;
             self.emit(oi, Event::GcConsolidated { page, owner });
             for (j, node) in self.nodes.iter_mut().enumerate() {
-                if j != oi && node.pages[page.idx()].valid {
-                    node.pages[page.idx()].valid = false;
-                    node.pages[page.idx()].prot = Protection::None;
+                if j != oi && node.pages.valid(page.idx()) {
+                    node.pages.set_valid(page.idx(), false);
+                    node.pages.set_prot(page.idx(), Protection::None);
                 }
             }
         }
@@ -1416,14 +1432,17 @@ impl<P: Program> Dsm<P> {
         // Eager-at-release: finalize the pages written under the lock so the
         // next acquirer sees them (the engine's stand-in for carrying write
         // notices with the lock grant).
-        let pages = std::mem::take(&mut self.threads[t].lock_writes);
-        for &page in &pages {
+        let range = self
+            .interval_arena
+            .take_from(&mut self.threads[t].lock_writes);
+        for k in range.indices() {
+            let page = self.interval_arena.at(k);
             self.finalize_page(i, page);
         }
         // Conformance check: everything written under the lock must now be
         // published for the next acquirer.
         if let Some(o) = self.oracle.as_mut() {
-            o.check_lock_release(i, &pages, &self.directory);
+            o.check_lock_release(i, self.interval_arena.get(range), &self.directory);
         }
         if let Some(r) = self.race.as_mut() {
             r.on_lock_release(t, l.idx());

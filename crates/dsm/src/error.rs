@@ -35,6 +35,25 @@ pub enum DsmError {
         /// Human-readable description of the first violated check.
         detail: String,
     },
+    /// An artifact or report could not be read or written. Carries the
+    /// rendered path and error text rather than [`std::io::Error`] so the
+    /// variant stays `Clone`/`Eq` like the rest of the enum.
+    Io {
+        /// Path of the file or directory the operation touched.
+        path: String,
+        /// The underlying I/O error, rendered.
+        detail: String,
+    },
+}
+
+impl DsmError {
+    /// Wraps an [`std::io::Error`] with the path it occurred on.
+    pub fn io(path: impl Into<String>, err: &std::io::Error) -> Self {
+        DsmError::Io {
+            path: path.into(),
+            detail: err.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for DsmError {
@@ -58,6 +77,9 @@ impl fmt::Display for DsmError {
                     f,
                     "coherence oracle violation in iteration {iteration}: {detail}"
                 )
+            }
+            DsmError::Io { path, detail } => {
+                write!(f, "i/o error on {path}: {detail}")
             }
         }
     }
@@ -112,6 +134,16 @@ mod tests {
         assert!(o.to_string().contains("oracle"));
         assert!(o.to_string().contains("byte 7 mismatch"));
         assert!(o.source().is_none());
+    }
+
+    #[test]
+    fn io_errors_carry_path_and_detail() {
+        let underlying = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied");
+        let e = DsmError::io("results/BENCH.json", &underlying);
+        assert!(e.to_string().contains("results/BENCH.json"));
+        assert!(e.to_string().contains("denied"));
+        assert!(e.source().is_none());
+        assert_eq!(e.clone(), e);
     }
 
     #[test]

@@ -1,61 +1,24 @@
 //! Per-node state: page tables and the local scheduler's bookkeeping.
 
-use acorr_mem::{PageId, Protection, RangeSet};
+use acorr_mem::{PageId, PageTable};
 use acorr_sim::{NodeId, SimTime};
 use std::collections::VecDeque;
 
-/// One node's view of one shared page.
-#[derive(Debug, Clone, Default)]
-pub struct PageState {
-    /// The local copy reflects the latest version it applied and no newer
-    /// version exists that it is missing.
-    pub valid: bool,
-    /// The node holds *some* image of the page (possibly stale); governs
-    /// whether a miss can be patched with diffs or needs the full page.
-    pub has_copy: bool,
-    /// Current protection.
-    pub prot: Protection,
-    /// The page version the local copy reflects.
-    pub applied_version: u64,
-    /// A twin exists: the page has been written this interval.
-    pub twin: bool,
-    /// Byte ranges written this interval (the future diff).
-    pub dirty: RangeSet,
-    /// Correlation bit: armed by active tracking; the next access by the
-    /// pinned thread takes a correlation fault.
-    pub corr_armed: bool,
-}
-
-impl PageState {
-    /// An invalid page with no local copy.
-    pub fn invalid() -> Self {
-        PageState::default()
-    }
-
-    /// A valid, read-protected copy at version 0 (the initial owner's view).
-    pub fn initial_owner() -> Self {
-        PageState {
-            valid: true,
-            has_copy: true,
-            prot: Protection::Read,
-            applied_version: 0,
-            twin: false,
-            dirty: RangeSet::new(),
-            corr_armed: false,
-        }
-    }
-}
-
 /// One node of the simulated cluster: page table, local virtual time, and
 /// scheduler bookkeeping.
+///
+/// Page state lives in an SoA [`PageTable`]: the boolean flags are packed
+/// bitset masks (whole-table sweeps are word fills) and the dirty state is
+/// a dense array of word-chunked masks — see `acorr_mem::page` for the
+/// field semantics.
 #[derive(Debug, Clone)]
 pub struct NodeState {
     /// This node's identity.
     pub id: NodeId,
     /// The node's local virtual time.
     pub time: SimTime,
-    /// Per-page state.
-    pub pages: Vec<PageState>,
+    /// Per-page protocol state, struct-of-arrays.
+    pub pages: PageTable,
     /// Pages twinned this interval (candidates for diff finalization).
     pub write_set: Vec<PageId>,
     /// Local threads (global thread indices) in scheduling order.
@@ -76,19 +39,10 @@ impl NodeState {
     /// Creates a node whose pages are all invalid (or all owned, for the
     /// initial owner node).
     pub fn new(id: NodeId, num_pages: usize, is_initial_owner: bool) -> Self {
-        let pages = (0..num_pages)
-            .map(|_| {
-                if is_initial_owner {
-                    PageState::initial_owner()
-                } else {
-                    PageState::invalid()
-                }
-            })
-            .collect();
         NodeState {
             id,
             time: SimTime::ZERO,
-            pages,
+            pages: PageTable::new(num_pages, is_initial_owner),
             write_set: Vec::new(),
             threads: Vec::new(),
             ready: VecDeque::new(),
@@ -99,18 +53,15 @@ impl NodeState {
         }
     }
 
-    /// Arms the correlation bit on every page (start of a tracking segment).
+    /// Arms the correlation bit on every page (start of a tracking
+    /// segment) — a word fill over the packed mask.
     pub fn arm_all_pages(&mut self) {
-        for p in &mut self.pages {
-            p.corr_armed = true;
-        }
+        self.pages.arm_all();
     }
 
     /// Clears every correlation bit (end of the tracking phase).
     pub fn disarm_all_pages(&mut self) {
-        for p in &mut self.pages {
-            p.corr_armed = false;
-        }
+        self.pages.disarm_all();
     }
 
     /// Number of local threads.
@@ -122,23 +73,24 @@ impl NodeState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use acorr_mem::Protection;
 
     #[test]
     fn initial_owner_pages_are_valid() {
         let n = NodeState::new(NodeId(0), 3, true);
-        assert!(n.pages.iter().all(|p| p.valid && p.has_copy));
-        assert!(n.pages.iter().all(|p| p.prot == Protection::Read));
+        assert!((0..3).all(|p| n.pages.valid(p) && n.pages.has_copy(p)));
+        assert!((0..3).all(|p| n.pages.prot(p) == Protection::Read));
         let m = NodeState::new(NodeId(1), 3, false);
-        assert!(m.pages.iter().all(|p| !p.valid && !p.has_copy));
-        assert!(m.pages.iter().all(|p| p.prot == Protection::None));
+        assert!((0..3).all(|p| !m.pages.valid(p) && !m.pages.has_copy(p)));
+        assert!((0..3).all(|p| m.pages.prot(p) == Protection::None));
     }
 
     #[test]
     fn arm_and_disarm_sweep_all_pages() {
         let mut n = NodeState::new(NodeId(0), 5, false);
         n.arm_all_pages();
-        assert!(n.pages.iter().all(|p| p.corr_armed));
+        assert!((0..5).all(|p| n.pages.corr_armed(p)));
         n.disarm_all_pages();
-        assert!(n.pages.iter().all(|p| !p.corr_armed));
+        assert!((0..5).all(|p| !n.pages.corr_armed(p)));
     }
 }

@@ -415,7 +415,6 @@ impl CoherenceOracle {
                 ));
             }
             for (n, node) in nodes.iter().enumerate() {
-                let ps = &node.pages[p];
                 let view = &self.views[n * self.num_pages + p];
                 if let Some(view) = view {
                     if !self.single_writer && !view.pending.is_empty() {
@@ -427,15 +426,15 @@ impl CoherenceOracle {
                         continue;
                     }
                 }
-                if !ps.valid {
+                if !node.pages.valid(p) {
                     continue; // an invalid copy may be arbitrarily stale
                 }
-                if !ps.has_copy {
+                if !node.pages.has_copy(p) {
                     self.violate(format!("barrier: node {n} page {p} valid without a copy"));
                     continue;
                 }
-                if !self.single_writer && ps.applied_version != directory.version(page) {
-                    let (av, dv) = (ps.applied_version, directory.version(page));
+                if !self.single_writer && node.pages.applied_version(p) != directory.version(page) {
+                    let (av, dv) = (node.pages.applied_version(p), directory.version(page));
                     self.violate(format!(
                         "barrier: node {n} page {p} valid at version {av} but the \
                          directory is at {dv}"

@@ -144,32 +144,39 @@ impl PageDirectory {
         applied_version: u64,
         has_copy: bool,
     ) -> FetchPlan {
+        let mut plan = FetchPlan::default();
+        self.fetch_plan_into(page, requester, applied_version, has_copy, &mut plan);
+        plan
+    }
+
+    /// Like [`fetch_plan`](Self::fetch_plan), but reuses `out`'s diff buffer
+    /// instead of allocating a fresh one — the engine keeps one scratch plan
+    /// and every coherence fault fills it in place.
+    pub fn fetch_plan_into(
+        &self,
+        page: PageId,
+        requester: NodeId,
+        applied_version: u64,
+        has_copy: bool,
+        out: &mut FetchPlan,
+    ) {
         let pg = &self.pages[page.idx()];
+        out.diffs.clear();
+        out.new_version = pg.version;
         if has_copy && applied_version >= pg.base_version {
             // The copy can be patched forward with diffs alone.
-            FetchPlan {
-                full_page_from: None,
-                diffs: pg
-                    .diffs
+            out.full_page_from = None;
+            out.diffs.extend(
+                pg.diffs
                     .iter()
-                    .filter(|d| d.version > applied_version && d.node != requester)
-                    .copied()
-                    .collect(),
-                new_version: pg.version,
-            }
+                    .filter(|d| d.version > applied_version && d.node != requester),
+            );
         } else {
             // Cold miss, or the copy predates the owner's consolidated base:
             // full page plus everything still pending.
-            FetchPlan {
-                full_page_from: Some(pg.owner),
-                diffs: pg
-                    .diffs
-                    .iter()
-                    .filter(|d| d.node != requester)
-                    .copied()
-                    .collect(),
-                new_version: pg.version,
-            }
+            out.full_page_from = Some(pg.owner);
+            out.diffs
+                .extend(pg.diffs.iter().filter(|d| d.node != requester));
         }
     }
 

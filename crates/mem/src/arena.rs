@@ -1,0 +1,160 @@
+//! A bump arena for per-interval protocol records.
+//!
+//! The engine produces short-lived record lists at a high rate: the pages a
+//! node twinned this interval, the pages written under a lock, the diff
+//! records of a fetch plan. Allocating a fresh `Vec` per message (the old
+//! `std::mem::take` pattern) made every barrier interval and every remote
+//! miss pay malloc/free round trips. [`Arena`] replaces that churn: records
+//! are bump-copied into one growing buffer, handed back as index ranges,
+//! and the whole buffer is [`reset`](Arena::reset) — a length store, no
+//! deallocation — once per barrier interval.
+//!
+//! Ranges are plain index pairs rather than borrowed slices so the owner
+//! (the engine) can keep mutating itself between allocation and use; the
+//! arena is append-only between resets, so a range handed out stays valid
+//! until the next reset.
+
+/// An index range into an [`Arena`], returned by the allocation methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArenaRange {
+    start: usize,
+    end: usize,
+}
+
+impl ArenaRange {
+    /// Number of items in the range.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the range holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The absolute arena indices of the range, for item-at-a-time access
+    /// via [`Arena::at`] while the arena's owner is otherwise borrowed.
+    pub fn indices(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+}
+
+/// A bump arena over `Copy` records, reset per barrier interval.
+///
+/// ```
+/// use acorr_mem::Arena;
+/// let mut arena: Arena<u32> = Arena::new();
+/// let r = arena.alloc_from_slice(&[7, 8, 9]);
+/// assert_eq!(arena.get(r), &[7, 8, 9]);
+/// assert_eq!(arena.at(r.indices().start), 7);
+/// arena.reset(); // keeps capacity, invalidates old ranges
+/// assert_eq!(arena.len(), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Arena<T> {
+    items: Vec<T>,
+}
+
+impl<T: Copy> Arena<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Arena { items: Vec::new() }
+    }
+
+    /// Items currently allocated.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is allocated.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Bump-copies `items` into the arena.
+    pub fn alloc_from_slice(&mut self, items: &[T]) -> ArenaRange {
+        let start = self.items.len();
+        self.items.extend_from_slice(items);
+        ArenaRange {
+            start,
+            end: self.items.len(),
+        }
+    }
+
+    /// Bump-copies `src`'s contents into the arena and clears `src` in
+    /// place — the source keeps its capacity for the next interval, unlike
+    /// `std::mem::take`, which leaves an unallocated `Vec` behind.
+    pub fn take_from(&mut self, src: &mut Vec<T>) -> ArenaRange {
+        let range = self.alloc_from_slice(src);
+        src.clear();
+        range
+    }
+
+    /// The items of `range` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` predates the last [`reset`](Arena::reset).
+    pub fn get(&self, range: ArenaRange) -> &[T] {
+        &self.items[range.start..range.end]
+    }
+
+    /// The item at absolute index `i` (see [`ArenaRange::indices`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` predates the last [`reset`](Arena::reset).
+    pub fn at(&self, i: usize) -> T {
+        self.items[i]
+    }
+
+    /// Drops every allocation but keeps the backing capacity — the
+    /// once-per-interval reset.
+    pub fn reset(&mut self) {
+        self.items.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_get_and_at() {
+        let mut a: Arena<u16> = Arena::new();
+        let r1 = a.alloc_from_slice(&[1, 2, 3]);
+        let r2 = a.alloc_from_slice(&[]);
+        let r3 = a.alloc_from_slice(&[9]);
+        assert_eq!(a.get(r1), &[1, 2, 3]);
+        assert!(r2.is_empty() && a.get(r2).is_empty());
+        assert_eq!(a.get(r3), &[9]);
+        assert_eq!(r1.len(), 3);
+        assert_eq!(a.len(), 4);
+        assert_eq!(r3.indices().map(|i| a.at(i)).collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    fn take_from_clears_source_but_keeps_its_capacity() {
+        let mut a: Arena<u32> = Arena::new();
+        let mut src = Vec::with_capacity(16);
+        src.extend([5, 6, 7]);
+        let cap = src.capacity();
+        let r = a.take_from(&mut src);
+        assert_eq!(a.get(r), &[5, 6, 7]);
+        assert!(src.is_empty());
+        assert_eq!(src.capacity(), cap, "source keeps its buffer");
+    }
+
+    #[test]
+    fn reset_keeps_capacity_and_restarts_indices() {
+        let mut a: Arena<u8> = Arena::new();
+        a.alloc_from_slice(&[1; 100]);
+        let cap = a.items.capacity();
+        a.reset();
+        assert!(a.is_empty());
+        assert_eq!(a.items.capacity(), cap);
+        let r = a.alloc_from_slice(&[2, 3]);
+        assert_eq!(r.indices(), 0..2);
+        assert_eq!(a.get(r), &[2, 3]);
+    }
+}

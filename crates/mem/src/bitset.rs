@@ -84,6 +84,18 @@ impl FixedBitset {
         self.words.fill(0);
     }
 
+    /// Sets every bit — a word fill, so arming all pages of a node costs
+    /// `len / 64` stores instead of `len` flag writes.
+    pub fn insert_all(&mut self) {
+        self.words.fill(!0);
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last = !0u64 >> (64 - rem);
+            }
+        }
+    }
+
     /// Number of set bits.
     pub fn count(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
@@ -198,6 +210,21 @@ mod tests {
         s.clear();
         assert!(s.is_empty());
         assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn insert_all_sets_exactly_len_bits() {
+        for len in [0usize, 1, 63, 64, 65, 130, 256] {
+            let mut s = FixedBitset::new(len);
+            s.insert_all();
+            assert_eq!(s.count(), len, "len={len}");
+            assert_eq!(
+                s.iter_ones().collect::<Vec<_>>(),
+                (0..len).collect::<Vec<_>>()
+            );
+            s.clear();
+            assert!(s.is_empty());
+        }
     }
 
     #[test]

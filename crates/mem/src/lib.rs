@@ -12,7 +12,11 @@
 //! * [`bitset`] — fixed-width bitsets; one per thread serves as the paper's
 //!   *access bitmap*.
 //! * [`ranges`] — merged dirty-range sets within a page, the representation
-//!   behind multi-writer *diffs*.
+//!   behind multi-writer *diffs*: the byte-wise [`RangeSet`] reference and
+//!   the word-chunked [`DirtyMask`] hot path, byte-identical by
+//!   construction.
+//! * [`arena`] — a bump arena for per-interval protocol records, reset once
+//!   per barrier interval.
 //! * [`layout`] — a page-aligned bump allocator laying out an application's
 //!   shared segments.
 //! * [`access`] — the [`AccessMatrix`]: per-thread page-access bitmaps, the
@@ -36,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod access;
+pub mod arena;
 pub mod bitset;
 pub mod layout;
 pub mod page;
@@ -45,10 +50,11 @@ pub mod vclock;
 pub mod visible;
 
 pub use access::AccessMatrix;
+pub use arena::{Arena, ArenaRange};
 pub use bitset::FixedBitset;
 pub use layout::{Segment, SharedLayout};
-pub use page::{page_of, pages_for, span_pages, PageId, PageSpan, PAGE_SIZE};
+pub use page::{page_of, pages_for, span_pages, PageId, PageSpan, PageTable, PAGE_SIZE};
 pub use prot::{AccessKind, Protection};
-pub use ranges::RangeSet;
+pub use ranges::{DirtyMask, RangeSet};
 pub use vclock::{HbRaceDetector, Race, RaceKind, RaceReport, VectorClock};
 pub use visible::{write_token, VisibleImage};

@@ -1,12 +1,25 @@
-//! Dirty-range sets.
+//! Dirty-range sets and the word-chunked dirty mask.
 //!
 //! CVM's multi-writer protocol compares a dirty page against its *twin* to
 //! produce a *diff* — the set of modified words. The simulation does not
-//! hold page contents, so [`RangeSet`] records the byte ranges a node wrote
-//! within one page instead; the total length of the merged ranges is the
-//! diff size, which prices both diff creation and the "Diff Mbytes" traffic
-//! of Table 6.
+//! hold page contents, so it records the byte ranges a node wrote within
+//! one page instead; the total length of the merged ranges is the diff
+//! size, which prices both diff creation and the "Diff Mbytes" traffic of
+//! Table 6.
+//!
+//! Two representations share that contract:
+//!
+//! * [`RangeSet`] — sorted disjoint `(start, end)` pairs. Inserts are
+//!   `O(log n)` searches plus `Vec` shifts; this is the byte-wise
+//!   *reference* the equivalence tests pin against.
+//! * [`DirtyMask`] — one bit per page byte, packed into 64 `u64` words.
+//!   Inserting a span is a handful of word-masked ORs, the diff length is
+//!   64 popcounts, and the fragment count is a rising-edge scan — the
+//!   engine's hot path. Both report **byte-identical** lengths and
+//!   fragment counts for the same inserts, so swapping them changes no
+//!   golden table.
 
+use crate::page::PAGE_SIZE;
 use std::fmt;
 
 /// A set of disjoint, sorted, half-open byte ranges within one page.
@@ -101,6 +114,154 @@ impl RangeSet {
 }
 
 impl fmt::Display for RangeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (s, e)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{s}..{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Words in a page-wide byte mask (`PAGE_SIZE / 64`).
+const MASK_WORDS: usize = PAGE_SIZE / 64;
+
+/// A page-wide dirty-byte mask: one bit per byte, packed into `u64` words.
+///
+/// The drop-in fast path for [`RangeSet`] on the engine's twin/diff hot
+/// loop. [`DirtyMask::total_len`] and [`DirtyMask::fragment_count`] are
+/// byte-exact matches for the range set's answers on the same inserts —
+/// the diff-size formula (`dirty_len + 8 * fragments + 16`) is golden-table
+/// load-bearing, so the representations must never diverge.
+///
+/// ```
+/// use acorr_mem::DirtyMask;
+/// let mut m = DirtyMask::new();
+/// m.insert(0, 8);
+/// m.insert(16, 24);
+/// m.insert(8, 16); // bridges the gap
+/// assert_eq!(m.total_len(), 24);
+/// assert_eq!(m.fragment_count(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct DirtyMask {
+    words: [u64; MASK_WORDS],
+}
+
+impl Default for DirtyMask {
+    fn default() -> Self {
+        DirtyMask {
+            words: [0; MASK_WORDS],
+        }
+    }
+}
+
+impl DirtyMask {
+    /// Creates an all-clean mask.
+    pub fn new() -> Self {
+        DirtyMask::default()
+    }
+
+    /// Marks `[start, end)` dirty via word-masked ORs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > PAGE_SIZE`.
+    pub fn insert(&mut self, start: u16, end: u16) {
+        assert!(start <= end, "inverted range {start}..{end}");
+        assert!(
+            end as usize <= PAGE_SIZE,
+            "range end {end} beyond page size {PAGE_SIZE}"
+        );
+        if start == end {
+            return;
+        }
+        let (start, last) = (start as usize, end as usize - 1);
+        let (ws, we) = (start / 64, last / 64);
+        let lo_mask = !0u64 << (start % 64);
+        let hi_mask = !0u64 >> (63 - last % 64);
+        if ws == we {
+            self.words[ws] |= lo_mask & hi_mask;
+            return;
+        }
+        self.words[ws] |= lo_mask;
+        for w in &mut self.words[ws + 1..we] {
+            *w = !0;
+        }
+        self.words[we] |= hi_mask;
+    }
+
+    /// Total dirty bytes (64 popcounts).
+    pub fn total_len(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Number of disjoint dirty runs: rising edges of the bit stream,
+    /// carrying the previous word's top bit across word boundaries.
+    pub fn fragment_count(&self) -> usize {
+        let mut carry = 0u64;
+        let mut rises = 0usize;
+        for &w in &self.words {
+            rises += (w & !((w << 1) | carry)).count_ones() as usize;
+            carry = w >> 63;
+        }
+        rises
+    }
+
+    /// True when no byte is dirty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether byte `b` is dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= PAGE_SIZE`.
+    pub fn contains(&self, b: u16) -> bool {
+        assert!((b as usize) < PAGE_SIZE, "byte {b} beyond page size");
+        self.words[b as usize / 64] >> (b % 64) & 1 != 0
+    }
+
+    /// Resets to all-clean (a word fill, the per-interval reset).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Iterates over the disjoint dirty `(start, end)` runs, ascending —
+    /// the same sequence [`RangeSet::iter`] yields for equivalent inserts.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, u16)> + '_ {
+        let mut b = 0usize;
+        std::iter::from_fn(move || {
+            while b < PAGE_SIZE && !self.bit(b) {
+                b += 1;
+            }
+            if b >= PAGE_SIZE {
+                return None;
+            }
+            let start = b;
+            while b < PAGE_SIZE && self.bit(b) {
+                b += 1;
+            }
+            Some((start as u16, b as u16))
+        })
+    }
+
+    fn bit(&self, b: usize) -> bool {
+        self.words[b / 64] >> (b % 64) & 1 != 0
+    }
+}
+
+impl fmt::Debug for DirtyMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DirtyMask{self}")
+    }
+}
+
+impl fmt::Display for DirtyMask {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
         for (i, (s, e)) in self.iter().enumerate() {
@@ -214,6 +375,106 @@ mod tests {
         s.insert(7, 9);
         assert_eq!(s.to_string(), "[1..3 7..9]");
     }
+
+    /// Asserts the mask and the byte-wise reference agree on every
+    /// observable after the same inserts.
+    fn assert_equivalent(ops: &[(u16, u16)]) {
+        let mut set = RangeSet::new();
+        let mut mask = DirtyMask::new();
+        for &(s, e) in ops {
+            set.insert(s, e);
+            mask.insert(s, e);
+        }
+        assert_eq!(mask.total_len(), set.total_len(), "len after {ops:?}");
+        assert_eq!(
+            mask.fragment_count(),
+            set.fragment_count(),
+            "fragments after {ops:?}"
+        );
+        assert_eq!(mask.is_empty(), set.is_empty());
+        assert_eq!(
+            mask.iter().collect::<Vec<_>>(),
+            set.iter().collect::<Vec<_>>(),
+            "runs after {ops:?}"
+        );
+        for b in 0..PAGE_SIZE as u16 {
+            assert_eq!(mask.contains(b), set.contains(b), "byte {b} after {ops:?}");
+        }
+    }
+
+    #[test]
+    fn mask_matches_reference_on_adversarial_spans() {
+        // Unaligned starts/ends, word-boundary crossings, single bytes,
+        // trailing partial words, and the full page.
+        let cases: &[&[(u16, u16)]] = &[
+            &[(0, 1)],
+            &[(63, 65)],
+            &[(1, 63)],
+            &[(0, 64), (64, 128)],
+            &[(7, 9), (9, 11)],
+            &[(4090, 4096)],
+            &[(4095, 4096)],
+            &[(4032, 4090), (4090, 4096)],
+            &[(0, 4096)],
+            &[(1, 4095)],
+            &[(100, 200), (150, 300), (0, 101)],
+            &[(64, 128), (0, 64)],
+            &[(127, 129), (191, 193), (128, 192)],
+            &[(5, 5), (4096, 4096)],
+        ];
+        for ops in cases {
+            assert_equivalent(ops);
+        }
+    }
+
+    #[test]
+    fn mask_matches_reference_on_random_spans() {
+        // Deterministic xorshift stream: no external dependencies, same
+        // spans every run.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let mut ops = Vec::new();
+            for _ in 0..(next() % 12 + 1) {
+                let a = (next() % 4097) as u16;
+                let b = (next() % 4097) as u16;
+                ops.push((a.min(b), a.max(b)));
+            }
+            assert_equivalent(&ops);
+        }
+    }
+
+    #[test]
+    fn mask_clear_and_reinsert() {
+        let mut m = DirtyMask::new();
+        m.insert(0, 4096);
+        assert_eq!(m.total_len(), 4096);
+        assert_eq!(m.fragment_count(), 1);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.fragment_count(), 0);
+        m.insert(10, 20);
+        m.insert(10, 20);
+        assert_eq!(m.total_len(), 10);
+        assert_eq!(m.to_string(), "[10..20]");
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted range")]
+    fn mask_inverted_range_panics() {
+        DirtyMask::new().insert(10, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond page size")]
+    fn mask_out_of_page_panics() {
+        DirtyMask::new().insert(4090, 4097);
+    }
 }
 
 #[cfg(all(test, feature = "proptest"))]
@@ -261,6 +522,27 @@ mod proptests {
             for &(s, e) in &rs {
                 prop_assert!(s < e);
             }
+        }
+
+        /// The word-chunked mask is observationally identical to the
+        /// byte-wise reference on arbitrary insert sequences.
+        #[test]
+        fn mask_equivalent_to_range_set(
+            raw in proptest::collection::vec((0u16..4096, 0u16..4096), 0..40)
+        ) {
+            let mut set = RangeSet::new();
+            let mut mask = DirtyMask::new();
+            for (a, b) in raw {
+                let (s, e) = (a.min(b), a.max(b));
+                set.insert(s, e);
+                mask.insert(s, e);
+            }
+            prop_assert_eq!(mask.total_len(), set.total_len());
+            prop_assert_eq!(mask.fragment_count(), set.fragment_count());
+            prop_assert_eq!(
+                mask.iter().collect::<Vec<_>>(),
+                set.iter().collect::<Vec<_>>()
+            );
         }
     }
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Perf regression gate: re-measures the engine hot paths and fails when any
+# bin's hot-loop speedup drops below the 5x floor or regresses more than
+# 10% relative to the committed baseline (results/BENCH_pr6.json).
+#
+# The comparison is against the *speedup ratio*, not absolute wall time, so
+# the gate is machine-independent: reference and optimized paths are timed
+# on the same host in the same process.
+#
+# Running the bench bin rewrites results/BENCH_pr6.json with the fresh
+# numbers, so the committed baseline is copied aside first and the gate
+# compares against the copy.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+baseline="results/BENCH_pr6.json"
+if [ ! -f "$baseline" ]; then
+    echo "error: no committed baseline at $baseline" >&2
+    echo "hint: run 'cargo run --release -p acorr-bench --bin perf6' and commit the artifact" >&2
+    exit 2
+fi
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+cp "$baseline" "$tmp"
+
+echo "==> perf6 --baseline $baseline (copied aside)"
+cargo run --release -p acorr-bench --bin perf6 -- --baseline "$tmp"

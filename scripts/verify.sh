@@ -34,6 +34,9 @@ sh scripts/check_obs.sh "$obs_dir"
 ./target/release/acorr report --manifest "$obs_dir/manifest.json"
 rm -rf "$obs_dir"
 
+echo "==> perf regression gate (scripts/check_perf.sh)"
+sh scripts/check_perf.sh
+
 # Opt-in property tests: needs a networked machine and the proptest
 # dev-dependency restored first (scripts/enable_proptest.sh).
 if [ "${ACORR_PROPTEST:-0}" = "1" ]; then

@@ -123,6 +123,58 @@ fn systematic_mode_keeps_sor_clean() {
 }
 
 #[test]
+fn parallel_jobs_reports_are_bit_identical_to_serial() {
+    // A failing exploration (Racey, systematic): schedules_run, the shrunk
+    // token, kind, detail — the whole report — must not depend on the job
+    // count.
+    let failing = ExploreOptions {
+        budget: 16,
+        iterations: 1,
+        mode: ExploreMode::Systematic { preemptions: 1 },
+        ..ExploreOptions::default()
+    };
+    let serial = racey_bench().explore_run(|| Racey, &failing).unwrap();
+    assert!(serial.failure.is_some());
+    for jobs in [4, 8] {
+        let parallel = racey_bench()
+            .explore_run(
+                || Racey,
+                &ExploreOptions {
+                    jobs,
+                    ..failing.clone()
+                },
+            )
+            .unwrap();
+        assert_eq!(parallel, serial, "jobs={jobs}");
+    }
+
+    // A clean exploration (SOR, random): every schedule runs; the report
+    // must again be independent of the job count.
+    let bench = Workbench::new(2, 8).unwrap();
+    let clean = ExploreOptions {
+        budget: 6,
+        iterations: 1,
+        mode: ExploreMode::Random { seed: 5 },
+        ..ExploreOptions::default()
+    };
+    let serial = bench.explore_run(|| Sor::new(64, 64, 8), &clean).unwrap();
+    assert!(serial.failure.is_none());
+    assert_eq!(serial.schedules_run, 6);
+    for jobs in [4, 8] {
+        let parallel = bench
+            .explore_run(
+                || Sor::new(64, 64, 8),
+                &ExploreOptions {
+                    jobs,
+                    ..clean.clone()
+                },
+            )
+            .unwrap();
+        assert_eq!(parallel, serial, "jobs={jobs}");
+    }
+}
+
+#[test]
 fn budget_one_default_schedule_matches_heuristic_comparison_bit_for_bit() {
     let bench = Workbench::new(2, 8).unwrap();
     let rows = bench
