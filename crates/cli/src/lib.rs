@@ -76,10 +76,12 @@ USAGE:
   acorr report   --manifest FILE [--jobs N]
   acorr overhead --app NAME [--threads N] [--nodes N] [--faults SPEC]
   acorr explore  --app NAME [--threads N] [--nodes N] [--budget N] [--iters N]
-                 [--mode random|systematic] [--seed N] [--preemptions N]
+                 [--mode random|systematic|model-check] [--seed N] [--preemptions N]
+                 [--faults N] [--inject BUG] [--decision-log FILE]
                  [--strategy S] [--replay TOKEN] [--jobs N]
   acorr hot      --app NAME [--threads N] [--k N]
   acorr verify   --app NAME [--threads N] [--nodes N] [--iters N] [--faults SPEC]
+                 [--crash PROB]
 
 Strategies: stretch, random, min-cost, jarvis-patrick, anneal, optimal
 Defaults: --threads 64 --nodes 8 --strategy min-cost --format ascii
@@ -101,6 +103,14 @@ the conformance oracle, and multi-writer vs single-writer differential
 memory comparison. App names are case-insensitive here, and the seeded-race
 fixture `Racey` is accepted (forced to 2 threads on 1 node). Counterexamples
 shrink to a minimal replay token; `--replay TOKEN` reruns one exactly.
+Model checking: `explore --mode model-check` enumerates the fault x schedule
+product space (partition, duplication, corruption, one-node crash at barrier
+intervals) with state-hash pruning; in this mode `--faults N` is the fault
+budget per schedule (default 1), `--inject lose-partitioned-invalidations`
+plants the seeded protocol bug the checker must find, and tokens gain a `!`
+fault section (e.g. `s1!1`). `--decision-log FILE` writes a machine-readable
+summary of the search (CI uploads it when the smoke check fails).
+`verify --crash PROB` adds barrier-interval node crashes to the fault plan.
 "
     .to_owned()
 }
@@ -333,9 +343,22 @@ fn verify(args: &Args) -> Result<String, String> {
     let (name, threads) = app_factory(args)?;
     let nodes = args.get_usize("nodes", 8)?;
     let iters = args.get_usize("iters", 3)?;
+    let mut plan = faults_of(args)?;
+    // `--crash P` sugar: barrier-interval node crashes on top of whatever
+    // `--faults` specified (the oracle tolerates the wiped state — crashed
+    // caches reconstruct lazily from the surviving directory).
+    if let Some(crash) = args.get("crash") {
+        let p: f64 = crash
+            .parse()
+            .map_err(|e| format!("bad --crash value `{crash}`: {e}"))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("--crash {p} is not a probability in [0, 1]"));
+        }
+        plan.crash_prob = p;
+    }
     let bench = Workbench::new(nodes, threads)
         .map_err(|e| e.to_string())?
-        .with_faults(faults_of(args)?);
+        .with_faults(plan);
     let run = bench
         .conformance_run(build(&name, threads), iters)
         .map_err(|e| e.to_string())?;
@@ -380,10 +403,29 @@ fn explore(args: &Args) -> Result<String, String> {
         "systematic" => ExploreMode::Systematic {
             preemptions: args.get_usize("preemptions", 1)?,
         },
-        other => return Err(format!("unknown mode `{other}` (random|systematic)")),
+        "model-check" => ExploreMode::ModelCheck {
+            preemptions: args.get_usize("preemptions", 1)?,
+            faults: args.get_usize("faults", 1)?,
+        },
+        other => {
+            return Err(format!(
+                "unknown mode `{other}` (random|systematic|model-check)"
+            ))
+        }
     };
     let replay = match args.get("replay") {
         Some(token) => Some(Schedule::parse_token(token).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let inject = match args.get("inject") {
+        Some("lose-partitioned-invalidations") => {
+            Some(acorr::dsm::InjectedBug::LosePartitionedInvalidations)
+        }
+        Some(other) => {
+            return Err(format!(
+                "unknown injected bug `{other}` (lose-partitioned-invalidations)"
+            ))
+        }
         None => None,
     };
     let options = ExploreOptions {
@@ -392,6 +434,7 @@ fn explore(args: &Args) -> Result<String, String> {
         budget: args.get_usize("budget", 20)?.max(1),
         mode,
         replay,
+        inject,
         jobs: jobs_of(args)?,
         ..ExploreOptions::default()
     };
@@ -408,6 +451,26 @@ fn explore(args: &Args) -> Result<String, String> {
             &options,
         )
         .map_err(|e| e.to_string())?;
+    if let Some(path) = args.get("decision-log") {
+        let mut artifact = format!(
+            "app={}\nmode={}\nschedules_run={}\ndecision_points={}\ndistinct_states={}\n",
+            report.app,
+            args.get_or("mode", "random"),
+            report.schedules_run,
+            report.decision_points,
+            report.distinct_states,
+        );
+        match &report.failure {
+            Some(fail) => {
+                artifact.push_str(&format!(
+                    "failure_token={}\nfailure_kind={}\nfailure_mode={}\nfailure_detail={}\n",
+                    fail.token, fail.kind, fail.write_mode, fail.detail
+                ));
+            }
+            None => artifact.push_str("failure_token=none\n"),
+        }
+        std::fs::write(path, artifact).map_err(|e| format!("{path}: {e}"))?;
+    }
     Ok(format!("{report}\n"))
 }
 
@@ -731,6 +794,107 @@ mod tests {
         assert!(err.contains("magic"), "{err}");
         let err = cli(&["explore", "--app", "SOR", "--replay", "v2:9"]).unwrap_err();
         assert!(err.contains("v2:9"), "{err}");
+        let err = cli(&["explore", "--app", "SOR", "--inject", "gremlins"]).unwrap_err();
+        assert!(err.contains("gremlins"), "{err}");
+    }
+
+    #[test]
+    fn explore_model_check_sweeps_clean_and_writes_decision_log() {
+        let dir = std::env::temp_dir().join(format!("acorr-cli-mc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("decisions.log");
+        let out = cli(&[
+            "explore",
+            "--app",
+            "sor",
+            "--threads",
+            "8",
+            "--nodes",
+            "2",
+            "--mode",
+            "model-check",
+            "--budget",
+            "4",
+            "--decision-log",
+            log.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("no new races, no divergences"), "{out}");
+        assert!(out.contains("distinct states:"), "{out}");
+        let artifact = std::fs::read_to_string(&log).unwrap();
+        assert!(artifact.contains("mode=model-check"), "{artifact}");
+        assert!(artifact.contains("failure_token=none"), "{artifact}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explore_model_check_finds_the_injected_partition_bug() {
+        let out = cli(&[
+            "explore",
+            "--app",
+            "sor",
+            "--threads",
+            "8",
+            "--nodes",
+            "2",
+            "--mode",
+            "model-check",
+            "--budget",
+            "8",
+            "--inject",
+            "lose-partitioned-invalidations",
+        ])
+        .unwrap();
+        assert!(out.contains("FAILED"), "{out}");
+        assert!(out.contains("s1!1"), "{out}");
+        // The printed token replays the identical counterexample, fault
+        // section included.
+        let replayed = cli(&[
+            "explore",
+            "--app",
+            "sor",
+            "--threads",
+            "8",
+            "--nodes",
+            "2",
+            "--replay",
+            "s1!1",
+            "--inject",
+            "lose-partitioned-invalidations",
+        ])
+        .unwrap();
+        assert!(replayed.contains("FAILED"), "{replayed}");
+        assert!(replayed.contains("s1!1"), "{replayed}");
+    }
+
+    #[test]
+    fn verify_crash_sugar_survives_and_rejects_bad_probabilities() {
+        let out = cli(&[
+            "verify",
+            "--app",
+            "SOR",
+            "--threads",
+            "8",
+            "--nodes",
+            "2",
+            "--crash",
+            "1.0",
+        ])
+        .unwrap();
+        assert!(out.contains("conformance OK"), "{out}");
+        let err = cli(&[
+            "verify",
+            "--app",
+            "SOR",
+            "--threads",
+            "8",
+            "--nodes",
+            "2",
+            "--crash",
+            "7",
+        ])
+        .unwrap_err();
+        assert!(err.contains("probability"), "{err}");
     }
 
     #[test]

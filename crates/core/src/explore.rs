@@ -31,10 +31,10 @@
 //! steering with all-default choices is the unsteered engine.
 
 use crate::experiment::{HeuristicRow, Workbench};
-use acorr_dsm::{Dsm, DsmError, Program, WriteMode};
+use acorr_dsm::{Dsm, DsmError, InjectedBug, Program, WriteMode};
 use acorr_mem::{PageId, Race, RaceReport};
 use acorr_place::{place, Strategy};
-use acorr_sched::{shrink, ExploreMode, Explorer, Schedule, ScheduleDriver};
+use acorr_sched::{shrink_pair, ExploreMode, Explorer, Schedule, ScheduleDriver};
 use acorr_sim::{DecisionRecord, DetRng, Mapping, SimDuration};
 use acorr_track::cut_cost;
 use std::collections::BTreeSet;
@@ -59,6 +59,10 @@ pub struct ExploreOptions {
     /// Replay exactly this schedule instead of exploring (the budget and
     /// mode are ignored; the default-schedule baseline still runs first).
     pub replay: Option<Schedule>,
+    /// Protocol bug to inject into every explored run (the adversarial
+    /// fixture: the model checker must *find* the counterexample the bug
+    /// plants). `None` checks the real protocol.
+    pub inject: Option<InjectedBug>,
     /// Worker threads for the explored schedules (`0` = all the host
     /// offers, `1` = sequential). Schedules are drained from the explorer
     /// in waves and run on [`acorr_sim::pool::par_map_indexed`]; results
@@ -78,6 +82,7 @@ impl Default for ExploreOptions {
             mode: ExploreMode::Random { seed: 0xACE5 },
             sw_delta: SimDuration::from_micros(200),
             replay: None,
+            inject: None,
             jobs: 1,
         }
     }
@@ -151,6 +156,10 @@ pub struct ExploreReport {
     /// The first failing schedule found, if any, shrunk to a minimal
     /// replay token.
     pub failure: Option<ExploreFailure>,
+    /// Model-check mode: distinct state keys observed (0 in other modes).
+    /// Runs whose state was already known are pruned — they expand no
+    /// further deviations.
+    pub distinct_states: usize,
 }
 
 impl fmt::Display for ExploreReport {
@@ -165,6 +174,13 @@ impl fmt::Display for ExploreReport {
             "baseline races: {} multi-writer, {} single-writer (structural)",
             self.baseline_races.0, self.baseline_races.1
         )?;
+        if self.distinct_states > 0 {
+            writeln!(
+                f,
+                "distinct states: {} (state-hash pruning)",
+                self.distinct_states
+            )?;
+        }
         match &self.failure {
             None => write!(f, "no new races, no divergences"),
             Some(fail) => write!(f, "FAILED: {fail}"),
@@ -180,11 +196,31 @@ struct ProtoRun {
     digests: Vec<u64>,
     hazy: Vec<PageId>,
     log: Vec<DecisionRecord>,
+    fault_log: Vec<DecisionRecord>,
+    state_key: u64,
     violation: Option<String>,
 }
 
 const MW: &str = "multi-writer";
 const SW: &str = "single-writer";
+
+/// FNV-1a fold of one `u64` into a running hash.
+fn mix(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// The model checker's pruning key for one schedule's (MW, SW) run pair.
+/// Each run's key already folds its per-barrier `VisibleImage` digest
+/// stream with the *structure* (alternatives columns) of its decision
+/// logs; chosen columns are deliberately excluded so distinct decision
+/// paths that converge to the same memory state and expose the same
+/// downstream decision structure collapse into one state.
+fn pair_state_key(mw: &ProtoRun, sw: &ProtoRun) -> u64 {
+    mix(mix(0xCBF2_9CE4_8422_2325, mw.state_key), sw.state_key)
+}
 
 /// Applies every check to a schedule's two runs against the default
 /// baselines. Returns the first failure as (kind, protocol, detail).
@@ -309,6 +345,7 @@ impl Workbench {
             baseline,
             baseline_races: (base_mw.races.len(), base_sw.races.len()),
             failure: None,
+            distinct_states: 0,
         };
 
         // The default schedule itself must pass the absolute checks
@@ -351,12 +388,21 @@ impl Workbench {
         } else {
             acorr_sim::pool::resolve_threads(options.jobs)
         };
+        let model_check = matches!(options.mode, ExploreMode::ModelCheck { .. });
         let mut explorer = Explorer::new(options.mode, options.budget);
         let first = explorer
             .next_schedule()
             .expect("budget >= 1 yields the default schedule");
         debug_assert!(first.is_default());
-        explorer.observe(&base_mw.log);
+        if model_check {
+            explorer.observe_model(
+                &base_mw.log,
+                &base_mw.fault_log,
+                pair_state_key(&base_mw, &base_sw),
+            );
+        } else {
+            explorer.observe(&base_mw.log);
+        }
         loop {
             let mut wave = Vec::new();
             while wave.len() < jobs.max(1) {
@@ -366,6 +412,7 @@ impl Workbench {
                 }
             }
             if wave.is_empty() {
+                report.distinct_states = explorer.distinct_states();
                 return Ok(report);
             }
             let runs = acorr_sim::pool::par_map_indexed(jobs, wave, |_, schedule| {
@@ -376,8 +423,13 @@ impl Workbench {
             for run in runs {
                 let (mw, sw) = run?;
                 report.schedules_run += 1;
-                explorer.observe(&mw.log);
+                if model_check {
+                    explorer.observe_model(&mw.log, &mw.fault_log, pair_state_key(&mw, &sw));
+                } else {
+                    explorer.observe(&mw.log);
+                }
                 if let Some(fail) = judge(&mw, &sw, &base_mw, &base_sw) {
+                    report.distinct_states = explorer.distinct_states();
                     report.failure = Some(self.shrunk(
                         &factory, &mapping, options, &base_mw, &base_sw, &mw, &sw, fail,
                     )?);
@@ -410,12 +462,16 @@ impl Workbench {
                 delta: options.sw_delta,
             }
         };
+        if let Some(bug) = options.inject {
+            config = config.with_injected_bug(bug);
+        }
         let mut dsm = Dsm::new(config, factory(), mapping.clone())?;
         if let Some(obs) = &self.observer {
             let (sink, _handle) = acorr_obs::observer(obs, self.cluster.num_nodes());
             dsm.attach_sink(sink);
         }
         let (driver, log) = ScheduleDriver::new(schedule);
+        let fault_log = driver.fault_log();
         dsm.set_schedule_policy(Box::new(driver));
         dsm.enable_oracle();
         dsm.enable_race_detection();
@@ -442,17 +498,24 @@ impl Workbench {
             Err(e) => return Err(e),
         };
         let race = dsm.race_report().expect("race detection was enabled");
+        let visible = dsm.visible_image().expect("visible image was enabled");
+        let log = log.records();
+        let fault_log = fault_log.records();
+        // Per-run pruning key: the digest stream plus the decision
+        // *structure* of both logs (see `pair_state_key`).
+        let mut state_key = mix(0xCBF2_9CE4_8422_2325, visible.state_key());
+        for r in log.iter().chain(&fault_log) {
+            state_key = mix(state_key, u64::from(r.alternatives));
+        }
         Ok(ProtoRun {
             stats_row,
             races: race.races.iter().copied().collect(),
             report: race,
-            digests: dsm
-                .visible_image()
-                .expect("visible image was enabled")
-                .digests()
-                .to_vec(),
+            digests: visible.digests().to_vec(),
             hazy: dsm.oracle_hazy_pages().expect("oracle was enabled"),
-            log: log.records(),
+            log,
+            fault_log,
+            state_key,
             violation,
         })
     }
@@ -478,21 +541,20 @@ impl Workbench {
         P: Program,
         F: Fn() -> P + Sync,
     {
-        let choices = |run: &ProtoRun| -> Vec<u32> { run.log.iter().map(|r| r.chosen).collect() };
-        // Concretize from the failing protocol's log: a prescribed prefix
-        // of its own recorded choices reproduces that run — and therefore
-        // its failure — exactly.
-        let primary = if fail.1 == SW {
-            choices(sw)
-        } else {
-            choices(mw)
-        };
+        let choices =
+            |log: &[DecisionRecord]| -> Vec<u32> { log.iter().map(|r| r.chosen).collect() };
+        // Concretize from the failing protocol's logs: a prescribed
+        // (schedule, fault) prefix pair of its own recorded choices
+        // reproduces that run — and therefore its failure — exactly.
+        let failing = if fail.1 == SW { sw } else { mw };
+        let primary = choices(&failing.log);
+        let primary_faults = choices(&failing.fault_log);
         let mut error: Option<DsmError> = None;
-        let minimal = shrink(&primary, |prefix| {
+        let (min_sched, min_faults) = shrink_pair(&primary, &primary_faults, |prefix, faults| {
             if error.is_some() {
                 return false;
             }
-            let schedule = Schedule::prescribed(prefix.to_vec());
+            let schedule = Schedule::prescribed(prefix.to_vec()).with_faults(faults.to_vec());
             let m = match self.steered_run(factory, mapping, &schedule, MW, options) {
                 Ok(m) => m,
                 Err(e) => {
@@ -514,7 +576,7 @@ impl Workbench {
         }
         // Re-judge the minimal schedule so the reported kind and detail
         // describe the schedule the token actually names.
-        let schedule = Schedule::prescribed(minimal);
+        let schedule = Schedule::prescribed(min_sched).with_faults(min_faults);
         let m = self.steered_run(factory, mapping, &schedule, MW, options)?;
         let s = self.steered_run(factory, mapping, &schedule, SW, options)?;
         let (kind, mode, detail) = judge(&m, &s, base_mw, base_sw).unwrap_or(fail);

@@ -24,6 +24,24 @@ pub enum WriteMode {
     },
 }
 
+/// A deliberately planted protocol bug, for exercising the fault
+/// model-checker end to end.
+///
+/// The explorer's acceptance test needs a *real* seeded defect: a bug that
+/// is invisible under fault-free schedules, is found by systematic
+/// fault × schedule exploration, and shrinks to a minimal replay token.
+/// Gating the defect behind configuration keeps it out of every production
+/// path while letting tests inject it into an otherwise-stock engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedBug {
+    /// While a network partition is active, invalidations (write notices)
+    /// destined for nodes on the far side of the cut are silently dropped
+    /// instead of queued for the heal — a classic partition-tolerance bug
+    /// that leaves stale valid copies behind and trips the coherence oracle
+    /// at the very next barrier.
+    LosePartitionedInvalidations,
+}
+
 /// Configuration of one DSM instance.
 ///
 /// Use [`DsmConfig::new`] for the defaults and the with-methods for
@@ -56,6 +74,9 @@ pub struct DsmConfig {
     /// Deterministic network fault plan applied at every send; the default
     /// ([`FaultPlan::none`]) perturbs nothing and adds zero cost.
     pub faults: FaultPlan,
+    /// Deliberately planted protocol defect for model-checker tests; `None`
+    /// (the default) is the correct engine.
+    pub inject: Option<InjectedBug>,
 }
 
 impl DsmConfig {
@@ -69,6 +90,7 @@ impl DsmConfig {
             seed: 0,
             write_mode: WriteMode::MultiWriter,
             faults: FaultPlan::none(),
+            inject: None,
         }
     }
 
@@ -111,6 +133,13 @@ impl DsmConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Plants a deliberate protocol defect (test fixtures only).
+    #[must_use]
+    pub fn with_injected_bug(mut self, bug: InjectedBug) -> Self {
+        self.inject = Some(bug);
         self
     }
 }

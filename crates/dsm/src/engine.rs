@@ -22,7 +22,7 @@
 //! is a conservative discrete-event loop: the node with the smallest local
 //! time that can make progress always steps next, so runs are deterministic.
 
-use crate::config::{DsmConfig, WriteMode};
+use crate::config::{DsmConfig, InjectedBug, WriteMode};
 use crate::error::DsmError;
 use crate::locks::LockState;
 use crate::node::NodeState;
@@ -37,7 +37,7 @@ use acorr_mem::{
     pages_for, span_pages, AccessKind, AccessMatrix, Arena, HbRaceDetector, PageId, PageSpan,
     Protection, RaceReport, VisibleImage,
 };
-use acorr_sim::{FaultInjector, Mapping, MessageKind, NodeId, SimDuration, SimTime};
+use acorr_sim::{FaultAction, FaultInjector, Mapping, MessageKind, NodeId, SimDuration, SimTime};
 
 /// Fixed framing overhead charged per diff, on top of the dirty bytes.
 const DIFF_HEADER_BYTES: u64 = 16;
@@ -133,6 +133,21 @@ pub struct Dsm<P: Program> {
     /// Reusable fetch-plan buffer: every coherence fault fills this in
     /// place instead of allocating a fresh diff vector.
     plan_scratch: FetchPlan,
+    /// Run-global barrier-interval ordinal: the index of fault decision
+    /// points (one per interval, spanning iterations).
+    fault_interval: u64,
+    /// Active partition cut, if any: links crossing `split` are down for
+    /// the current interval.
+    partition_split: Option<usize>,
+    /// Simulated time the active partition heals; cross-cut messages sent
+    /// before it are buffered (delivered at the heal), never lost.
+    partition_until: SimTime,
+    /// Interval-scoped fault: every message this interval is delivered
+    /// twice (the duplicate is absorbed idempotently).
+    interval_dup: bool,
+    /// Interval-scoped fault: every message this interval arrives corrupted
+    /// once — caught by checksum, repaired by retransmission.
+    interval_corrupt: bool,
 }
 
 impl<P: Program> Dsm<P> {
@@ -194,6 +209,11 @@ impl<P: Program> Dsm<P> {
             decision_seq: 0,
             interval_arena: Arena::new(),
             plan_scratch: FetchPlan::default(),
+            fault_interval: 0,
+            partition_split: None,
+            partition_until: SimTime::ZERO,
+            interval_dup: false,
+            interval_corrupt: false,
         })
     }
 
@@ -439,48 +459,233 @@ impl<P: Program> Dsm<P> {
     }
 
     /// Sends one protocol message charged to node `i`: records it, lets the
-    /// fault injector perturb it (possibly timing out and retransmitting),
-    /// and returns the total delivery latency. With no fault plan this is
+    /// fault injector perturb it (timeouts and retransmissions, stochastic
+    /// duplication and corruption), then applies any interval-scoped fault —
+    /// forced duplication or corruption, or an active partition when the
+    /// destination `dst` sits across the cut. Returns the total delivery
+    /// latency. With no fault plan and no active interval fault this is
     /// exactly `base`.
+    ///
+    /// `dst` is `None` for messages with no single destination (broadcast
+    /// write notices, lock control whose peer the model keeps abstract);
+    /// those never stall at a partition.
     fn net_send(
         &mut self,
         i: usize,
         kind: MessageKind,
         bytes: u64,
         base: SimDuration,
+        dst: Option<usize>,
     ) -> SimDuration {
         self.cur.net.record(kind, bytes);
-        if self.faults.is_none() {
+        if self.faults.is_none()
+            && self.partition_split.is_none()
+            && !self.interval_dup
+            && !self.interval_corrupt
+        {
             return base;
         }
         let d = self
             .faults
-            .deliver(self.nodes[i].id, self.nodes[i].time, base);
+            .deliver(self.nodes[i].id, self.nodes[i].time, base, bytes);
         if d.retries > 0 {
             self.cur.retries += d.retries as u64;
             self.cur.net.record_retrans(kind, bytes, d.retries as u64);
         }
-        d.latency
+        if d.duplicates > 0 {
+            self.cur.dup_messages += d.duplicates as u64;
+            self.cur.dup_bytes += bytes * d.duplicates as u64;
+            self.cur
+                .net
+                .record_retrans(kind, bytes, d.duplicates as u64);
+        }
+        if d.corrupt_detected > 0 {
+            self.cur.corrupt_detected += d.corrupt_detected as u64;
+            self.cur
+                .net
+                .record_retrans(kind, bytes, d.corrupt_detected as u64);
+        }
+        let mut latency = d.latency;
+        if self.interval_dup {
+            // The duplicate is absorbed idempotently: traffic in the
+            // retransmission ledger, no extra protocol latency.
+            self.cur.dup_messages += 1;
+            self.cur.dup_bytes += bytes;
+            self.cur.net.record_retrans(kind, bytes, 1);
+        }
+        if self.interval_corrupt {
+            // Checksum catches the corruption; one full retransmission.
+            self.cur.corrupt_detected += 1;
+            self.cur.net.record_retrans(kind, bytes, 1);
+            latency += base;
+        }
+        if let (Some(split), Some(dst)) = (self.partition_split, dst) {
+            let now = self.nodes[i].time;
+            if (i < split) != (dst < split) && now < self.partition_until {
+                // The cut buffers the message until it heals: delivered
+                // late, never lost (the delivered multiset is preserved).
+                latency += self.partition_until.saturating_since(now);
+                self.cur.partition_delays += 1;
+            }
+        }
+        latency
     }
 
     /// Like [`Dsm::net_send`] for messages the baseline cost model treats as
     /// free (write notices, barrier control): only the fault-induced *extra*
     /// latency beyond the nominal cost is charged, so a zero-fault run stays
     /// byte-identical to one without the injector.
-    fn net_send_extra(&mut self, i: usize, kind: MessageKind, bytes: u64) -> SimDuration {
-        self.cur.net.record(kind, bytes);
-        if self.faults.is_none() {
-            return SimDuration::ZERO;
-        }
+    fn net_send_extra(
+        &mut self,
+        i: usize,
+        kind: MessageKind,
+        bytes: u64,
+        dst: Option<usize>,
+    ) -> SimDuration {
         let base = self.config.network.control_time();
-        let d = self
-            .faults
-            .deliver(self.nodes[i].id, self.nodes[i].time, base);
-        if d.retries > 0 {
-            self.cur.retries += d.retries as u64;
-            self.cur.net.record_retrans(kind, bytes, d.retries as u64);
+        self.net_send(i, kind, bytes, base, dst)
+            .saturating_sub(base)
+    }
+
+    /// Opens a new barrier interval for fault purposes: any interval-scoped
+    /// fault from the previous interval ends (the partition heals), then
+    /// one fault action is decided for the new interval — by the attached
+    /// policy's `inject` hook when a policy is present (the model checker's
+    /// systematic enumeration), by the stochastic plan otherwise.
+    ///
+    /// Pure runs — no policy, and a plan without interval-scoped faults —
+    /// return before consuming anything, so fault-free executions stay
+    /// bit-identical to an engine without fault decision points.
+    fn begin_fault_interval(&mut self) {
+        self.partition_split = None;
+        self.interval_dup = false;
+        self.interval_corrupt = false;
+        if self.policy.is_none() && !self.config.faults.has_interval_faults() {
+            return;
         }
-        d.latency.saturating_sub(base)
+        let interval = self.fault_interval;
+        self.fault_interval += 1;
+        let nodes = self.nodes.len();
+        let alternatives = FaultAction::alternatives(nodes);
+        let (action, choice) = if let Some(policy) = self.policy.as_mut() {
+            let choice = policy.inject(interval, alternatives).min(alternatives - 1);
+            (FaultAction::from_choice(choice, nodes), choice)
+        } else {
+            let action = self.faults.interval_action(interval, nodes);
+            // The stochastic draw maps back onto the same menu the model
+            // checker enumerates, so a random counterexample can be
+            // replayed as a prescribed fault token.
+            let choice = match action {
+                FaultAction::None => 0,
+                FaultAction::Partition { .. } => 1,
+                FaultAction::Duplicate => 2,
+                FaultAction::Corrupt => 3,
+                FaultAction::Crash { .. } => 4,
+            };
+            (action, choice)
+        };
+        if action == FaultAction::None {
+            return;
+        }
+        self.emit(
+            0,
+            Event::FaultDecision {
+                interval,
+                alternatives: alternatives as u32,
+                choice: choice as u32,
+            },
+        );
+        match action {
+            FaultAction::None => {}
+            FaultAction::Partition { split } => {
+                let split = split.clamp(1, nodes - 1);
+                self.partition_split = Some(split);
+                let window = if self.config.faults.partition_window.is_zero() {
+                    SimDuration::from_millis(2)
+                } else {
+                    self.config.faults.partition_window
+                };
+                self.partition_until = self.now() + window;
+            }
+            FaultAction::Duplicate => self.interval_dup = true,
+            FaultAction::Corrupt => self.interval_corrupt = true,
+            FaultAction::Crash { node } => self.crash_node(node.min(nodes - 1)),
+        }
+    }
+
+    /// Crashes node `victim` at a barrier boundary and rejoins it with a
+    /// cold cache: every cached page copy and all per-page protocol
+    /// metadata are wiped. Recovery is protocol-level state reconstruction:
+    /// under the multi-writer protocol the surviving directory (stable
+    /// storage in this model) holds every finalized diff, so each page
+    /// re-fetches lazily on the next access; under single-writer, pages the
+    /// victim owned transfer to a survivor, which receives the current
+    /// committed copy. The reconstruction traffic is charged where it
+    /// happens — at the recovery fetches — not here.
+    fn crash_node(&mut self, victim: usize) {
+        let nodes = self.nodes.len();
+        if nodes < 2 {
+            return;
+        }
+        let victim = victim.min(nodes - 1);
+        let mut wiped = 0u64;
+        for p in 0..self.num_pages {
+            let pages = &mut self.nodes[victim].pages;
+            if pages.has_copy(p) {
+                wiped += 1;
+            }
+            pages.set_valid(p, false);
+            pages.set_has_copy(p, false);
+            pages.set_twin(p, false);
+            pages.set_prot(p, Protection::None);
+            pages.set_applied_version(p, 0);
+            pages.dirty_mut(p).clear();
+        }
+        self.nodes[victim].write_set.clear();
+        self.cur.crashes += 1;
+        self.cur.pages_wiped += wiped;
+        if let Some(o) = self.oracle.as_mut() {
+            o.on_crash(victim);
+        }
+        self.emit(
+            victim,
+            Event::NodeCrash {
+                node: self.nodes[victim].id,
+                pages: wiped,
+            },
+        );
+        if matches!(self.config.write_mode, WriteMode::SingleWriter { .. }) {
+            // Ownership must not die with the node: every victim-owned page
+            // transfers to a survivor, which takes the committed copy (the
+            // single valid replica the eager protocol requires).
+            let survivor = usize::from(victim == 0);
+            let survivor_id = self.nodes[survivor].id;
+            let victim_id = self.nodes[victim].id;
+            let now = self.now();
+            for p in 0..self.num_pages {
+                let page = PageId(p as u32);
+                if self.directory.page(page).owner != victim_id {
+                    continue;
+                }
+                self.directory.transfer_ownership(page, survivor_id, now);
+                let pages = &mut self.nodes[survivor].pages;
+                pages.set_valid(p, true);
+                pages.set_has_copy(p, true);
+                if pages.prot(p) == Protection::None {
+                    pages.set_prot(p, Protection::Read);
+                }
+                if let Some(o) = self.oracle.as_mut() {
+                    o.on_fetch_sw(survivor, page);
+                }
+                self.emit(
+                    survivor,
+                    Event::OwnershipTransfer {
+                        page,
+                        to: survivor_id,
+                    },
+                );
+            }
+        }
     }
 
     /// Runs `n` ordinary iterations and returns their aggregate statistics.
@@ -547,9 +752,9 @@ impl<P: Program> Dsm<P> {
                     continue;
                 }
                 for _ in 0..arriving {
-                    let d = self
-                        .faults
-                        .deliver(self.nodes[i].id, self.nodes[i].time, per_stack);
+                    let d =
+                        self.faults
+                            .deliver(self.nodes[i].id, self.nodes[i].time, per_stack, stack);
                     if d.retries > 0 {
                         self.total.retries += d.retries as u64;
                         self.total.net.record_retrans(
@@ -654,6 +859,7 @@ impl<P: Program> Dsm<P> {
                 node.pinned = None;
             }
         }
+        self.begin_fault_interval();
 
         loop {
             if self.threads.iter().all(|t| t.status == ThreadStatus::Done) {
@@ -918,14 +1124,14 @@ impl<P: Program> Dsm<P> {
             self.directory
                 .fetch_plan_into(page, self.nodes[i].id, applied, has_copy, &mut plan);
             let mut dur = SimDuration::ZERO;
-            if plan.full_page_from.is_some() {
+            if let Some(src) = plan.full_page_from {
                 let bytes = acorr_mem::PAGE_SIZE as u64;
                 let base = self.config.network.transfer_time(bytes);
-                dur += self.net_send(i, MessageKind::PageFetch, bytes, base);
+                dur += self.net_send(i, MessageKind::PageFetch, bytes, base, Some(src.idx()));
             }
             for d in &plan.diffs {
                 let base = self.config.network.transfer_time(d.bytes);
-                dur += self.net_send(i, MessageKind::DiffFetch, d.bytes, base);
+                dur += self.net_send(i, MessageKind::DiffFetch, d.bytes, base, Some(d.node.idx()));
             }
             let apply = self.config.cost.diff_apply(plan.diff_bytes());
             self.nodes[i].time += apply;
@@ -1008,12 +1214,13 @@ impl<P: Program> Dsm<P> {
                     .page(page)
                     .sw_frozen_until
                     .saturating_since(now);
+                let owner = self.directory.page(page).owner;
                 let bytes = acorr_mem::PAGE_SIZE as u64;
                 let base = self.config.network.transfer_time(bytes);
-                let transfer = self.net_send(i, MessageKind::PageFetch, bytes, base);
+                let transfer =
+                    self.net_send(i, MessageKind::PageFetch, bytes, base, Some(owner.idx()));
                 // The owner is downgraded so its next write faults and
                 // re-invalidates this reader.
-                let owner = self.directory.page(page).owner;
                 if owner != node_id {
                     let opages = &mut self.nodes[owner.idx()].pages;
                     if opages.prot(page.idx()) == Protection::ReadWrite {
@@ -1063,9 +1270,16 @@ impl<P: Program> Dsm<P> {
                     .page(page)
                     .sw_frozen_until
                     .saturating_since(now);
+                let old_owner = self.directory.page(page).owner;
                 let bytes = acorr_mem::PAGE_SIZE as u64;
                 let base = self.config.network.transfer_time(bytes);
-                let transfer = self.net_send(i, MessageKind::PageFetch, bytes, base);
+                let transfer = self.net_send(
+                    i,
+                    MessageKind::PageFetch,
+                    bytes,
+                    base,
+                    Some(old_owner.idx()),
+                );
                 self.invalidate_others_sw(i, page);
                 let wake = now + stall + transfer;
                 self.directory
@@ -1108,16 +1322,25 @@ impl<P: Program> Dsm<P> {
     /// Invalidates every other node's copy of `page` (single-writer
     /// protocol), with write-notice accounting.
     fn invalidate_others_sw(&mut self, i: usize, page: PageId) {
+        // The planted partition-tolerance bug: invalidations crossing an
+        // active cut are silently dropped instead of queued for the heal.
+        let lose_across = match self.config.inject {
+            Some(InjectedBug::LosePartitionedInvalidations) => self.partition_split,
+            None => None,
+        };
         let mut invalidated = 0u64;
         for (j, node) in self.nodes.iter_mut().enumerate() {
-            if j != i && node.pages.valid(page.idx()) {
+            if j != i
+                && node.pages.valid(page.idx())
+                && lose_across.is_none_or(|split| (i < split) == (j < split))
+            {
                 node.pages.set_valid(page.idx(), false);
                 node.pages.set_prot(page.idx(), Protection::None);
                 invalidated += 1;
             }
         }
         for _ in 0..invalidated {
-            let extra = self.net_send_extra(i, MessageKind::WriteNotice, NOTICE_BYTES);
+            let extra = self.net_send_extra(i, MessageKind::WriteNotice, NOTICE_BYTES, None);
             self.nodes[i].time += extra;
         }
     }
@@ -1185,9 +1408,9 @@ impl<P: Program> Dsm<P> {
         // Fault-injected delays on these control messages push out the
         // sender's arrival (and with it the release time).
         for j in 1..self.nodes.len() {
-            let extra = self.net_send_extra(j, MessageKind::Barrier, BARRIER_MSG_BYTES);
+            let extra = self.net_send_extra(j, MessageKind::Barrier, BARRIER_MSG_BYTES, Some(0));
             self.nodes[j].time += extra;
-            let extra = self.net_send_extra(0, MessageKind::Barrier, BARRIER_MSG_BYTES);
+            let extra = self.net_send_extra(0, MessageKind::Barrier, BARRIER_MSG_BYTES, Some(j));
             self.nodes[0].time += extra;
         }
         let n = self.nodes.len() as u64;
@@ -1244,6 +1467,13 @@ impl<P: Program> Dsm<P> {
                 }
             }
         }
+        // The release opens the next interval: decide its fault action
+        // (the oracle just checked the pre-crash state above, so a crash
+        // here is validated at the *next* barrier). The final barrier of an
+        // iteration opens nothing — the next `run_one` does.
+        if self.threads.iter().any(|t| t.status != ThreadStatus::Done) {
+            self.begin_fault_interval();
+        }
     }
 
     /// After the pinned thread parks at a barrier, hand the node to its next
@@ -1293,7 +1523,7 @@ impl<P: Program> Dsm<P> {
                 bytes,
             },
         );
-        let extra = self.net_send_extra(i, MessageKind::WriteNotice, NOTICE_BYTES);
+        let extra = self.net_send_extra(i, MessageKind::WriteNotice, NOTICE_BYTES, None);
         self.nodes[i].time += extra;
         let pages = &mut self.nodes[i].pages;
         pages.set_twin(page.idx(), false);
@@ -1302,9 +1532,17 @@ impl<P: Program> Dsm<P> {
             pages.set_prot(page.idx(), Protection::Read);
         }
         // Invalidate every other replica; a concurrent writer keeps its twin
-        // and will merge on its next fetch.
+        // and will merge on its next fetch. Under the planted bug, notices
+        // crossing an active partition cut are silently lost.
+        let lose_across = match self.config.inject {
+            Some(InjectedBug::LosePartitionedInvalidations) => self.partition_split,
+            None => None,
+        };
         for (j, node) in self.nodes.iter_mut().enumerate() {
-            if j != i && node.pages.valid(page.idx()) {
+            if j != i
+                && node.pages.valid(page.idx())
+                && lose_across.is_none_or(|split| (i < split) == (j < split))
+            {
                 node.pages.set_valid(page.idx(), false);
                 node.pages.set_prot(page.idx(), Protection::None);
             }
@@ -1339,15 +1577,15 @@ impl<P: Program> Dsm<P> {
             let mut plan = std::mem::take(&mut self.plan_scratch);
             self.directory
                 .fetch_plan_into(page, owner, applied, has_copy, &mut plan);
-            if plan.full_page_from.is_some() {
+            if let Some(src) = plan.full_page_from {
                 let bytes = acorr_mem::PAGE_SIZE as u64;
                 let base = self.config.network.transfer_time(bytes);
-                let dur = self.net_send(oi, MessageKind::Gc, bytes, base);
+                let dur = self.net_send(oi, MessageKind::Gc, bytes, base, Some(src.idx()));
                 self.nodes[oi].time += dur;
             }
             for d in &plan.diffs {
                 let base = self.config.network.transfer_time(d.bytes);
-                let dur = self.net_send(oi, MessageKind::Gc, d.bytes, base);
+                let dur = self.net_send(oi, MessageKind::Gc, d.bytes, base, Some(d.node.idx()));
                 self.nodes[oi].time += dur;
             }
             self.nodes[oi].time += self.config.cost.diff_apply(plan.diff_bytes());
@@ -1410,8 +1648,8 @@ impl<P: Program> Dsm<P> {
         if remote {
             self.cur.remote_lock_acquires += 1;
             let base = self.config.network.control_time();
-            let delay = self.net_send(i, MessageKind::Lock, LOCK_MSG_BYTES, base)
-                + self.net_send(i, MessageKind::Lock, LOCK_MSG_BYTES, base);
+            let delay = self.net_send(i, MessageKind::Lock, LOCK_MSG_BYTES, base, None)
+                + self.net_send(i, MessageKind::Lock, LOCK_MSG_BYTES, base, None);
             self.threads[t].status = ThreadStatus::Blocked;
             self.cur.stall += delay;
             self.threads[t].wake_at = grant_base + delay;
@@ -1474,8 +1712,8 @@ impl<P: Program> Dsm<P> {
             self.cur.remote_lock_acquires += 1;
             let ni = node_id.idx();
             let base = self.config.network.control_time();
-            self.net_send(ni, MessageKind::Lock, LOCK_MSG_BYTES, base)
-                + self.net_send(ni, MessageKind::Lock, LOCK_MSG_BYTES, base)
+            self.net_send(ni, MessageKind::Lock, LOCK_MSG_BYTES, base, None)
+                + self.net_send(ni, MessageKind::Lock, LOCK_MSG_BYTES, base, None)
         } else {
             self.config.cost.lock_local
         };

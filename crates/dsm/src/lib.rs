@@ -62,7 +62,7 @@ pub mod steer;
 pub mod thread;
 pub mod trace;
 
-pub use config::{DsmConfig, WriteMode};
+pub use config::{DsmConfig, InjectedBug, WriteMode};
 pub use engine::{Dsm, MigrationReport};
 pub use error::DsmError;
 pub use ids::ThreadId;

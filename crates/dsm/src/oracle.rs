@@ -349,6 +349,16 @@ impl CoherenceOracle {
     // Event hooks (single-writer)
     // --------------------------------------------------------------
 
+    /// Node `node` crashed at a barrier boundary: its physical copies are
+    /// gone, so every modelled view for it is dropped. The committed image
+    /// — stable storage in the recovery model — is untouched; the node's
+    /// views are rebuilt by the ordinary fetches recovery triggers.
+    pub fn on_crash(&mut self, node: usize) {
+        for p in 0..self.num_pages {
+            self.views[node * self.num_pages + p] = None;
+        }
+    }
+
     /// A node fetched a page copy under the single-writer protocol: the
     /// copy is the current global contents.
     pub fn on_fetch_sw(&mut self, node: usize, page: PageId) {

@@ -51,6 +51,22 @@ pub struct IterStats {
     /// (0 without a fault plan; the corresponding traffic is in
     /// `net.retrans_*`, separate from the paper-reproduction counters).
     pub retries: u64,
+    /// Duplicated message deliveries the protocol absorbed (idempotent
+    /// receive); like `retries`, their traffic lands in the retransmission
+    /// ledger, never in the paper counters.
+    pub dup_messages: u64,
+    /// Payload bytes carried by duplicated deliveries.
+    pub dup_bytes: u64,
+    /// Payload corruptions caught by the per-message checksum and repaired
+    /// by retransmission.
+    pub corrupt_detected: u64,
+    /// Messages that stalled at a partition cut until it healed.
+    pub partition_delays: u64,
+    /// Node crashes injected at barrier boundaries.
+    pub crashes: u64,
+    /// Cached page copies wiped by crashes (reconstructed lazily from the
+    /// surviving directory).
+    pub pages_wiped: u64,
     /// Network traffic.
     pub net: NetStats,
 }
@@ -99,6 +115,12 @@ impl AddAssign for IterStats {
         self.gc_pages += rhs.gc_pages;
         self.migrations += rhs.migrations;
         self.retries += rhs.retries;
+        self.dup_messages += rhs.dup_messages;
+        self.dup_bytes += rhs.dup_bytes;
+        self.corrupt_detected += rhs.corrupt_detected;
+        self.partition_delays += rhs.partition_delays;
+        self.crashes += rhs.crashes;
+        self.pages_wiped += rhs.pages_wiped;
         self.net += rhs.net;
     }
 }
@@ -134,6 +156,12 @@ impl Sub for IterStats {
             gc_pages: self.gc_pages.saturating_sub(rhs.gc_pages),
             migrations: self.migrations.saturating_sub(rhs.migrations),
             retries: self.retries.saturating_sub(rhs.retries),
+            dup_messages: self.dup_messages.saturating_sub(rhs.dup_messages),
+            dup_bytes: self.dup_bytes.saturating_sub(rhs.dup_bytes),
+            corrupt_detected: self.corrupt_detected.saturating_sub(rhs.corrupt_detected),
+            partition_delays: self.partition_delays.saturating_sub(rhs.partition_delays),
+            crashes: self.crashes.saturating_sub(rhs.crashes),
+            pages_wiped: self.pages_wiped.saturating_sub(rhs.pages_wiped),
             net: self.net - rhs.net,
         }
     }

@@ -43,6 +43,15 @@ pub trait SchedulePolicy: std::fmt::Debug + Send {
     /// Returns an index in `0..alternatives`; out-of-range answers are
     /// clamped by the engine.
     fn choose(&mut self, point: DecisionPoint, alternatives: usize) -> usize;
+
+    /// Chooses the fault action for barrier interval `interval` from a menu
+    /// of `alternatives` (action `0` is always "no fault"). Consulted once
+    /// per interval whenever a policy is attached; the default answers `0`,
+    /// so schedule-only policies never inject anything.
+    fn inject(&mut self, interval: u64, alternatives: usize) -> usize {
+        let _ = (interval, alternatives);
+        0
+    }
 }
 
 /// The trivial policy: always the engine's FIFO default. Attaching it is

@@ -148,6 +148,24 @@ pub enum Event {
         /// Index the policy chose (`0` is the engine's FIFO default).
         choice: u32,
     },
+    /// A fault action fired at a barrier-interval boundary (never emitted
+    /// for action `0`, "no fault", so fault-free runs have clean streams).
+    FaultDecision {
+        /// Run-global barrier-interval ordinal (spans iterations).
+        interval: u64,
+        /// Size of the fault-action menu at this interval.
+        alternatives: u32,
+        /// Index of the action taken.
+        choice: u32,
+    },
+    /// A node crashed at a barrier and rejoined with a cold cache; its
+    /// protocol state reconstructs from the surviving directory.
+    NodeCrash {
+        /// The crashed node.
+        node: NodeId,
+        /// Cached page copies wiped by the crash.
+        pages: u64,
+    },
 }
 
 impl fmt::Display for Event {
@@ -181,6 +199,14 @@ impl fmt::Display for Event {
                 alternatives,
                 choice,
             } => write!(f, "decide #{seq} {choice}/{alternatives}"),
+            Event::FaultDecision {
+                interval,
+                alternatives,
+                choice,
+            } => write!(f, "inject #{interval} {choice}/{alternatives}"),
+            Event::NodeCrash { node, pages } => {
+                write!(f, "crash {node} ({pages} pages wiped)")
+            }
         }
     }
 }
@@ -382,6 +408,15 @@ mod tests {
                 seq: 0,
                 alternatives: 2,
                 choice: 1,
+            },
+            Event::FaultDecision {
+                interval: 4,
+                alternatives: 5,
+                choice: 1,
+            },
+            Event::NodeCrash {
+                node: NodeId(1),
+                pages: 3,
             },
         ];
         for ev in samples {

@@ -336,3 +336,136 @@ fn oracle_checks_lock_releases() {
     assert!(report.lock_releases_checked >= 4);
     assert_eq!(report.violations, 0);
 }
+
+// ---------------------------------------------------------------------
+// Crash/partition fault classes (PR-7)
+// ---------------------------------------------------------------------
+
+/// Partition ∘ heal is an identity on the delivered-message multiset:
+/// cross-cut messages are buffered until the cut heals, never lost, so the
+/// paper-reproduction counters (misses, first-send bytes) of a lock-free
+/// program cannot move. Checked across seeds, and the property must not be
+/// vacuous: some seed has to actually partition.
+#[test]
+fn partition_and_heal_preserve_delivered_message_multiset() {
+    let clean = {
+        let cluster = ClusterConfig::new(2, 4).unwrap();
+        let mut dsm = dsm_with(DsmConfig::new(cluster), barrier_program());
+        dsm.run_iterations(6).unwrap()
+    };
+    let mut partitions_seen = 0u64;
+    for seed in 0..8 {
+        let cluster = ClusterConfig::new(2, 4).unwrap();
+        let config = DsmConfig::new(cluster).with_faults(FaultPlan::partition(seed));
+        let mut dsm = dsm_with(config, barrier_program());
+        dsm.enable_oracle();
+        let stats = dsm.run_iterations(6).unwrap();
+        assert_eq!(dsm.oracle_report().unwrap().violations, 0, "seed {seed}");
+        assert_eq!(stats.remote_misses, clean.remote_misses, "seed {seed}");
+        assert_eq!(
+            stats.net.total_bytes(),
+            clean.net.total_bytes(),
+            "seed {seed}: partition must only delay, never drop or resend"
+        );
+        assert_eq!(stats.crashes, 0);
+        partitions_seen += stats.partition_delays;
+    }
+    assert!(
+        partitions_seen > 0,
+        "at least one seed must cut the network, or the property is vacuous"
+    );
+}
+
+/// Duplicated deliveries and checksum-caught corruptions are absorbed by
+/// the protocol (idempotent receive, retransmission) without inflating any
+/// paper counter: their traffic lands in the retransmission ledger only.
+#[test]
+fn duplication_and_corruption_never_inflate_paper_counters() {
+    let clean = {
+        let cluster = ClusterConfig::new(2, 4).unwrap();
+        let mut dsm = dsm_with(DsmConfig::new(cluster), barrier_program());
+        dsm.run_iterations(4).unwrap()
+    };
+    for seed in [3, 17, 99] {
+        let plan = FaultPlan {
+            seed,
+            dup_prob: 0.4,
+            corrupt_prob: 0.2,
+            ..FaultPlan::none()
+        };
+        let cluster = ClusterConfig::new(2, 4).unwrap();
+        let mut dsm = dsm_with(DsmConfig::new(cluster).with_faults(plan), barrier_program());
+        dsm.enable_oracle();
+        let stats = dsm.run_iterations(4).unwrap();
+        assert_eq!(dsm.oracle_report().unwrap().violations, 0, "seed {seed}");
+        assert!(
+            stats.dup_messages > 0,
+            "seed {seed}: dup_prob 0.4 must fire"
+        );
+        assert!(stats.corrupt_detected > 0, "seed {seed}");
+        assert_eq!(stats.remote_misses, clean.remote_misses, "seed {seed}");
+        assert_eq!(
+            stats.net.total_bytes(),
+            clean.net.total_bytes(),
+            "seed {seed}: dup/corrupt traffic must stay in the retrans ledger"
+        );
+        assert!(
+            stats.net.total_retrans_messages() >= stats.dup_messages + stats.corrupt_detected,
+            "seed {seed}"
+        );
+        assert!(
+            stats.net.total_retrans_bytes() >= stats.dup_bytes,
+            "seed {seed}"
+        );
+    }
+}
+
+/// A node crash at a barrier wipes its cached pages; recovery is purely
+/// protocol-level — valid copies are re-fetched from the surviving
+/// directory on the next miss — and the oracle certifies every barrier
+/// after the wipe. `crash_prob=1` crashes at every interval.
+#[test]
+fn crash_and_recovery_reach_an_oracle_clean_state() {
+    let plan = FaultPlan {
+        seed: 7,
+        crash_prob: 1.0,
+        ..FaultPlan::none()
+    };
+    let (stats, bytes) = run_with_plan(plan.clone(), 5);
+    assert!(stats.crashes > 0, "crash_prob 1.0 must crash");
+    assert!(stats.pages_wiped > 0, "a crash must wipe cached copies");
+    assert!(bytes > 0, "the oracle compared post-recovery contents");
+
+    // Single-writer: the survivor adopts the victim's owned pages.
+    let cluster = ClusterConfig::new(2, 4).unwrap();
+    let config = DsmConfig::new(cluster)
+        .with_write_mode(WriteMode::SingleWriter {
+            delta: SimDuration::from_micros(100),
+        })
+        .with_faults(plan);
+    let mut dsm = dsm_with(config, busy_program());
+    dsm.enable_oracle();
+    let stats = dsm.run_iterations(4).unwrap();
+    assert!(stats.crashes > 0);
+    assert_eq!(dsm.oracle_report().unwrap().violations, 0);
+}
+
+/// Crashes are the one fault class allowed to move protocol counters
+/// (wiped caches re-fetch), but determinism still holds: same seed, same
+/// wipes, same recovery, byte for byte.
+#[test]
+fn crash_runs_are_deterministic_per_seed() {
+    let plan = FaultPlan {
+        seed: 21,
+        crash_prob: 0.5,
+        ..FaultPlan::none()
+    };
+    let a = run_with_plan(plan.clone(), 5);
+    let b = run_with_plan(plan, 5);
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert!(
+        a.0.crashes > 0,
+        "crash_prob 0.5 over 5 iterations must fire"
+    );
+}

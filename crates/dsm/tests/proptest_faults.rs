@@ -1,0 +1,152 @@
+//! Property-based tests for the crash/partition fault classes: partition ∘
+//! heal is an identity on the delivered-message multiset, duplication and
+//! corruption never inflate the paper-reproduction counters, and crash +
+//! recovery always reaches an oracle-clean state — for *arbitrary*
+//! in-range fault probabilities and seeds, not just the preset points the
+//! deterministic tests in `faults_oracle.rs` pin.
+
+// Property tests require the external `proptest` crate, which the
+// offline default build cannot fetch; see the crate Cargo.toml.
+#![cfg(feature = "proptest")]
+
+use acorr_dsm::{Dsm, DsmConfig, IterStats, Op, Program, WriteMode};
+use acorr_mem::PAGE_SIZE;
+use acorr_sim::{ClusterConfig, FaultPlan, Mapping, SimDuration};
+use proptest::prelude::*;
+
+const PAGE: u64 = PAGE_SIZE as u64;
+
+/// A lock-free sharing workload: without locks there is no
+/// timing-dependent ordering, so every paper counter must be invariant
+/// under non-crash fault plans.
+struct BarrierOnly;
+
+impl Program for BarrierOnly {
+    fn name(&self) -> &str {
+        "barrier-only"
+    }
+    fn shared_bytes(&self) -> u64 {
+        5 * PAGE
+    }
+    fn num_threads(&self) -> usize {
+        4
+    }
+    fn num_locks(&self) -> usize {
+        0
+    }
+    fn script(&self, thread: usize, _iteration: usize) -> Vec<Op> {
+        match thread {
+            0 => vec![
+                Op::read(0, PAGE),
+                Op::write(0, 128),
+                Op::Barrier,
+                Op::read(PAGE, 64),
+            ],
+            1 => vec![
+                Op::read(0, PAGE),
+                Op::write(2048, 128),
+                Op::write(PAGE, 64),
+                Op::Barrier,
+            ],
+            2 => vec![
+                Op::read(2 * PAGE, PAGE),
+                Op::write(2 * PAGE + 512, 256),
+                Op::Barrier,
+            ],
+            _ => vec![
+                Op::write(3 * PAGE, 64),
+                Op::Barrier,
+                Op::read(2 * PAGE + 512, 64),
+            ],
+        }
+    }
+}
+
+fn run(plan: FaultPlan, single_writer: bool, iterations: usize) -> IterStats {
+    let cluster = ClusterConfig::new(2, 4).unwrap();
+    let mut config = DsmConfig::new(cluster).with_faults(plan);
+    if single_writer {
+        config = config.with_write_mode(WriteMode::SingleWriter {
+            delta: SimDuration::from_micros(100),
+        });
+    }
+    let mapping = Mapping::stretch(&config.cluster);
+    let mut dsm = Dsm::new(config, BarrierOnly, mapping).unwrap();
+    dsm.enable_oracle();
+    let stats = dsm.run_iterations(iterations).unwrap();
+    assert_eq!(
+        dsm.oracle_report().unwrap().violations,
+        0,
+        "oracle must stay clean"
+    );
+    stats
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Partition ∘ heal delivers the same message multiset as a fault-free
+    /// run: identical misses and first-send bytes for any partition
+    /// probability, window and seed.
+    #[test]
+    fn partition_heal_is_delivery_identity(
+        seed in any::<u64>(),
+        prob in 0.01f64..1.0,
+        window_us in 100u64..5_000,
+    ) {
+        let clean = run(FaultPlan::none(), false, 5);
+        let plan = FaultPlan {
+            seed,
+            partition_prob: prob,
+            partition_window: SimDuration::from_micros(window_us),
+            ..FaultPlan::none()
+        };
+        let faulted = run(plan, false, 5);
+        prop_assert_eq!(faulted.remote_misses, clean.remote_misses);
+        prop_assert_eq!(faulted.net.total_bytes(), clean.net.total_bytes());
+        prop_assert_eq!(faulted.crashes, 0);
+    }
+
+    /// Duplication and corruption never inflate the paper counters; their
+    /// traffic is confined to the retransmission ledger.
+    #[test]
+    fn duplication_never_inflates_paper_counters(
+        seed in any::<u64>(),
+        dup in 0.0f64..1.0,
+        corrupt in 0.0f64..0.5,
+    ) {
+        let clean = run(FaultPlan::none(), false, 4);
+        let plan = FaultPlan {
+            seed,
+            dup_prob: dup,
+            corrupt_prob: corrupt,
+            ..FaultPlan::none()
+        };
+        let faulted = run(plan, false, 4);
+        prop_assert_eq!(faulted.remote_misses, clean.remote_misses);
+        prop_assert_eq!(faulted.net.total_bytes(), clean.net.total_bytes());
+        prop_assert!(
+            faulted.net.total_retrans_messages()
+                >= faulted.dup_messages + faulted.corrupt_detected
+        );
+    }
+
+    /// Crash + recovery reaches an oracle-clean state under both write
+    /// protocols, for any crash probability and seed; and each such run is
+    /// deterministic (same seed, same bytes).
+    #[test]
+    fn crash_recovery_reaches_oracle_clean_state(
+        seed in any::<u64>(),
+        prob in 0.05f64..=1.0,
+        single_writer in any::<bool>(),
+    ) {
+        let plan = FaultPlan {
+            seed,
+            crash_prob: prob,
+            ..FaultPlan::none()
+        };
+        let a = run(plan.clone(), single_writer, 5);
+        let b = run(plan, single_writer, 5);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -122,6 +122,20 @@ impl VisibleImage {
         &self.digests
     }
 
+    /// FNV-1a hash of the whole digest stream: a compact key for the
+    /// program-visible state trajectory of a run. Model checking uses this
+    /// (combined with the run's decision-point structure) to prune
+    /// fault × schedule branches that reach an already-visited state.
+    pub fn state_key(&self) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for &d in &self.digests {
+            for b in d.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        h
+    }
+
     /// A thread completed a write of `span`. Zero-length spans consume no
     /// token (mirroring the coherence oracle). `under_lock` marks the bytes
     /// order-sensitive.
@@ -267,6 +281,23 @@ mod tests {
         // sensitive.
         assert_eq!(v.sensitive_bytes(), 0);
         assert_eq!(v.page_data(0).unwrap()[0], write_token(1, 0));
+    }
+
+    #[test]
+    fn state_key_tracks_the_digest_stream() {
+        let mut a = VisibleImage::new(1, 1);
+        let empty = a.state_key();
+        a.on_write(0, span(0, 0, 8), false);
+        a.on_barrier();
+        let one = a.state_key();
+        assert_ne!(empty, one);
+        a.on_barrier();
+        assert_ne!(one, a.state_key());
+        // Same write history, same key.
+        let mut b = VisibleImage::new(1, 1);
+        b.on_write(0, span(0, 0, 8), false);
+        b.on_barrier();
+        assert_eq!(one, b.state_key());
     }
 
     #[test]

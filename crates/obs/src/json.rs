@@ -373,6 +373,12 @@ pub fn iter_stats_json(stats: &IterStats) -> String {
         .u64("gc_pages", stats.gc_pages)
         .u64("migrations", stats.migrations)
         .u64("retries", stats.retries)
+        .u64("dup_messages", stats.dup_messages)
+        .u64("dup_bytes", stats.dup_bytes)
+        .u64("corrupt_detected", stats.corrupt_detected)
+        .u64("partition_delays", stats.partition_delays)
+        .u64("crashes", stats.crashes)
+        .u64("pages_wiped", stats.pages_wiped)
         .raw("net", &net_stats_json(&stats.net));
     obj.finish()
 }

@@ -72,6 +72,21 @@ fn push_event_fields(obj: &mut Obj, event: &Event) {
                 .u64("alternatives", u64::from(alternatives))
                 .u64("choice", u64::from(choice));
         }
+        Event::FaultDecision {
+            interval,
+            alternatives,
+            choice,
+        } => {
+            obj.str("type", "fault_decision")
+                .u64("interval", interval)
+                .u64("alternatives", u64::from(alternatives))
+                .u64("choice", u64::from(choice));
+        }
+        Event::NodeCrash { node, pages } => {
+            obj.str("type", "node_crash")
+                .u64("node", u64::from(node.0))
+                .u64("pages", pages);
+        }
     }
 }
 
@@ -247,9 +262,11 @@ impl ChromeTraceSink {
             Event::CorrelationFault { .. }
             | Event::BarrierRelease { .. }
             | Event::LockGranted { .. } => self.nodes as u64,
-            // Schedule decisions get their own track, so an explored
-            // interleaving reads as a lane of choice markers in Perfetto.
-            Event::ScheduleDecision { .. } => self.nodes as u64 + 1,
+            // Schedule and fault decisions share the scheduler track, so an
+            // explored interleaving reads as a lane of choice markers in
+            // Perfetto with the injected faults inline.
+            Event::ScheduleDecision { .. } | Event::FaultDecision { .. } => self.nodes as u64 + 1,
+            Event::NodeCrash { node, .. } => u64::from(node.0),
         }
     }
 
@@ -311,6 +328,8 @@ impl EventSink for ChromeTraceSink {
             Event::LockGranted { .. } => "lock_granted",
             Event::Migration { .. } => "migration",
             Event::ScheduleDecision { .. } => "schedule_decision",
+            Event::FaultDecision { .. } => "fault_decision",
+            Event::NodeCrash { .. } => "node_crash",
         };
         self.instant(at, name, tid, &args_json);
     }

@@ -50,10 +50,17 @@ impl DecisionLog {
 }
 
 /// A [`SchedulePolicy`] that realizes a [`Schedule`] and logs what it did.
+///
+/// Scheduling choices and fault choices flow through two independent
+/// queue/log pairs: the fault log records one entry per barrier interval
+/// consulted, and its `chosen` column is the concrete fault prefix of a
+/// replay token's `!` section.
 #[derive(Debug)]
 pub struct ScheduleDriver {
     queue: DecisionQueue,
     log: SharedLog,
+    fault_queue: DecisionQueue,
+    fault_log: SharedLog,
 }
 
 impl ScheduleDriver {
@@ -64,9 +71,20 @@ impl ScheduleDriver {
             ScheduleDriver {
                 queue: schedule.queue(),
                 log: Arc::clone(&log.inner),
+                fault_queue: schedule.fault_queue(),
+                fault_log: SharedLog::default(),
             },
             log,
         )
+    }
+
+    /// The handle to the fault-decision log (one record per barrier
+    /// interval consulted). Grab it before boxing the driver into the
+    /// engine.
+    pub fn fault_log(&self) -> DecisionLog {
+        DecisionLog {
+            inner: Arc::clone(&self.fault_log),
+        }
     }
 }
 
@@ -74,6 +92,18 @@ impl SchedulePolicy for ScheduleDriver {
     fn choose(&mut self, _point: DecisionPoint, alternatives: usize) -> usize {
         let choice = self.queue.next(alternatives);
         self.log
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(DecisionRecord {
+                alternatives: alternatives as u32,
+                chosen: choice as u32,
+            });
+        choice
+    }
+
+    fn inject(&mut self, _interval: u64, alternatives: usize) -> usize {
+        let choice = self.fault_queue.next(alternatives);
+        self.fault_log
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .push(DecisionRecord {
@@ -99,6 +129,23 @@ mod tests {
         assert_eq!(log.len(), 3);
         assert_eq!(log.choices(), vec![1, 2, 0]);
         assert_eq!(log.records()[1].alternatives, 3);
+    }
+
+    #[test]
+    fn fault_choices_flow_through_their_own_queue_and_log() {
+        let schedule = Schedule::prescribed(vec![1]).with_faults(vec![0, 4]);
+        let (mut d, log) = ScheduleDriver::new(&schedule);
+        let flog = d.fault_log();
+        assert_eq!(d.inject(0, 5), 0);
+        assert_eq!(d.inject(1, 5), 4);
+        assert_eq!(d.inject(2, 5), 0); // past the prefix: no fault
+                                       // Fault consultations never leak into the scheduling log.
+        assert_eq!(log.len(), 0);
+        assert_eq!(flog.choices(), vec![0, 4, 0]);
+        assert_eq!(flog.records()[1].alternatives, 5);
+        // And scheduling choices never consume fault-queue entries.
+        assert_eq!(d.choose(DecisionPoint::Run { node: NodeId(0) }, 2), 1);
+        assert_eq!(flog.len(), 3);
     }
 
     #[test]

@@ -13,10 +13,21 @@
 //!   frontier. The bound counts non-default choices, so depth grows one
 //!   deviation at a time and small bounds already cover the
 //!   "one untimely preemption" bugs that dominate practice.
+//! * **Model-check** — systematic enumeration over the *fault × schedule*
+//!   product space: fault decisions (partition, duplication, corruption,
+//!   crash — one per barrier interval) deviate exactly like scheduling
+//!   decisions, each dimension under its own bound, and every candidate
+//!   pairs a deviation in one dimension with the observed run's concrete
+//!   choices in the other. Runs are pruned by *state hash*: callers pass
+//!   each run's state key (per-barrier `VisibleImage` digests folded with
+//!   the decision structure) to [`Explorer::observe_model`], and a run
+//!   landing in an already-visited state expands nothing — distinct fault
+//!   placements that converge to the same memory state are explored once.
 //!
 //! Exploration is feedback-driven: callers run each schedule, then hand
-//! the observed [`DecisionRecord`] log back via [`Explorer::observe`] so
-//! the systematic frontier can expand (random mode ignores feedback).
+//! the observed [`DecisionRecord`] log(s) back via [`Explorer::observe`]
+//! (or [`Explorer::observe_model`]) so the systematic frontier can expand
+//! (random mode ignores feedback).
 
 use crate::schedule::Schedule;
 use acorr_sim::DecisionRecord;
@@ -37,6 +48,15 @@ pub enum ExploreMode {
         /// Maximum non-default choices per schedule.
         preemptions: usize,
     },
+    /// Systematic enumeration over the fault × schedule product space with
+    /// state-hash pruning; feed runs back via [`Explorer::observe_model`].
+    ModelCheck {
+        /// Maximum non-default scheduling choices per schedule.
+        preemptions: usize,
+        /// Maximum non-default fault choices (injected fault actions) per
+        /// schedule.
+        faults: usize,
+    },
 }
 
 /// splitmix64: derives one tail seed per (base, index) pair.
@@ -49,16 +69,31 @@ fn derive_seed(base: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Trims trailing default (0) choices: a FIFO/no-fault tail reproduces
+/// them, so `[1, 0]` and `[1]` name the same schedule.
+fn trimmed(mut v: Vec<u32>) -> Vec<u32> {
+    while v.last() == Some(&0) {
+        v.pop();
+    }
+    v
+}
+
 /// Yields schedules to run, up to a budget.
 #[derive(Debug)]
 pub struct Explorer {
     mode: ExploreMode,
     budget: usize,
     emitted: usize,
-    /// Systematic mode: prefixes waiting to run, oldest first.
-    frontier: VecDeque<Vec<u32>>,
-    /// Systematic mode: prefixes ever enqueued (dedup).
-    visited: HashSet<Vec<u32>>,
+    /// Systematic modes: (schedule, fault) prefix pairs waiting to run,
+    /// oldest first. Plain systematic mode keeps the fault side empty.
+    frontier: VecDeque<(Vec<u32>, Vec<u32>)>,
+    /// Systematic modes: pairs ever enqueued (dedup).
+    visited: HashSet<(Vec<u32>, Vec<u32>)>,
+    /// Model-check mode: state keys of observed runs (pruning).
+    states: HashSet<u64>,
+    /// Model-check mode: observed runs whose state key was already known
+    /// and which therefore expanded nothing.
+    pruned: usize,
 }
 
 impl Explorer {
@@ -66,13 +101,15 @@ impl Explorer {
     /// the first being the default schedule.
     pub fn new(mode: ExploreMode, budget: usize) -> Self {
         let mut visited = HashSet::new();
-        visited.insert(Vec::new());
+        visited.insert((Vec::new(), Vec::new()));
         Explorer {
             mode,
             budget,
             emitted: 0,
-            frontier: VecDeque::from([Vec::new()]),
+            frontier: VecDeque::from([(Vec::new(), Vec::new())]),
             visited,
+            states: HashSet::new(),
+            pruned: 0,
         }
     }
 
@@ -81,8 +118,19 @@ impl Explorer {
         self.emitted
     }
 
+    /// Model-check mode: distinct state keys observed so far.
+    pub fn distinct_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Model-check mode: observed runs pruned because their state key was
+    /// already known.
+    pub fn pruned(&self) -> usize {
+        self.pruned
+    }
+
     /// The next schedule to run, or `None` when the budget is exhausted
-    /// (or, in systematic mode, the bounded space is).
+    /// (or, in the systematic modes, the bounded space is).
     pub fn next_schedule(&mut self) -> Option<Schedule> {
         if self.emitted >= self.budget {
             return None;
@@ -95,7 +143,10 @@ impl Explorer {
                     Schedule::random(derive_seed(seed, self.emitted as u64))
                 }
             }
-            ExploreMode::Systematic { .. } => Schedule::prescribed(self.frontier.pop_front()?),
+            ExploreMode::Systematic { .. } | ExploreMode::ModelCheck { .. } => {
+                let (prefix, faults) = self.frontier.pop_front()?;
+                Schedule::prescribed(prefix).with_faults(faults)
+            }
         };
         self.emitted += 1;
         Some(schedule)
@@ -104,28 +155,95 @@ impl Explorer {
     /// Feeds back the decision log one yielded schedule produced. In
     /// systematic mode this expands the frontier with every in-bound,
     /// not-yet-seen single-point deviation; random mode ignores it.
+    /// Model-check mode expects [`Explorer::observe_model`] instead (this
+    /// method then expands schedule deviations only, without pruning).
     pub fn observe(&mut self, log: &[DecisionRecord]) {
-        let ExploreMode::Systematic { preemptions } = self.mode else {
+        match self.mode {
+            ExploreMode::Systematic { preemptions } => self.expand(log, &[], preemptions, 0),
+            ExploreMode::ModelCheck { preemptions, .. } => self.expand(log, &[], preemptions, 0),
+            ExploreMode::Random { .. } => {}
+        }
+    }
+
+    /// Feeds back both decision logs and the state key of one yielded
+    /// schedule's run (model-check mode; other modes defer to
+    /// [`Explorer::observe`] on the scheduling log).
+    ///
+    /// If `state_key` was already observed the run expands nothing — its
+    /// deviations are reachable from the earlier run that produced the
+    /// same state. Otherwise every in-bound single-point deviation joins
+    /// the frontier: fault deviations first (paired with the run's
+    /// concrete schedule choices), then schedule deviations (paired with
+    /// the run's concrete fault choices).
+    pub fn observe_model(
+        &mut self,
+        sched_log: &[DecisionRecord],
+        fault_log: &[DecisionRecord],
+        state_key: u64,
+    ) {
+        let ExploreMode::ModelCheck {
+            preemptions,
+            faults,
+        } = self.mode
+        else {
+            self.observe(sched_log);
             return;
         };
-        for (i, rec) in log.iter().enumerate() {
+        if !self.states.insert(state_key) {
+            self.pruned += 1;
+            return;
+        }
+        self.expand(sched_log, fault_log, preemptions, faults);
+    }
+
+    /// Expands the frontier with every in-bound, not-yet-seen single-point
+    /// deviation of the observed (schedule, fault) decision-log pair. A
+    /// deviation in one dimension pairs with the other dimension's
+    /// concrete (trimmed `chosen` column) choices, so it replays the
+    /// observed run up to the deviation point exactly.
+    fn expand(
+        &mut self,
+        sched_log: &[DecisionRecord],
+        fault_log: &[DecisionRecord],
+        preemptions: usize,
+        faults: usize,
+    ) {
+        let sched_col = trimmed(sched_log.iter().map(|r| r.chosen).collect());
+        let fault_col = trimmed(fault_log.iter().map(|r| r.chosen).collect());
+        // Fault deviations first: the fault dimension is coarser (one
+        // decision per barrier interval), so its deviations sit earlier in
+        // the breadth-first order.
+        for (i, rec) in fault_log.iter().enumerate() {
             for alt in 0..rec.alternatives {
                 if alt == rec.chosen {
                     continue;
                 }
-                let mut candidate: Vec<u32> = log[..i].iter().map(|r| r.chosen).collect();
+                let mut candidate: Vec<u32> = fault_log[..i].iter().map(|r| r.chosen).collect();
                 candidate.push(alt);
-                // Canonical form: a FIFO tail reproduces trailing defaults,
-                // so `[1, 0]` and `[1]` are the same schedule.
-                while candidate.last() == Some(&0) {
-                    candidate.pop();
-                }
-                let deviations = candidate.iter().filter(|&&c| c != 0).count();
-                if deviations > preemptions {
+                let candidate = trimmed(candidate);
+                if candidate.iter().filter(|&&c| c != 0).count() > faults {
                     continue;
                 }
-                if self.visited.insert(candidate.clone()) {
-                    self.frontier.push_back(candidate);
+                let pair = (sched_col.clone(), candidate);
+                if self.visited.insert(pair.clone()) {
+                    self.frontier.push_back(pair);
+                }
+            }
+        }
+        for (i, rec) in sched_log.iter().enumerate() {
+            for alt in 0..rec.alternatives {
+                if alt == rec.chosen {
+                    continue;
+                }
+                let mut candidate: Vec<u32> = sched_log[..i].iter().map(|r| r.chosen).collect();
+                candidate.push(alt);
+                let candidate = trimmed(candidate);
+                if candidate.iter().filter(|&&c| c != 0).count() > preemptions {
+                    continue;
+                }
+                let pair = (candidate, fault_col.clone());
+                if self.visited.insert(pair.clone()) {
+                    self.frontier.push_back(pair);
                 }
             }
         }
@@ -163,6 +281,63 @@ pub fn shrink<F: FnMut(&[u32]) -> bool>(prefix: &[u32], mut fails: F) -> Vec<u32
         }
         if !changed {
             return cur;
+        }
+    }
+}
+
+/// Shrinks a failing (schedule, fault) decision-prefix pair to a minimal
+/// counterexample.
+///
+/// `fails` must return `true` when running the given pair (each with a
+/// default tail) still reproduces the failure. Fault choices are reverted
+/// first — a counterexample that survives with fewer injected faults is
+/// strictly more alarming, so the fixpoint prefers shedding faults over
+/// shedding preemptions — then schedule choices, iterating to a joint
+/// fixpoint exactly like [`shrink`]. The result carries no trailing
+/// defaults and no revertible choice in either dimension.
+pub fn shrink_pair<F: FnMut(&[u32], &[u32]) -> bool>(
+    sched: &[u32],
+    faults: &[u32],
+    mut fails: F,
+) -> (Vec<u32>, Vec<u32>) {
+    let mut s: Vec<u32> = sched.to_vec();
+    let mut f: Vec<u32> = faults.to_vec();
+    loop {
+        let mut changed = false;
+        while s.last() == Some(&0) {
+            s.pop();
+            changed = true;
+        }
+        while f.last() == Some(&0) {
+            f.pop();
+            changed = true;
+        }
+        for i in 0..f.len() {
+            if f[i] == 0 {
+                continue;
+            }
+            let saved = f[i];
+            f[i] = 0;
+            if fails(&s, &f) {
+                changed = true;
+            } else {
+                f[i] = saved;
+            }
+        }
+        for i in 0..s.len() {
+            if s[i] == 0 {
+                continue;
+            }
+            let saved = s[i];
+            s[i] = 0;
+            if fails(&s, &f) {
+                changed = true;
+            } else {
+                s[i] = saved;
+            }
+        }
+        if !changed {
+            return (s, f);
         }
     }
 }
@@ -268,5 +443,108 @@ mod tests {
     fn shrink_of_all_noise_is_empty() {
         let min = shrink(&[1, 2, 3], |_| true);
         assert_eq!(min, Vec::<u32>::new());
+    }
+
+    #[test]
+    fn model_check_expands_fault_deviations_before_schedule_deviations() {
+        let mut e = Explorer::new(
+            ExploreMode::ModelCheck {
+                preemptions: 1,
+                faults: 1,
+            },
+            100,
+        );
+        let first = e.next_schedule().unwrap();
+        assert!(first.is_default());
+        // Default run: one scheduling point (2 alts), one fault interval
+        // (3 alts), reaching fresh state 0xA.
+        e.observe_model(&[rec(2, 0)], &[rec(3, 0)], 0xA);
+        let second = e.next_schedule().unwrap();
+        // Fault deviations enqueue first.
+        assert_eq!(second.fault_prefix, vec![1]);
+        assert_eq!(second.prefix, Vec::<u32>::new());
+        let mut rest: Vec<(Vec<u32>, Vec<u32>)> = Vec::new();
+        while let Some(s) = e.next_schedule() {
+            rest.push((s.prefix.clone(), s.fault_prefix.clone()));
+        }
+        assert_eq!(
+            rest,
+            vec![(vec![], vec![2]), (vec![1], vec![])],
+            "remaining frontier after the first fault deviation"
+        );
+    }
+
+    #[test]
+    fn model_check_prunes_already_seen_states() {
+        let mut e = Explorer::new(
+            ExploreMode::ModelCheck {
+                preemptions: 1,
+                faults: 1,
+            },
+            100,
+        );
+        e.next_schedule().unwrap();
+        e.observe_model(&[rec(2, 0)], &[rec(2, 0)], 0xA);
+        let n = {
+            let mut count = 0;
+            while e.next_schedule().is_some() {
+                count += 1;
+                // Every deviation converges back to the default state.
+                e.observe_model(&[rec(2, 1)], &[rec(2, 1)], 0xA);
+            }
+            count
+        };
+        // Both single deviations ran, but neither expanded: same state.
+        assert_eq!(n, 2);
+        assert_eq!(e.distinct_states(), 1);
+        assert_eq!(e.pruned(), 2);
+    }
+
+    #[test]
+    fn model_check_pairs_deviations_with_observed_choices() {
+        let mut e = Explorer::new(
+            ExploreMode::ModelCheck {
+                preemptions: 2,
+                faults: 2,
+            },
+            100,
+        );
+        e.next_schedule().unwrap();
+        // A non-default observed run: sched chose 1, fault chose 2.
+        e.observe_model(&[rec(3, 1)], &[rec(3, 2)], 0xB);
+        let mut pairs: Vec<(Vec<u32>, Vec<u32>)> = Vec::new();
+        while let Some(s) = e.next_schedule() {
+            pairs.push((s.prefix.clone(), s.fault_prefix.clone()));
+        }
+        // Fault deviations keep the observed schedule column, and vice
+        // versa.
+        assert!(pairs.contains(&(vec![1], vec![])), "{pairs:?}");
+        assert!(pairs.contains(&(vec![1], vec![1])), "{pairs:?}");
+        assert!(pairs.contains(&(vec![], vec![2])), "{pairs:?}");
+        assert!(pairs.contains(&(vec![2], vec![2])), "{pairs:?}");
+    }
+
+    #[test]
+    fn shrink_pair_reverts_faults_first_then_schedule() {
+        // Failure needs fault[1] nonzero and sched[0] nonzero; the rest is
+        // noise.
+        let fails = |s: &[u32], f: &[u32]| {
+            s.first().is_some_and(|&c| c != 0) && f.get(1).is_some_and(|&c| c != 0)
+        };
+        let (s, f) = shrink_pair(&[2, 1, 0], &[3, 4, 1], fails);
+        assert_eq!(s, vec![2]);
+        assert_eq!(f, vec![0, 4]);
+        assert!(fails(&s, &f));
+        // Fixpoint.
+        assert_eq!(shrink_pair(&s, &f, fails), (s.clone(), f.clone()));
+    }
+
+    #[test]
+    fn shrink_pair_with_no_faults_matches_shrink() {
+        let fails =
+            |p: &[u32]| p.first().is_some_and(|&c| c != 0) && p.get(2).is_some_and(|&c| c != 0);
+        let (s, f) = shrink_pair(&[2, 1, 3, 0, 4, 0], &[], |s, _| fails(s));
+        assert_eq!(s, shrink(&[2, 1, 3, 0, 4, 0], fails));
+        assert_eq!(f, Vec::<u32>::new());
     }
 }

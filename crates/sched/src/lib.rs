@@ -14,10 +14,12 @@
 //! * [`driver`] — [`ScheduleDriver`]: the policy implementation that feeds
 //!   a schedule's choices into the engine while recording every consulted
 //!   decision point into a shared [`DecisionLog`].
-//! * [`explore`] — [`Explorer`]: seeded random exploration and a
+//! * [`explore`] — [`Explorer`]: seeded random exploration, a
 //!   preemption-bounded systematic mode (breadth-first enumeration of
-//!   single-point deviations from observed runs), plus [`shrink`]:
-//!   reducing a failing decision prefix to a minimal counterexample.
+//!   single-point deviations from observed runs), and a model-checking
+//!   mode over the fault × schedule product space with state-hash
+//!   pruning; plus [`shrink`] / [`shrink_pair`]: reducing a failing
+//!   decision prefix (pair) to a minimal counterexample.
 //!
 //! The crate knows nothing about *what* failure means — callers run each
 //! yielded schedule, decide pass/fail (races, divergences, oracle
@@ -31,5 +33,5 @@ pub mod explore;
 pub mod schedule;
 
 pub use driver::{DecisionLog, ScheduleDriver};
-pub use explore::{shrink, ExploreMode, Explorer};
+pub use explore::{shrink, shrink_pair, ExploreMode, Explorer};
 pub use schedule::{Schedule, ScheduleParseError, Tail};

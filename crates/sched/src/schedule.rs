@@ -2,18 +2,22 @@
 //!
 //! A [`Schedule`] prescribes the engine's choices at its steerable decision
 //! points: an explicit finite *prefix*, then a [`Tail`] policy for every
-//! point past it. Replay tokens serialize default-tail schedules:
+//! point past it, plus an explicit prefix of per-barrier-interval *fault*
+//! choices. Replay tokens serialize default-tail schedules:
 //!
 //! ```text
-//! token   := "s1" [ ":" choices ]
+//! token   := "s1" [ ":" choices ] [ "!" faults ]
 //! choices := u32 ( "." u32 )*
+//! faults  := u32 ( "." u32 )*
 //! ```
 //!
-//! `s1` is the default schedule (all-FIFO, bit-identical to the unsteered
-//! engine); `s1:1.0.2` prescribes choices 1, 0, 2 at the first three
-//! decision points and FIFO after. The `s1` version marker ties a token to
-//! this decision-point model — a future engine with different decision
-//! points would bump it rather than silently replay garbage.
+//! `s1` is the default schedule (all-FIFO, no faults, bit-identical to the
+//! unsteered engine); `s1:1.0.2` prescribes choices 1, 0, 2 at the first
+//! three decision points and FIFO after; `s1:1!0.2` additionally prescribes
+//! fault action 2 at the second barrier interval (`0` is always "no
+//! fault"). The `s1` version marker ties a token to this decision-point
+//! model — a future engine with different decision points would bump it
+//! rather than silently replay garbage.
 //!
 //! Random-tail schedules have no token: a failing random run is first
 //! *concretized* (its recorded decision log replayed as an explicit
@@ -42,6 +46,9 @@ pub struct Schedule {
     pub prefix: Vec<u32>,
     /// Policy past the prefix.
     pub tail: Tail,
+    /// Explicit fault choices for the first barrier intervals; past the
+    /// prefix every interval takes action 0 (no fault).
+    pub fault_prefix: Vec<u32>,
 }
 
 /// A replay token that failed to parse.
@@ -75,6 +82,7 @@ impl Schedule {
         Schedule {
             prefix: Vec::new(),
             tail: Tail::Default,
+            fault_prefix: Vec::new(),
         }
     }
 
@@ -83,6 +91,7 @@ impl Schedule {
         Schedule {
             prefix,
             tail: Tail::Default,
+            fault_prefix: Vec::new(),
         }
     }
 
@@ -92,7 +101,14 @@ impl Schedule {
         Schedule {
             prefix: Vec::new(),
             tail: Tail::Random { seed },
+            fault_prefix: Vec::new(),
         }
+    }
+
+    /// Returns the schedule with an explicit fault-choice prefix.
+    pub fn with_faults(mut self, fault_prefix: Vec<u32>) -> Self {
+        self.fault_prefix = fault_prefix;
+        self
     }
 
     /// Builds the decision queue realizing this schedule.
@@ -104,9 +120,18 @@ impl Schedule {
         DecisionQueue::new(self.prefix.clone(), tail)
     }
 
+    /// Builds the decision queue for fault choices. The tail is always the
+    /// default (action 0, no fault): fault exploration is systematic, never
+    /// random.
+    pub fn fault_queue(&self) -> DecisionQueue {
+        DecisionQueue::new(self.fault_prefix.clone(), None)
+    }
+
     /// Whether every prescribed choice is the engine default.
     pub fn is_default(&self) -> bool {
-        self.tail == Tail::Default && self.prefix.iter().all(|&c| c == 0)
+        self.tail == Tail::Default
+            && self.prefix.iter().all(|&c| c == 0)
+            && self.fault_prefix.iter().all(|&c| c == 0)
     }
 
     /// The replay token.
@@ -121,11 +146,18 @@ impl Schedule {
             Tail::Default,
             "random-tail schedules must be concretized before tokenizing"
         );
-        if self.prefix.is_empty() {
-            return "s1".to_string();
+        let mut token = "s1".to_string();
+        if !self.prefix.is_empty() {
+            let choices: Vec<String> = self.prefix.iter().map(u32::to_string).collect();
+            token.push(':');
+            token.push_str(&choices.join("."));
         }
-        let choices: Vec<String> = self.prefix.iter().map(u32::to_string).collect();
-        format!("s1:{}", choices.join("."))
+        if !self.fault_prefix.is_empty() {
+            let faults: Vec<String> = self.fault_prefix.iter().map(u32::to_string).collect();
+            token.push('!');
+            token.push_str(&faults.join("."));
+        }
+        token
     }
 
     /// Parses a replay token produced by [`Schedule::token`].
@@ -141,17 +173,33 @@ impl Schedule {
         if rest.is_empty() {
             return Ok(Schedule::default_order());
         }
-        let choices = rest
-            .strip_prefix(':')
-            .ok_or_else(|| ScheduleParseError::BadVersion(token.to_string()))?;
-        let prefix = choices
-            .split('.')
-            .map(|c| {
-                c.parse::<u32>()
-                    .map_err(|_| ScheduleParseError::BadChoice(c.to_string()))
-            })
-            .collect::<Result<Vec<u32>, _>>()?;
-        Ok(Schedule::prescribed(prefix))
+        let parse_list = |list: &str| -> Result<Vec<u32>, ScheduleParseError> {
+            list.split('.')
+                .map(|c| {
+                    c.parse::<u32>()
+                        .map_err(|_| ScheduleParseError::BadChoice(c.to_string()))
+                })
+                .collect()
+        };
+        // Split off the fault part first: "s1:1.0!2" and "s1!2" are both
+        // valid; a second '!' is a malformed choice, not a new section.
+        let (sched_part, fault_part) = match rest.split_once('!') {
+            Some((s, f)) => (s, Some(f)),
+            None => (rest, None),
+        };
+        let prefix = if sched_part.is_empty() {
+            Vec::new()
+        } else {
+            let choices = sched_part
+                .strip_prefix(':')
+                .ok_or_else(|| ScheduleParseError::BadVersion(token.to_string()))?;
+            parse_list(choices)?
+        };
+        let fault_prefix = match fault_part {
+            Some(f) => parse_list(f)?,
+            None => Vec::new(),
+        };
+        Ok(Schedule::prescribed(prefix).with_faults(fault_prefix))
     }
 }
 
@@ -174,16 +222,31 @@ mod tests {
             Schedule::default_order(),
             Schedule::prescribed(vec![1]),
             Schedule::prescribed(vec![0, 3, 2, 0]),
+            Schedule::prescribed(vec![1]).with_faults(vec![0, 2]),
+            Schedule::default_order().with_faults(vec![1]),
         ] {
             assert_eq!(Schedule::parse_token(&s.token()).unwrap(), s);
         }
         assert_eq!(Schedule::default_order().token(), "s1");
         assert_eq!(Schedule::prescribed(vec![1, 0, 2]).token(), "s1:1.0.2");
+        assert_eq!(
+            Schedule::prescribed(vec![1])
+                .with_faults(vec![0, 2])
+                .token(),
+            "s1:1!0.2"
+        );
+        assert_eq!(
+            Schedule::default_order().with_faults(vec![1]).token(),
+            "s1!1"
+        );
     }
 
     #[test]
     fn parse_rejects_malformed_tokens() {
-        for bad in ["", "s2", "s1;1", "s1:", "s1:1..2", "s1:x", "s1:-1"] {
+        for bad in [
+            "", "s2", "s1;1", "s1:", "s1:1..2", "s1:x", "s1:-1", "s1!", "s1!x", "s1!1..2", "s1:1!",
+            "s1!1!2",
+        ] {
             assert!(Schedule::parse_token(bad).is_err(), "{bad:?}");
         }
     }
@@ -194,6 +257,20 @@ mod tests {
         assert!(Schedule::prescribed(vec![0, 0]).is_default());
         assert!(!Schedule::prescribed(vec![0, 1]).is_default());
         assert!(!Schedule::random(7).is_default());
+        assert!(Schedule::default_order().with_faults(vec![0]).is_default());
+        assert!(!Schedule::default_order().with_faults(vec![1]).is_default());
+    }
+
+    #[test]
+    fn fault_queue_realizes_prefix_with_default_tail() {
+        let s = Schedule::prescribed(vec![2]).with_faults(vec![4, 0, 1]);
+        let mut q = s.fault_queue();
+        assert_eq!(q.next(5), 4);
+        assert_eq!(q.next(5), 0);
+        assert_eq!(q.next(5), 1);
+        assert_eq!(q.next(5), 0);
+        // The fault queue is independent of the scheduling queue.
+        assert_eq!(s.queue().next(3), 2);
     }
 
     #[test]

@@ -3,9 +3,21 @@
 //! The paper's testbed was real Myrinet: messages were delayed, occasionally
 //! lost (and retransmitted by the transport), and nodes stalled under daemon
 //! activity. [`FaultPlan`] describes such misbehaviour as a small set of
-//! knobs — delay jitter, bounded reordering, transient drop-with-retry, and
-//! per-node slowdown windows — and [`FaultInjector`] applies it at the send
-//! path.
+//! knobs — delay jitter, bounded reordering, transient drop-with-retry,
+//! per-node slowdown windows, message duplication, checksum-detected payload
+//! corruption, group-based network partitions and node crashes — and
+//! [`FaultInjector`] applies it at the send path.
+//!
+//! Faults come in two granularities:
+//!
+//! * **per-message** faults (delay, drop, reorder, duplicate, corrupt) are
+//!   drawn inside [`FaultInjector::deliver`], one independent RNG stream per
+//!   message;
+//! * **per-interval** faults (partition, crash) are drawn once per barrier
+//!   interval via [`FaultInjector::interval_action`], or prescribed by a
+//!   model checker as a [`FaultAction`] choice — the same enumeration either
+//!   way, so a stochastic counterexample can be replayed as a prescribed
+//!   fault token.
 //!
 //! Everything is a pure function of `(plan, message identity)`: each message
 //! gets its own RNG stream forked from the plan seed and a per-node sequence
@@ -23,12 +35,12 @@
 //! let plan = FaultPlan::moderate(42);
 //! let mut inj = FaultInjector::new(plan, 2);
 //! let base = SimDuration::from_micros(120);
-//! let d = inj.deliver(NodeId(0), SimTime::ZERO, base);
+//! let d = inj.deliver(NodeId(0), SimTime::ZERO, base, 4096);
 //! assert!(d.latency >= base);
 //!
 //! // Same plan, fresh injector: the same message sees the same fate.
 //! let mut again = FaultInjector::new(FaultPlan::moderate(42), 2);
-//! assert_eq!(again.deliver(NodeId(0), SimTime::ZERO, base), d);
+//! assert_eq!(again.deliver(NodeId(0), SimTime::ZERO, base, 4096), d);
 //! ```
 
 use crate::rng::DetRng;
@@ -73,6 +85,25 @@ pub struct FaultPlan {
     pub slow_duty: f64,
     /// Multiplier applied to message latency inside a slowdown window.
     pub slow_factor: f64,
+    /// Probability a message is duplicated in flight. The duplicate is
+    /// discarded by the receiver (sequence numbers), so it costs bandwidth
+    /// but never changes protocol state or delivery latency.
+    pub dup_prob: f64,
+    /// Probability a message payload is corrupted in flight. Corruption is
+    /// detected by the per-message checksum ([`message_checksum`]) and
+    /// repaired with one retransmission round (`+base` latency).
+    pub corrupt_prob: f64,
+    /// Probability a barrier interval begins under a network partition
+    /// (group-based link cut between two node groups, healed by the next
+    /// barrier).
+    pub partition_prob: f64,
+    /// How long cross-partition messages stall before the cut heals within
+    /// the interval. Zero means the parse-time default of 2 ms.
+    pub partition_window: SimDuration,
+    /// Probability a node crashes at a barrier interval boundary and
+    /// recovers by protocol-level state reconstruction (cache wiped,
+    /// valid pages re-fetched from surviving directories).
+    pub crash_prob: f64,
 }
 
 impl Default for FaultPlan {
@@ -97,6 +128,11 @@ impl FaultPlan {
             slow_period: SimDuration::ZERO,
             slow_duty: 0.0,
             slow_factor: 1.0,
+            dup_prob: 0.0,
+            corrupt_prob: 0.0,
+            partition_prob: 0.0,
+            partition_window: SimDuration::ZERO,
+            crash_prob: 0.0,
         }
     }
 
@@ -141,6 +177,32 @@ impl FaultPlan {
             slow_period: SimDuration::from_millis(5),
             slow_duty: 0.3,
             slow_factor: 3.0,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Recurring group-based partitions plus light duplication: each barrier
+    /// interval has a 25% chance of starting cut in two, healing 2 ms in.
+    pub fn partition(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            partition_prob: 0.25,
+            partition_window: SimDuration::from_millis(2),
+            dup_prob: 0.05,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Everything at once: moderate network misbehaviour plus partitions,
+    /// duplication, checksum-detected corruption and node crashes.
+    pub fn chaos(seed: u64) -> Self {
+        FaultPlan {
+            partition_prob: 0.15,
+            partition_window: SimDuration::from_millis(1),
+            dup_prob: 0.05,
+            corrupt_prob: 0.02,
+            crash_prob: 0.05,
+            ..FaultPlan::moderate(seed)
         }
     }
 
@@ -156,13 +218,23 @@ impl FaultPlan {
             && self.drop_prob <= 0.0
             && self.reorder_prob <= 0.0
             && (self.slow_every == 0 || self.slow_factor <= 1.0 || self.slow_duty <= 0.0)
+            && self.dup_prob <= 0.0
+            && self.corrupt_prob <= 0.0
+            && !self.has_interval_faults()
+    }
+
+    /// True when the plan draws per-interval fault actions (partitions or
+    /// crashes), which the engine must consult at every barrier boundary.
+    pub fn has_interval_faults(&self) -> bool {
+        self.partition_prob > 0.0 || self.crash_prob > 0.0
     }
 
     /// Parses a CLI fault spec.
     ///
     /// The spec is a comma-separated list; the first element may be a preset
-    /// name (`none`, `light`, `moderate`, `heavy`), the rest are `key=value`
-    /// overrides. Durations are in microseconds.
+    /// name (one of [`FAULT_PRESETS`]: `none`, `light`, `moderate`, `heavy`,
+    /// `partition`, `chaos`), the rest are `key=value` overrides. Durations
+    /// are in microseconds.
     ///
     /// ```
     /// use acorr_sim::FaultPlan;
@@ -177,13 +249,12 @@ impl FaultPlan {
         let mut parts = spec.split(',').map(str::trim).filter(|s| !s.is_empty());
         let mut pending: Option<&str> = None;
         if let Some(first) = parts.next() {
-            match first {
-                "none" => {}
-                "light" => plan = FaultPlan::light(0),
-                "moderate" => plan = FaultPlan::moderate(0),
-                "heavy" => plan = FaultPlan::heavy(0),
-                other if other.contains('=') => pending = Some(other),
-                other => return Err(FaultSpecError::unknown_preset(other)),
+            if let Some(preset) = FAULT_PRESETS.iter().find(|p| p.name == first) {
+                plan = (preset.build)(0);
+            } else if first.contains('=') {
+                pending = Some(first);
+            } else {
+                return Err(FaultSpecError::unknown_preset(first));
             }
         }
         for part in pending.into_iter().chain(parts) {
@@ -234,6 +305,11 @@ impl FaultPlan {
                 }
                 "slow_period_us" => plan.slow_period = us(value)?,
                 "slow_duty" => plan.slow_duty = prob(value)?,
+                "dup_prob" => plan.dup_prob = prob(value)?,
+                "corrupt_prob" => plan.corrupt_prob = prob(value)?,
+                "partition_prob" => plan.partition_prob = prob(value)?,
+                "partition_window_us" => plan.partition_window = us(value)?,
+                "crash_prob" => plan.crash_prob = prob(value)?,
                 "slow_factor" => {
                     let f: f64 = value
                         .parse()
@@ -255,6 +331,10 @@ impl FaultPlan {
                 plan.retry_timeout = SimDuration::from_micros(500);
             }
         }
+        if plan.partition_prob > 0.0 && plan.partition_window.is_zero() {
+            // A zero-length cut would be invisible; give it the preset width.
+            plan.partition_window = SimDuration::from_millis(2);
+        }
         Ok(plan)
     }
 
@@ -275,14 +355,66 @@ impl FaultPlan {
     }
 }
 
+/// A named [`FaultPlan`] builder.
+///
+/// The single source of truth for preset names: [`FaultPlan::parse`], the
+/// CLI usage text and the chaos bench's `--plans` default all iterate
+/// [`FAULT_PRESETS`], so the accepted names and the documented names cannot
+/// drift apart.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPreset {
+    /// The name accepted by [`FaultPlan::parse`] and `--plans`.
+    pub name: &'static str,
+    /// One-line description for usage text and bench listings.
+    pub summary: &'static str,
+    /// Builds the plan for a given seed.
+    pub build: fn(u64) -> FaultPlan,
+}
+
+/// Every named fault preset, in increasing order of hostility.
+pub const FAULT_PRESETS: &[FaultPreset] = &[
+    FaultPreset {
+        name: "none",
+        summary: "no perturbation",
+        build: |_| FaultPlan::none(),
+    },
+    FaultPreset {
+        name: "light",
+        summary: "occasional small delays",
+        build: FaultPlan::light,
+    },
+    FaultPreset {
+        name: "moderate",
+        summary: "jitter, reordering, rare transient losses",
+        build: FaultPlan::moderate,
+    },
+    FaultPreset {
+        name: "heavy",
+        summary: "frequent jitter/losses plus periodic node slowdown",
+        build: FaultPlan::heavy,
+    },
+    FaultPreset {
+        name: "partition",
+        summary: "recurring partition + heal, light duplication",
+        build: FaultPlan::partition,
+    },
+    FaultPreset {
+        name: "chaos",
+        summary: "moderate network faults plus partitions, duplication, corruption and crashes",
+        build: FaultPlan::chaos,
+    },
+];
+
 /// Error from [`FaultPlan::parse`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultSpecError(String);
 
 impl FaultSpecError {
     fn unknown_preset(name: &str) -> Self {
+        let names: Vec<&str> = FAULT_PRESETS.iter().map(|p| p.name).collect();
         FaultSpecError(format!(
-            "unknown fault preset '{name}' (expected none, light, moderate or heavy)"
+            "unknown fault preset '{name}' (expected one of: {})",
+            names.join(", ")
         ))
     }
     fn unknown_key(key: &str) -> Self {
@@ -312,6 +444,96 @@ pub struct Delivery {
     pub latency: SimDuration,
     /// Number of retransmissions (0 when the first attempt got through).
     pub retries: u32,
+    /// Number of spurious duplicate copies delivered (discarded by the
+    /// receiver; bandwidth only, never latency).
+    pub duplicates: u32,
+    /// Number of checksum-detected corruptions, each repaired with one
+    /// retransmission round already included in `latency`.
+    pub corrupt_detected: u32,
+}
+
+/// One per-barrier-interval fault decision.
+///
+/// This is the alternative menu the model checker enumerates at each
+/// interval boundary: choice `0` is always "no fault", so a fault-free
+/// prescription is bit-identical to a run without any fault machinery. The
+/// same enumeration backs the stochastic path
+/// ([`FaultInjector::interval_action`]), which is what makes a randomly
+/// found counterexample replayable as a prescribed choice sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// No fault this interval.
+    None,
+    /// Cut the cluster into nodes `[0, split)` vs `[split, n)` for the
+    /// partition window; cross-cut messages stall until the cut heals.
+    Partition {
+        /// First node of the second group.
+        split: usize,
+    },
+    /// Duplicate every message sent this interval (bandwidth only).
+    Duplicate,
+    /// Corrupt every message sent this interval; each corruption is caught
+    /// by its checksum and costs one retransmission round.
+    Corrupt,
+    /// Crash a node at the interval boundary; it recovers immediately with
+    /// its page cache wiped and reconstructs state through the protocol.
+    Crash {
+        /// The crashing node.
+        node: usize,
+    },
+}
+
+impl FaultAction {
+    /// Number of alternatives the model checker enumerates per interval.
+    /// Partition and crash need at least two nodes to mean anything.
+    pub fn alternatives(nodes: usize) -> usize {
+        if nodes >= 2 {
+            5
+        } else {
+            3
+        }
+    }
+
+    /// Decodes a replay-token choice into an action. Choice `0` (and any
+    /// out-of-range value, which the decision queue clamps anyway) is
+    /// [`FaultAction::None`].
+    pub fn from_choice(choice: usize, nodes: usize) -> FaultAction {
+        if nodes >= 2 {
+            match choice {
+                1 => FaultAction::Partition { split: nodes / 2 },
+                2 => FaultAction::Duplicate,
+                3 => FaultAction::Corrupt,
+                4 => FaultAction::Crash { node: nodes - 1 },
+                _ => FaultAction::None,
+            }
+        } else {
+            match choice {
+                1 => FaultAction::Duplicate,
+                2 => FaultAction::Corrupt,
+                _ => FaultAction::None,
+            }
+        }
+    }
+}
+
+/// FNV-1a checksum over a message's identity and payload length.
+///
+/// The simulator carries no payload bytes, so the checksum covers what
+/// uniquely identifies a message on the wire: sender, per-sender sequence
+/// number and size. Corruption flips payload bits, which shows up as a
+/// checksum mismatch at the receiver and triggers a retransmission.
+pub fn message_checksum(node: NodeId, seq: u64, bytes: u64) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for b in node
+        .0
+        .to_le_bytes()
+        .into_iter()
+        .chain(seq.to_le_bytes())
+        .chain(bytes.to_le_bytes())
+    {
+        h = (h ^ b as u32).wrapping_mul(0x0100_0193);
+    }
+    h
 }
 
 /// Applies a [`FaultPlan`] to individual sends.
@@ -347,15 +569,24 @@ impl FaultInjector {
         self.plan.is_none()
     }
 
-    /// Delivers one message charged to `node` at local time `now` whose
-    /// fault-free cost is `base`. Returns the perturbed latency and the
-    /// retransmission count. With an empty plan this returns exactly
-    /// `base` and does not consume any randomness or sequence numbers.
-    pub fn deliver(&mut self, node: NodeId, now: SimTime, base: SimDuration) -> Delivery {
+    /// Delivers one `bytes`-sized message charged to `node` at local time
+    /// `now` whose fault-free cost is `base`. Returns the perturbed latency
+    /// and the retransmission/duplication/corruption counts. With an empty
+    /// plan this returns exactly `base` and does not consume any randomness
+    /// or sequence numbers.
+    pub fn deliver(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        base: SimDuration,
+        bytes: u64,
+    ) -> Delivery {
         if self.plan.is_none() {
             return Delivery {
                 latency: base,
                 retries: 0,
+                duplicates: 0,
+                corrupt_detected: 0,
             };
         }
         let idx = node.0 as usize;
@@ -386,12 +617,63 @@ impl FaultInjector {
             let overtaken = 1 + rng.next_below(self.plan.reorder_depth as u64);
             latency += base * overtaken;
         }
+        // Duplication: a second copy of the same frame arrives; the receiver
+        // discards it by sequence number, so it costs bandwidth but neither
+        // latency nor protocol state. The draw is guarded so plans without
+        // duplication consume an unchanged RNG stream.
+        let mut duplicates = 0u32;
+        if self.plan.dup_prob > 0.0 && rng.chance(self.plan.dup_prob) {
+            duplicates = 1;
+        }
+        // Payload corruption: flip one payload bit and let the receiver
+        // recompute the checksum. A mismatch (all but certain for a 32-bit
+        // FNV under a single-bit flip) triggers one retransmission round; a
+        // colliding flip would slip through silently — the residual risk any
+        // real checksum carries.
+        let mut corrupt_detected = 0u32;
+        if self.plan.corrupt_prob > 0.0 && rng.chance(self.plan.corrupt_prob) {
+            let sent = message_checksum(node, seq, bytes);
+            let flipped = bytes ^ (1u64 << rng.next_below(64));
+            if message_checksum(node, seq, flipped) != sent {
+                corrupt_detected = 1;
+                latency += base;
+            }
+        }
         // Per-node slowdown windows, deterministic in local time.
         if self.plan.in_slow_window(node, now) {
             let scaled = (latency.as_nanos() as f64 * self.plan.slow_factor) as u64;
             latency = SimDuration::from_nanos(scaled);
         }
-        Delivery { latency, retries }
+        Delivery {
+            latency,
+            retries,
+            duplicates,
+            corrupt_detected,
+        }
+    }
+
+    /// Draws the stochastic fault action for barrier interval `interval`.
+    ///
+    /// Pure in `(plan.seed, interval)`: the fork tag sets bit 63, which
+    /// per-message streams (node index in bits 40..56, sequence below) can
+    /// never collide with, so adding interval faults to a plan leaves every
+    /// per-message fate untouched.
+    pub fn interval_action(&self, interval: u64, nodes: usize) -> FaultAction {
+        if nodes < 2 || !self.plan.has_interval_faults() {
+            return FaultAction::None;
+        }
+        let mut rng = self.root.fork((1u64 << 63) | interval);
+        if self.plan.crash_prob > 0.0 && rng.chance(self.plan.crash_prob) {
+            return FaultAction::Crash {
+                node: rng.index(nodes),
+            };
+        }
+        if self.plan.partition_prob > 0.0 && rng.chance(self.plan.partition_prob) {
+            return FaultAction::Partition {
+                split: 1 + rng.index(nodes - 1),
+            };
+        }
+        FaultAction::None
     }
 }
 
@@ -407,9 +689,11 @@ mod tests {
     fn none_plan_is_identity() {
         let mut inj = FaultInjector::new(FaultPlan::none(), 4);
         for i in 0..32 {
-            let d = inj.deliver(NodeId(i % 4), SimTime::from_nanos(i as u64), base());
+            let d = inj.deliver(NodeId(i % 4), SimTime::from_nanos(i as u64), base(), 4096);
             assert_eq!(d.latency, base());
             assert_eq!(d.retries, 0);
+            assert_eq!(d.duplicates, 0);
+            assert_eq!(d.corrupt_detected, 0);
         }
         // No sequence numbers consumed: determinism against PR-1 runs that
         // never called the injector.
@@ -423,7 +707,10 @@ mod tests {
         for i in 0..200u64 {
             let node = NodeId((i % 4) as u16);
             let now = SimTime::from_nanos(i * 1_000);
-            assert_eq!(a.deliver(node, now, base()), b.deliver(node, now, base()));
+            assert_eq!(
+                a.deliver(node, now, base(), 4096),
+                b.deliver(node, now, base(), 4096)
+            );
         }
     }
 
@@ -432,10 +719,10 @@ mod tests {
         let mut a = FaultInjector::new(FaultPlan::heavy(1), 1);
         let mut b = FaultInjector::new(FaultPlan::heavy(2), 1);
         let fates_a: Vec<_> = (0..100)
-            .map(|_| a.deliver(NodeId(0), SimTime::ZERO, base()))
+            .map(|_| a.deliver(NodeId(0), SimTime::ZERO, base(), 4096))
             .collect();
         let fates_b: Vec<_> = (0..100)
-            .map(|_| b.deliver(NodeId(0), SimTime::ZERO, base()))
+            .map(|_| b.deliver(NodeId(0), SimTime::ZERO, base(), 4096))
             .collect();
         assert_ne!(fates_a, fates_b);
     }
@@ -446,7 +733,12 @@ mod tests {
         let max_retries = plan.max_retries;
         let mut inj = FaultInjector::new(plan, 2);
         for i in 0..500u64 {
-            let d = inj.deliver(NodeId((i % 2) as u16), SimTime::from_nanos(i * 777), base());
+            let d = inj.deliver(
+                NodeId((i % 2) as u16),
+                SimTime::from_nanos(i * 777),
+                base(),
+                64,
+            );
             assert!(d.latency >= base());
             assert!(d.retries <= max_retries);
         }
@@ -456,7 +748,7 @@ mod tests {
     fn drops_do_happen_under_heavy_plan() {
         let mut inj = FaultInjector::new(FaultPlan::heavy(3), 1);
         let total: u32 = (0..500)
-            .map(|_| inj.deliver(NodeId(0), SimTime::ZERO, base()).retries)
+            .map(|_| inj.deliver(NodeId(0), SimTime::ZERO, base(), 4096).retries)
             .sum();
         assert!(total > 0, "heavy plan should produce retransmissions");
     }
@@ -512,7 +804,7 @@ mod tests {
             let n = 2_000;
             let total: u64 = (0..n)
                 .map(|i| {
-                    inj.deliver(NodeId(0), SimTime::from_nanos(i * 10_000), base())
+                    inj.deliver(NodeId(0), SimTime::from_nanos(i * 10_000), base(), 4096)
                         .latency
                         .as_nanos()
                 })
@@ -527,5 +819,163 @@ mod tests {
         assert!(light > none);
         assert!(moderate > light);
         assert!(heavy > moderate);
+    }
+
+    #[test]
+    fn preset_table_drives_parse() {
+        // Every listed preset name parses to exactly its builder's plan, and
+        // nothing outside the table is accepted — the table IS the grammar.
+        for preset in FAULT_PRESETS {
+            let parsed = FaultPlan::parse(preset.name).unwrap();
+            assert_eq!(parsed, (preset.build)(0), "preset {}", preset.name);
+            assert!(!preset.summary.is_empty());
+        }
+        let err = FaultPlan::parse("bogus").unwrap_err().to_string();
+        for preset in FAULT_PRESETS {
+            assert!(
+                err.contains(preset.name),
+                "error should list {}",
+                preset.name
+            );
+        }
+    }
+
+    #[test]
+    fn parse_new_knobs_and_partition_default_window() {
+        let p = FaultPlan::parse("dup_prob=0.5,corrupt_prob=0.25,crash_prob=0.1,seed=9").unwrap();
+        assert_eq!(p.dup_prob, 0.5);
+        assert_eq!(p.corrupt_prob, 0.25);
+        assert_eq!(p.crash_prob, 0.1);
+        assert!(p.has_interval_faults());
+        assert!(!p.is_none());
+        // A partition probability without an explicit window gets the
+        // preset's 2 ms default; an explicit window survives.
+        let q = FaultPlan::parse("partition_prob=0.3").unwrap();
+        assert_eq!(q.partition_window, SimDuration::from_millis(2));
+        let r = FaultPlan::parse("partition_prob=0.3,partition_window_us=700").unwrap();
+        assert_eq!(r.partition_window, SimDuration::from_micros(700));
+        assert!(FaultPlan::parse("crash_prob=1.5").is_err());
+        assert!(FaultPlan::parse("dup_prob=-0.1").is_err());
+    }
+
+    #[test]
+    fn duplication_and_corruption_are_drawn_and_counted() {
+        let dup = FaultPlan {
+            dup_prob: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut inj = FaultInjector::new(dup.with_seed(3), 2);
+        for i in 0..64u64 {
+            let d = inj.deliver(NodeId((i % 2) as u16), SimTime::ZERO, base(), 4096);
+            assert_eq!(d.duplicates, 1);
+            // Duplicates never touch latency.
+            assert_eq!(d.latency, base());
+        }
+        let corrupt = FaultPlan {
+            corrupt_prob: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut inj = FaultInjector::new(corrupt.with_seed(3), 2);
+        for i in 0..64u64 {
+            let d = inj.deliver(NodeId((i % 2) as u16), SimTime::ZERO, base(), 4096);
+            assert_eq!(d.corrupt_detected, 1, "single-bit flips must be caught");
+            // One retransmission round repairs the corruption.
+            assert_eq!(d.latency, base() * 2);
+        }
+    }
+
+    #[test]
+    fn new_draws_leave_existing_fault_streams_untouched() {
+        // Adding duplication to a heavy plan must not perturb the latency or
+        // retry stream: the new draws come after the old ones, and only when
+        // their probability is non-zero.
+        let mut plain = FaultInjector::new(FaultPlan::heavy(17), 2);
+        let mut dup = FaultInjector::new(
+            FaultPlan {
+                dup_prob: 0.5,
+                ..FaultPlan::heavy(17)
+            },
+            2,
+        );
+        for i in 0..300u64 {
+            let node = NodeId((i % 2) as u16);
+            let now = SimTime::from_nanos(i * 1_111);
+            let a = plain.deliver(node, now, base(), 4096);
+            let b = dup.deliver(node, now, base(), 4096);
+            assert_eq!(a.latency, b.latency);
+            assert_eq!(a.retries, b.retries);
+        }
+    }
+
+    #[test]
+    fn message_checksum_is_stable_and_sensitive() {
+        let sum = message_checksum(NodeId(3), 41, 4096);
+        assert_eq!(sum, message_checksum(NodeId(3), 41, 4096));
+        assert_ne!(sum, message_checksum(NodeId(4), 41, 4096));
+        assert_ne!(sum, message_checksum(NodeId(3), 42, 4096));
+        assert_ne!(sum, message_checksum(NodeId(3), 41, 4097));
+    }
+
+    #[test]
+    fn interval_actions_are_deterministic_and_plan_scoped() {
+        let inj = FaultInjector::new(FaultPlan::chaos(5), 4);
+        let (mut crashes, mut partitions) = (0usize, 0usize);
+        for interval in 0..400u64 {
+            let action = inj.interval_action(interval, 4);
+            assert_eq!(
+                action,
+                inj.interval_action(interval, 4),
+                "pure per interval"
+            );
+            match action {
+                FaultAction::Crash { node } => {
+                    assert!(node < 4);
+                    crashes += 1;
+                }
+                FaultAction::Partition { split } => {
+                    assert!((1..4).contains(&split));
+                    partitions += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(crashes > 0, "chaos plan should crash sometimes");
+        assert!(partitions > 0, "chaos plan should partition sometimes");
+
+        let part = FaultInjector::new(FaultPlan::partition(5), 4);
+        for interval in 0..400u64 {
+            assert!(!matches!(
+                part.interval_action(interval, 4),
+                FaultAction::Crash { .. }
+            ));
+        }
+        let none = FaultInjector::new(FaultPlan::none(), 4);
+        for interval in 0..64u64 {
+            assert_eq!(none.interval_action(interval, 4), FaultAction::None);
+        }
+        // Single-node clusters cannot partition or crash meaningfully.
+        assert_eq!(inj.interval_action(0, 1), FaultAction::None);
+    }
+
+    #[test]
+    fn fault_action_choice_menu_round_trips() {
+        assert_eq!(FaultAction::alternatives(4), 5);
+        assert_eq!(FaultAction::alternatives(1), 3);
+        assert_eq!(FaultAction::from_choice(0, 4), FaultAction::None);
+        assert_eq!(
+            FaultAction::from_choice(1, 4),
+            FaultAction::Partition { split: 2 }
+        );
+        assert_eq!(FaultAction::from_choice(2, 4), FaultAction::Duplicate);
+        assert_eq!(FaultAction::from_choice(3, 4), FaultAction::Corrupt);
+        assert_eq!(
+            FaultAction::from_choice(4, 4),
+            FaultAction::Crash { node: 3 }
+        );
+        // One-node menu: no partition or crash slots.
+        assert_eq!(FaultAction::from_choice(1, 1), FaultAction::Duplicate);
+        assert_eq!(FaultAction::from_choice(2, 1), FaultAction::Corrupt);
+        // Out-of-range choices degrade to no-fault.
+        assert_eq!(FaultAction::from_choice(9, 4), FaultAction::None);
     }
 }

@@ -18,8 +18,9 @@
 //!   full per-kind message/byte accounting ([`NetStats`]).
 //! * [`faults`] — seeded deterministic fault injection ([`FaultPlan`],
 //!   [`FaultInjector`]): delay jitter, bounded reordering, transient
-//!   drop-with-retry and per-node slowdown windows, all a pure function of
-//!   the plan seed.
+//!   drop-with-retry, per-node slowdown windows, message duplication,
+//!   checksum-detected corruption, and per-barrier-interval partition/crash
+//!   actions ([`FaultAction`]), all a pure function of the plan seed.
 //! * [`cost`] — CPU-side cost parameters ([`CostModel`]) for faults,
 //!   protection changes, context switches, diffs and barriers.
 //! * [`stats`] — summary statistics and the least-squares fit
@@ -58,7 +59,10 @@ pub mod topology;
 
 pub use cost::CostModel;
 pub use decisions::{DecisionQueue, DecisionRecord};
-pub use faults::{Delivery, FaultInjector, FaultPlan, FaultSpecError};
+pub use faults::{
+    message_checksum, Delivery, FaultAction, FaultInjector, FaultPlan, FaultPreset, FaultSpecError,
+    FAULT_PRESETS,
+};
 pub use network::{MessageKind, NetStats, NetworkModel};
 pub use pool::{available_threads, par_map_indexed, par_map_range, resolve_threads};
 pub use rng::DetRng;

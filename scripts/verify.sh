@@ -34,6 +34,21 @@ sh scripts/check_obs.sh "$obs_dir"
 ./target/release/acorr report --manifest "$obs_dir/manifest.json"
 rm -rf "$obs_dir"
 
+echo "==> model-check smoke (bounded fault x schedule sweep + seeded bug)"
+mc_dir="$(mktemp -d)"
+# Clean sweep: two apps through the bounded fault x schedule space.
+for app in sor water; do
+    ./target/release/acorr explore --app "$app" --threads 8 --nodes 2 \
+        --mode model-check --budget 6 --decision-log "$mc_dir/$app.log"
+    grep -q "^failure_token=none$" "$mc_dir/$app.log"
+done
+# Teeth: the seeded bug must be found and shrink to the pinned token.
+./target/release/acorr explore --app sor --threads 8 --nodes 2 \
+    --mode model-check --budget 8 --inject lose-partitioned-invalidations \
+    --decision-log "$mc_dir/injected.log"
+grep -q "^failure_token=s1!1$" "$mc_dir/injected.log"
+rm -rf "$mc_dir"
+
 echo "==> perf regression gate (scripts/check_perf.sh)"
 sh scripts/check_perf.sh
 

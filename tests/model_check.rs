@@ -1,0 +1,164 @@
+//! End-to-end tests of the fault × schedule model-checking mode: bounded
+//! sweeps keep the clean protocol clean, the seeded
+//! [`InjectedBug::LosePartitionedInvalidations`] fixture is found, shrunk
+//! to the pinned minimal replay token `s1!1`, and the token reproduces
+//! byte-for-byte — mirroring the `s1:1` Racey pin in `exploration.rs`.
+
+use acorr::apps::{Racey, Sor, Water};
+use acorr::dsm::InjectedBug;
+use acorr::explore::{ExploreOptions, FailureKind};
+use acorr::sched::{ExploreMode, Schedule};
+use acorr::Workbench;
+
+fn model_check(faults: usize) -> ExploreMode {
+    ExploreMode::ModelCheck {
+        preemptions: 1,
+        faults,
+    }
+}
+
+#[test]
+fn injected_partition_bug_is_found_shrunk_to_pinned_token_and_replays() {
+    let bench = Workbench::new(2, 8).unwrap();
+    let options = ExploreOptions {
+        budget: 8,
+        iterations: 1,
+        mode: model_check(1),
+        inject: Some(InjectedBug::LosePartitionedInvalidations),
+        ..ExploreOptions::default()
+    };
+    let report = bench.explore_run(|| Sor::new(64, 64, 8), &options).unwrap();
+    let failure = report.failure.expect("the injected bug must be found");
+    // Pinned minimal counterexample: one prescribed fault action —
+    // partition at the first barrier interval — with an all-default
+    // schedule. Losing cross-cut invalidations leaves a stale valid copy,
+    // which the oracle flags at the very next barrier.
+    assert_eq!(failure.token, "s1!1");
+    assert_eq!(failure.kind, FailureKind::OracleViolation);
+    assert!(failure.detail.contains("directory"), "{}", failure.detail);
+    assert!(report.distinct_states > 0, "pruning must observe states");
+
+    // The token replays byte-for-byte: same kind, same detail, twice.
+    let replay = ExploreOptions {
+        replay: Some(Schedule::parse_token(&failure.token).unwrap()),
+        ..options.clone()
+    };
+    for _ in 0..2 {
+        let replayed = bench.explore_run(|| Sor::new(64, 64, 8), &replay).unwrap();
+        let found = replayed.failure.expect("replay reproduces the failure");
+        assert_eq!(found.token, failure.token);
+        assert_eq!(found.kind, failure.kind);
+        assert_eq!(found.write_mode, failure.write_mode);
+        assert_eq!(found.detail, failure.detail);
+    }
+
+    // The whole search is deterministic end to end.
+    let again = bench.explore_run(|| Sor::new(64, 64, 8), &options).unwrap();
+    assert_eq!(again.failure, Some(failure));
+    assert_eq!(again.schedules_run, report.schedules_run);
+    assert_eq!(again.distinct_states, report.distinct_states);
+}
+
+#[test]
+fn without_the_injected_bug_the_same_sweep_is_clean() {
+    // The exact search that convicts the seeded bug exonerates the real
+    // protocol: partitions heal, duplicates are absorbed, crashes recover.
+    let bench = Workbench::new(2, 8).unwrap();
+    let options = ExploreOptions {
+        budget: 8,
+        iterations: 1,
+        mode: model_check(1),
+        ..ExploreOptions::default()
+    };
+    for factory in [(|| Sor::new(64, 64, 8)) as fn() -> Sor, || {
+        Sor::new(32, 32, 8)
+    }] {
+        let report = bench.explore_run(factory, &options).unwrap();
+        assert!(report.failure.is_none(), "{}", report.failure.unwrap());
+        assert!(report.schedules_run > 1, "the fault frontier must expand");
+        assert!(report.distinct_states > 0);
+    }
+    let report = bench.explore_run(|| Water::new(128, 8), &options).unwrap();
+    assert!(report.failure.is_none(), "{}", report.failure.unwrap());
+}
+
+#[test]
+fn model_check_still_finds_pure_schedule_bugs() {
+    // The product space contains the schedule axis: Racey's seeded race
+    // (no faults involved) shrinks to the same fault-free token the
+    // systematic mode pins, proving old tokens stay valid.
+    let bench = Workbench::new(1, 2).unwrap();
+    let options = ExploreOptions {
+        budget: 16,
+        iterations: 1,
+        mode: model_check(1),
+        ..ExploreOptions::default()
+    };
+    let report = bench.explore_run(|| Racey, &options).unwrap();
+    let failure = report.failure.expect("the seeded race must be found");
+    assert_eq!(failure.kind, FailureKind::NewRace);
+    assert_eq!(failure.token, "s1:1");
+    // And the PR-6 token grammar still replays unchanged.
+    let replay = ExploreOptions {
+        replay: Some(Schedule::parse_token("s1:1").unwrap()),
+        ..options
+    };
+    let replayed = bench.explore_run(|| Racey, &replay).unwrap();
+    assert_eq!(replayed.failure.unwrap().token, "s1:1");
+}
+
+#[test]
+fn fault_tokens_round_trip_and_replay_cleanly_on_the_real_protocol() {
+    // Round-trip: parse → format is a fixpoint for mixed tokens.
+    for token in ["s1", "s1:1", "s1!1", "s1:1!0.2", "s1!0.4", "s1:1.0.2!3"] {
+        let schedule = Schedule::parse_token(token).unwrap();
+        assert_eq!(schedule.token(), token, "canonical tokens are fixpoints");
+    }
+    // Non-canonical trailing defaults survive parse and replay (the FIFO /
+    // no-fault tail reproduces them), and a prescribed fault action on the
+    // real protocol stays clean: replaying `s1!4` (crash node 1 at the
+    // first interval) is an ordinary, passing run.
+    let bench = Workbench::new(2, 8).unwrap();
+    for token in ["s1!1", "s1!2", "s1!3", "s1!4"] {
+        let options = ExploreOptions {
+            iterations: 1,
+            replay: Some(Schedule::parse_token(token).unwrap()),
+            ..ExploreOptions::default()
+        };
+        let report = bench.explore_run(|| Sor::new(64, 64, 8), &options).unwrap();
+        assert!(
+            report.failure.is_none(),
+            "{token}: {}",
+            report.failure.unwrap()
+        );
+    }
+}
+
+#[test]
+fn state_hash_pruning_collapses_revisited_states() {
+    // Many distinct (schedule, faults) pairs funnel into the same
+    // per-barrier visible image: a healed partition or an absorbed
+    // duplicate leaves no trace in memory. Pruning detects the revisit
+    // and expands no deviations from it, so the sweep sees far fewer
+    // distinct states than schedules run.
+    let bench = Workbench::new(2, 8).unwrap();
+    let report = bench
+        .explore_run(
+            || Sor::new(32, 32, 8),
+            &ExploreOptions {
+                budget: 64,
+                iterations: 1,
+                mode: model_check(1),
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+    assert!(report.failure.is_none(), "{}", report.failure.unwrap());
+    assert!(report.distinct_states >= 1);
+    assert!(
+        report.distinct_states < report.schedules_run,
+        "pruning must collapse revisits ({} schedules, {} distinct states)",
+        report.schedules_run,
+        report.distinct_states
+    );
+}
