@@ -12,6 +12,7 @@
 use acorr::apps::Drift;
 use acorr::dsm::DsmConfig;
 use acorr::experiment::Workbench;
+use acorr::obs::{Analysis, ObsConfig};
 use acorr::sim::{NetworkModel, SimDuration};
 use acorr_bench::arg_usize;
 
@@ -55,6 +56,40 @@ fn main() {
         .expect("study");
     println!("=== when to re-track (window = 4 iterations) ===");
     println!("{study}\n");
+    // Analytics smoke: the phase-change detector must flag Drift's partner
+    // jumps from the observed run, and the trace analytics must decompose
+    // the same event stream without touching the measured statistics.
+    let bench = Workbench::new(2, 8)
+        .expect("2x8 cluster")
+        .with_observer(ObsConfig::all());
+    let scan = bench
+        .phase_scan(|| Drift::new(256, 8, 4), 16, 2)
+        .expect("phase scan");
+    let obs = scan.observation.expect("observer configured");
+    let jsonl = obs.events_jsonl.expect("jsonl sink on");
+    let analysis = Analysis::from_events(&jsonl).expect("well-formed event log");
+    println!("=== phase detection + trace analytics smoke (Drift 8 threads, 2 nodes) ===");
+    println!(
+        "  detected {} phase shift(s): {:?}",
+        scan.shifts.len(),
+        scan.shifts
+    );
+    assert!(
+        !scan.shifts.is_empty(),
+        "Drift's partner jumps must register as phase shifts"
+    );
+    println!(
+        "  analytics: {} hot page(s), {} thread(s), {} interval(s), {} span phase(s)",
+        analysis.pages.len(),
+        analysis.threads.len(),
+        analysis.intervals.len(),
+        analysis.spans.len()
+    );
+    assert!(
+        analysis.spans.iter().any(|s| s.phase == "fetch"),
+        "span profiling must capture fetches"
+    );
+    println!();
     println!(
         "Adaptation halves the coherence traffic; end-to-end time lands near\n\
          parity because every cost is charged — the tracked iterations, the\n\

@@ -52,6 +52,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "place" => place_cmd(args),
         "run" => run_cmd(args),
         "report" => report(args),
+        "analyze" => analyze(args),
         "overhead" => overhead(args),
         "explore" => explore(args),
         "hot" => hot(args),
@@ -74,6 +75,7 @@ USAGE:
   acorr run      --app NAME [--threads N] [--nodes N] [--strategy S] [--iters N] [--faults SPEC]
                  [--obs-dir DIR]
   acorr report   --manifest FILE [--jobs N]
+  acorr analyze  --obs-dir DIR [--top K] [--window N] [--jobs N]
   acorr overhead --app NAME [--threads N] [--nodes N] [--faults SPEC]
   acorr explore  --app NAME [--threads N] [--nodes N] [--budget N] [--iters N]
                  [--mode random|systematic|model-check] [--seed N] [--preemptions N]
@@ -97,6 +99,14 @@ chrome://tracing or Perfetto), metrics.csv, histograms.csv and manifest.json
 into DIR; sinks are pure observers, so the reported row is unchanged.
 `report --manifest FILE` replays a run from its manifest and checks the
 final statistics digest bit-for-bit.
+Analytics: `analyze --obs-dir DIR` replay-verifies DIR/manifest.json and then
+distills DIR/events.jsonl into DIR/analysis/ — page_heat.csv (per-page
+fetch/twin/diff/transfer heat, hottest first), thread_comm.csv (per-thread
+attribution), critical_path.csv (per-barrier-interval slowest node with its
+fetch/lock wait split), spans.csv (engine self-profiling totals), phases.csv
+(windowed correlation phase shifts) and report.txt (top `--top K` pages,
+digest-stamped). `--window N` sets the phase-detection window in barrier
+intervals. Output is byte-identical across runs and `--jobs` values.
 Exploration: `explore` drives the app under steered schedules, checking each
 against the default-schedule baseline with happens-before race detection,
 the conformance oracle, and multi-writer vs single-writer differential
@@ -285,8 +295,19 @@ fn run_cmd(args: &Args) -> Result<String, String> {
 }
 
 /// Replays a run from its manifest and checks the statistics digest.
-fn report(args: &Args) -> Result<String, String> {
-    let path = args.get("manifest").ok_or("--manifest is required")?;
+/// Returns the manifest, the replayed run and the (matching) digest;
+/// a digest mismatch is an error.
+fn replay_manifest(
+    args: &Args,
+    path: &str,
+) -> Result<
+    (
+        acorr::obs::RunManifest,
+        acorr::experiment::ObservedRun,
+        String,
+    ),
+    String,
+> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let manifest = acorr::obs::RunManifest::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
     if manifest.tool != "acorr run" {
@@ -327,16 +348,62 @@ fn report(args: &Args) -> Result<String, String> {
         .map_err(|e| e.to_string())?;
     let digest = acorr::obs::stats_digest(&run.stats);
     if digest == manifest.digest {
-        Ok(format!(
-            "{}\nreplay OK: digest {digest} matches manifest (recorded under {})\n",
-            run.row, manifest.git
-        ))
+        Ok((manifest, run, digest))
     } else {
         Err(format!(
             "replay MISMATCH: manifest digest {} (recorded under {}), replay digest {digest}\n{}",
             manifest.digest, manifest.git, run.row
         ))
     }
+}
+
+fn report(args: &Args) -> Result<String, String> {
+    let path = args.get("manifest").ok_or("--manifest is required")?;
+    let (manifest, run, digest) = replay_manifest(args, path)?;
+    Ok(format!(
+        "{}\nreplay OK: digest {digest} matches manifest (recorded under {})\n",
+        run.row, manifest.git
+    ))
+}
+
+/// Distills a `run --obs-dir` artifact directory into `DIR/analysis/`:
+/// attribution CSVs, the critical-path decomposition, span totals, phase
+/// shifts, and a digest-stamped human-readable report. The manifest is
+/// replay-verified first, so the analysis is never built over artifacts
+/// that no longer reproduce.
+fn analyze(args: &Args) -> Result<String, String> {
+    let dir = std::path::PathBuf::from(args.get("obs-dir").ok_or("--obs-dir is required")?);
+    let top_k = args.get_usize("top", acorr::obs::analyze::DEFAULT_TOP_K)?;
+    let window = args.get_usize("window", acorr::obs::analyze::DEFAULT_PHASE_WINDOW)?;
+    let manifest_path = dir.join("manifest.json");
+    let manifest_str = manifest_path
+        .to_str()
+        .ok_or("--obs-dir is not valid UTF-8")?
+        .to_owned();
+    let (_, run, digest) = replay_manifest(args, &manifest_str)?;
+    let events_path = dir.join("events.jsonl");
+    let events = std::fs::read_to_string(&events_path)
+        .map_err(|e| format!("{}: {e}", events_path.display()))?;
+    let analysis = acorr::obs::Analysis::from_events_windowed(&events, window)
+        .map_err(|e| format!("{}: {e}", events_path.display()))?;
+    let report = analysis.report(&digest, top_k);
+    let out_dir = dir.join("analysis");
+    let written = analysis
+        .write_to(&out_dir, &report)
+        .map_err(|e| format!("{}: {e}", out_dir.display()))?;
+    let mut out = format!("{}\n", run.row);
+    for path in &written {
+        out.push_str(&format!("wrote {}\n", path.display()));
+    }
+    out.push_str(&format!(
+        "analyzed {} page(s), {} thread(s), {} interval(s); {} phase shift(s)\n",
+        analysis.pages.len(),
+        analysis.threads.len(),
+        analysis.intervals.len(),
+        analysis.shifts.len()
+    ));
+    out.push_str(&format!("stats digest: {digest}\n"));
+    Ok(out)
 }
 
 fn verify(args: &Args) -> Result<String, String> {
@@ -714,6 +781,115 @@ mod tests {
         std::fs::write(&manifest, tampered).unwrap();
         let err = cli(&["report", "--manifest", manifest.to_str().unwrap()]).unwrap_err();
         assert!(err.contains("replay MISMATCH"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyze_builds_digest_verified_artifacts() {
+        let dir = std::env::temp_dir().join(format!("acorr-cli-analyze-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        cli(&[
+            "run",
+            "--app",
+            "SOR",
+            "--threads",
+            "8",
+            "--nodes",
+            "2",
+            "--iters",
+            "3",
+            "--strategy",
+            "stretch",
+            "--obs-dir",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = cli(&["analyze", "--obs-dir", dir.to_str().unwrap(), "--top", "5"]).unwrap();
+        assert!(out.contains("stats digest: fnv1a:"), "{out}");
+        assert!(out.contains("phase shift(s)"), "{out}");
+        for name in [
+            "page_heat.csv",
+            "thread_comm.csv",
+            "critical_path.csv",
+            "spans.csv",
+            "phases.csv",
+            "report.txt",
+        ] {
+            assert!(dir.join("analysis").join(name).exists(), "missing {name}");
+        }
+        // The report's digest line matches the manifest's digest.
+        let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        let report = std::fs::read_to_string(dir.join("analysis/report.txt")).unwrap();
+        let digest_line = report
+            .lines()
+            .find(|l| l.starts_with("stats digest: "))
+            .unwrap();
+        let digest = digest_line.trim_start_matches("stats digest: ");
+        assert!(manifest.contains(digest), "{digest_line} not in manifest");
+        // Spans were captured and decomposed.
+        assert!(report.contains("span totals:"), "{report}");
+        assert!(report.contains("fetch"), "{report}");
+        // The analysis is byte-identical when re-run (and at --jobs 1).
+        let first: std::collections::BTreeMap<String, String> = [
+            "page_heat.csv",
+            "critical_path.csv",
+            "spans.csv",
+            "report.txt",
+        ]
+        .iter()
+        .map(|n| {
+            let body = std::fs::read_to_string(dir.join("analysis").join(n)).unwrap();
+            (n.to_string(), body)
+        })
+        .collect();
+        cli(&[
+            "analyze",
+            "--obs-dir",
+            dir.to_str().unwrap(),
+            "--top",
+            "5",
+            "--jobs",
+            "1",
+        ])
+        .unwrap();
+        for (name, body) in &first {
+            let again = std::fs::read_to_string(dir.join("analysis").join(name)).unwrap();
+            assert_eq!(&again, body, "{name} drifted across runs");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyze_refuses_a_tampered_manifest() {
+        let dir =
+            std::env::temp_dir().join(format!("acorr-cli-anal-tamper-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        cli(&[
+            "run",
+            "--app",
+            "Water",
+            "--threads",
+            "8",
+            "--nodes",
+            "2",
+            "--iters",
+            "2",
+            "--strategy",
+            "stretch",
+            "--obs-dir",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        let manifest = dir.join("manifest.json");
+        let tampered = std::fs::read_to_string(&manifest)
+            .unwrap()
+            .replace("fnv1a:", "fnv1a:f");
+        std::fs::write(&manifest, tampered).unwrap();
+        let err = cli(&["analyze", "--obs-dir", dir.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("replay MISMATCH"), "{err}");
+        assert!(!dir.join("analysis").exists(), "must not write on mismatch");
+        let err = cli(&["analyze"]).unwrap_err();
+        assert!(err.contains("--obs-dir"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -117,6 +117,9 @@ impl Workbench {
         if let Some(config) = &self.observer {
             let (sink, _handle) = acorr_obs::observer(config, self.cluster.num_nodes());
             dsm.attach_sink(sink);
+            if config.spans {
+                dsm.enable_span_profiling();
+            }
         }
         Ok(dsm)
     }
@@ -378,6 +381,9 @@ impl Workbench {
             dsm.attach_sink(sink);
             handle
         });
+        if self.observer.as_ref().is_some_and(|c| c.spans) {
+            dsm.enable_span_profiling();
+        }
         dsm.run_iterations(1)?; // cold-start warm-up
         let stats = dsm.run_iterations(iterations)?;
         let row = HeuristicRow {
@@ -391,6 +397,76 @@ impl Workbench {
         };
         Ok(ObservedRun {
             row,
+            stats,
+            observation: handle.map(|h| h.finish()),
+        })
+    }
+
+    /// Phase-change scan: runs `iterations` actively tracked iterations
+    /// under the stretch placement, feeding each iteration's correlation
+    /// matrix into a windowed [`acorr_obs::PhaseDetector`] (window length
+    /// in iterations). Every detected shift is recorded — and, when an
+    /// observer is configured, injected into the run's artifacts as an
+    /// `Event::PhaseShift` at the current simulated time, so the trace
+    /// timeline shows the re-mapping trigger ROADMAP item 2 needs.
+    ///
+    /// Detection is derived purely from observations; simulated time and
+    /// statistics are bit-identical with detection on or off.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn phase_scan<P, F>(
+        &self,
+        factory: F,
+        iterations: usize,
+        window: usize,
+    ) -> Result<PhaseScan, DsmError>
+    where
+        P: Program,
+        F: Fn() -> P + Sync,
+    {
+        let mut dsm = self.dsm(factory(), Mapping::stretch(&self.cluster))?;
+        let handle = self.observer.as_ref().map(|config| {
+            let (sink, handle) = acorr_obs::observer(config, self.cluster.num_nodes());
+            dsm.attach_sink(sink);
+            handle
+        });
+        if self.observer.as_ref().is_some_and(|c| c.spans) {
+            dsm.enable_span_profiling();
+        }
+        let mut detector = acorr_obs::PhaseDetector::new(self.cluster.num_threads(), window);
+        let mut stats = IterStats::new();
+        for _ in 0..iterations {
+            let (iter_stats, access) = dsm.run_tracked_iteration()?;
+            stats += iter_stats;
+            let round = CorrelationMatrix::from_access(&access);
+            if let Some(mark) = detector.observe(&round) {
+                if let Some(h) = &handle {
+                    h.record_event(
+                        dsm.now(),
+                        &acorr_dsm::trace::Event::PhaseShift {
+                            window: mark.window,
+                            delta_ppm: mark.delta_ppm,
+                        },
+                    );
+                }
+            }
+        }
+        if let Some(mark) = detector.flush() {
+            if let Some(h) = &handle {
+                h.record_event(
+                    dsm.now(),
+                    &acorr_dsm::trace::Event::PhaseShift {
+                        window: mark.window,
+                        delta_ppm: mark.delta_ppm,
+                    },
+                );
+            }
+        }
+        Ok(PhaseScan {
+            app: dsm.program().name().to_owned(),
+            shifts: detector.shifts().to_vec(),
             stats,
             observation: handle.map(|h| h.finish()),
         })
@@ -926,6 +1002,21 @@ pub struct ObservedRun {
     pub observation: Option<Observation>,
 }
 
+/// One phase-change scan: detected correlation shifts plus the run's
+/// statistics and artifacts.
+#[derive(Debug)]
+pub struct PhaseScan {
+    /// Application name.
+    pub app: String,
+    /// Detected phase shifts, in firing order (window ordinals are
+    /// 0-based window indices of `iterations / window` tumbling windows).
+    pub shifts: Vec<acorr_obs::phases::PhaseShiftMark>,
+    /// Aggregate statistics over the scanned iterations.
+    pub stats: IterStats,
+    /// Rendered artifacts (`None` without [`Workbench::with_observer`]).
+    pub observation: Option<Observation>,
+}
+
 /// Figure 2 data: information completeness per passive migration round.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PassiveStudy {
@@ -1111,5 +1202,48 @@ mod tests {
         let seq = node_count_study(app, 8, &[2, 4], 2, 1).unwrap();
         let par = node_count_study(app, 8, &[2, 4], 2, 4).unwrap();
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn phase_scan_flags_drift_shift_within_one_window() {
+        use acorr_apps::Drift;
+        // Drift's partner offset jumps every `period` iterations; with a
+        // detector window of 2 the first post-shift window is ordinal 2
+        // (iterations 4-5), so the acceptance bound "within one window of
+        // ground truth" allows windows 2 or 3.
+        let scan = bench()
+            .with_observer(acorr_obs::ObsConfig::all())
+            .phase_scan(|| Drift::new(256, 8, 4), 12, 2)
+            .unwrap();
+        assert_eq!(scan.app, "Drift");
+        let first = scan.shifts.first().expect("drift shift detected");
+        assert!(
+            (2..=3).contains(&first.window),
+            "fired at window {} (boundary window is 2)",
+            first.window
+        );
+        // The detected shift lands on the Perfetto control lane and in the
+        // structured log.
+        let obs = scan.observation.expect("observer configured");
+        let trace = obs.chrome_trace.expect("chrome sink on");
+        assert!(trace.contains("\"phase_shift\""), "trace: {trace}");
+        let jsonl = obs.events_jsonl.expect("jsonl sink on");
+        assert!(jsonl.contains("\"phase_shift\""));
+        // Span profiling rode along: the engine bracketed its phases.
+        assert!(jsonl.contains("\"span_begin\""));
+    }
+
+    #[test]
+    fn phase_scan_without_shift_stays_quiet_and_deterministic() {
+        let run = || bench().phase_scan(|| Sor::new(64, 64, 8), 8, 2).unwrap();
+        let (a, b) = (run(), run());
+        assert!(
+            a.shifts.is_empty(),
+            "static SOR must not fire: {:?}",
+            a.shifts
+        );
+        assert_eq!(a.shifts, b.shifts);
+        assert_eq!(a.stats, b.stats);
+        assert!(a.observation.is_none(), "no observer configured");
     }
 }

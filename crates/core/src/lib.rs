@@ -97,7 +97,7 @@ pub mod track {
 
 pub use experiment::{
     node_count_study, AdaptiveStudy, ConformanceRun, CutCostSample, CutCostStudy, GroundTruth,
-    HeuristicRow, NodeCountRow, ObservedRun, OnDemandStudy, PassiveStudy, TrackingOverheadRow,
-    Workbench,
+    HeuristicRow, NodeCountRow, ObservedRun, OnDemandStudy, PassiveStudy, PhaseScan,
+    TrackingOverheadRow, Workbench,
 };
 pub use explore::{ExploreFailure, ExploreOptions, ExploreReport, FailureKind};

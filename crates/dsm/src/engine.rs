@@ -32,7 +32,7 @@ use crate::protocol::{FetchPlan, PageDirectory};
 use crate::stats::IterStats;
 use crate::steer::{DecisionPoint, SchedulePolicy};
 use crate::thread::{OngoingAccess, ThreadState, ThreadStatus};
-use crate::trace::{Event, EventSink, Trace};
+use crate::trace::{Event, EventSink, SpanPhase, Trace};
 use acorr_mem::{
     pages_for, span_pages, AccessKind, AccessMatrix, Arena, HbRaceDetector, PageId, PageSpan,
     Protection, RaceReport, VisibleImage,
@@ -118,6 +118,11 @@ pub struct Dsm<P: Program> {
     passive: Option<AccessMatrix>,
     tracer: Option<Trace>,
     sink: Option<Box<dyn EventSink>>,
+    /// When true (and a sink is attached), engine phases are bracketed by
+    /// `Event::SpanBegin`/`SpanEnd` pairs for duration profiling.
+    spans: bool,
+    /// Monotone ordinal pairing each `SpanBegin` with its `SpanEnd`.
+    span_seq: u64,
     interval_mark: IterStats,
     interval_start: SimTime,
     barrier_arrived: usize,
@@ -198,6 +203,8 @@ impl<P: Program> Dsm<P> {
             passive: None,
             tracer: None,
             sink: None,
+            spans: false,
+            span_seq: 0,
             interval_mark: IterStats::new(),
             interval_start: SimTime::ZERO,
             barrier_arrived: 0,
@@ -301,6 +308,16 @@ impl<P: Program> Dsm<P> {
         self.sink.take()
     }
 
+    /// Enables span-based self-profiling: engine phases (twin create, diff
+    /// build, fetch, apply, lock grant, barrier close) are bracketed by
+    /// [`Event::SpanBegin`]/[`Event::SpanEnd`] pairs forwarded to the
+    /// attached sink. Spans are a pure observer — they never reach the
+    /// bounded trace ring, charge no simulated time, and mutate no engine
+    /// state beyond the span ordinal (which only advances while emitting).
+    pub fn enable_span_profiling(&mut self) {
+        self.spans = true;
+    }
+
     /// Records `event` at node `i`'s current time, when tracing or an
     /// external sink is on.
     fn emit(&mut self, i: usize, event: Event) {
@@ -330,6 +347,21 @@ impl<P: Program> Dsm<P> {
         if let Some(sink) = self.sink.as_mut() {
             sink.record_lock_latency(self.nodes[i].time, self.nodes[i].id, latency);
         }
+    }
+
+    /// Emits one profiling span `[start, start + dur]` for `phase` on node
+    /// `i`, when span profiling and a sink are both on. Spans bypass the
+    /// trace ring: they are an observability artifact, not a protocol event.
+    fn emit_span(&mut self, i: usize, phase: SpanPhase, start: SimTime, dur: SimDuration) {
+        if !self.spans || self.sink.is_none() {
+            return;
+        }
+        let id = self.span_seq;
+        self.span_seq += 1;
+        let node = self.nodes[i].id;
+        let sink = self.sink.as_mut().expect("checked above");
+        sink.record_event(start, &Event::SpanBegin { id, phase, node });
+        sink.record_event(start + dur, &Event::SpanEnd { id, phase, node });
     }
 
     /// Starts recording passive observations: pages are attributed to
@@ -1116,6 +1148,7 @@ impl<P: Program> Dsm<P> {
         // Coherence fault: fetch a current copy.
         if !self.nodes[i].pages.valid(page.idx()) {
             self.record_miss(i, t, page);
+            let fetch_start = self.nodes[i].time;
             let applied = self.nodes[i].pages.applied_version(page.idx());
             let has_copy = self.nodes[i].pages.has_copy(page.idx());
             // Fill the reusable scratch plan in place; take/put-back keeps
@@ -1147,6 +1180,8 @@ impl<P: Program> Dsm<P> {
             }
             self.plan_scratch = plan;
             self.emit_fetch_latency(i, dur);
+            self.emit_span(i, SpanPhase::Fetch, fetch_start, dur + apply);
+            self.emit_span(i, SpanPhase::Apply, fetch_start + dur, apply);
             return AccessOutcome::Block(dur);
         }
         // Write fault: twin on first write of the interval.
@@ -1154,6 +1189,7 @@ impl<P: Program> Dsm<P> {
             let needs_twin = !self.nodes[i].pages.twin(page.idx());
             if needs_twin {
                 self.cur.twin_faults += 1;
+                let twin_start = self.nodes[i].time;
                 self.nodes[i].time += self.config.cost.twin_create;
                 self.nodes[i].pages.set_twin(page.idx(), true);
                 self.nodes[i]
@@ -1166,6 +1202,12 @@ impl<P: Program> Dsm<P> {
                         node: self.nodes[i].id,
                         page,
                     },
+                );
+                self.emit_span(
+                    i,
+                    SpanPhase::TwinCreate,
+                    twin_start,
+                    self.config.cost.twin_create,
                 );
             }
             self.nodes[i]
@@ -1235,6 +1277,7 @@ impl<P: Program> Dsm<P> {
                     o.on_fetch_sw(i, page);
                 }
                 self.emit_fetch_latency(i, stall + transfer);
+                self.emit_span(i, SpanPhase::Fetch, now, stall + transfer);
                 AccessOutcome::BlockCompleted(stall + transfer)
             }
             AccessKind::Write => {
@@ -1242,6 +1285,7 @@ impl<P: Program> Dsm<P> {
                     if self.nodes[i].pages.prot(page.idx()) != Protection::ReadWrite {
                         // Local re-upgrade: invalidate the reader copies.
                         self.cur.twin_faults += 1;
+                        let twin_start = self.nodes[i].time;
                         self.nodes[i].time += self.config.cost.twin_create;
                         self.invalidate_others_sw(i, page);
                         self.nodes[i]
@@ -1254,6 +1298,12 @@ impl<P: Program> Dsm<P> {
                                 node: self.nodes[i].id,
                                 page,
                             },
+                        );
+                        self.emit_span(
+                            i,
+                            SpanPhase::TwinCreate,
+                            twin_start,
+                            self.config.cost.twin_create,
                         );
                     }
                     if let Some(o) = self.oracle.as_mut() {
@@ -1295,6 +1345,7 @@ impl<P: Program> Dsm<P> {
                     o.on_write(i, t, span);
                 }
                 self.emit_fetch_latency(i, stall + transfer);
+                self.emit_span(i, SpanPhase::Fetch, now, stall + transfer);
                 AccessOutcome::BlockCompleted(stall + transfer)
             }
         }
@@ -1351,6 +1402,7 @@ impl<P: Program> Dsm<P> {
 
     fn release_barrier(&mut self, tracked: bool) {
         self.cur.barriers += 1;
+        let close_start = self.nodes[0].time;
         let barrier_index = self.total.barriers + self.cur.barriers - 1;
         self.emit(
             0,
@@ -1425,6 +1477,14 @@ impl<P: Program> Dsm<P> {
             node.time = release;
             node.ready.clear();
         }
+        // Span: barrier close covers finalization through release, on the
+        // root node's lane.
+        self.emit_span(
+            0,
+            SpanPhase::BarrierClose,
+            close_start,
+            release.saturating_since(close_start),
+        );
         // Observability: emit the per-interval statistics delta at the
         // release time, then re-mark. Purely observational — no simulated
         // cost is charged and no engine state other than the mark changes.
@@ -1511,7 +1571,9 @@ impl<P: Program> Dsm<P> {
         let dirty_len = pages.dirty(page.idx()).total_len();
         let fragments = pages.dirty(page.idx()).fragment_count();
         let bytes = dirty_len + DIFF_RANGE_BYTES * fragments as u64 + DIFF_HEADER_BYTES;
-        self.nodes[i].time += self.config.cost.diff_create(bytes);
+        let build = self.config.cost.diff_create(bytes);
+        let build_start = self.nodes[i].time;
+        self.nodes[i].time += build;
         let ver = self.directory.record_diff(page, self.nodes[i].id, bytes);
         self.cur.diffs_created += 1;
         self.cur.diff_bytes_created += bytes;
@@ -1523,6 +1585,7 @@ impl<P: Program> Dsm<P> {
                 bytes,
             },
         );
+        self.emit_span(i, SpanPhase::DiffBuild, build_start, build);
         let extra = self.net_send_extra(i, MessageKind::WriteNotice, NOTICE_BYTES, None);
         self.nodes[i].time += extra;
         let pages = &mut self.nodes[i].pages;
@@ -1654,12 +1717,14 @@ impl<P: Program> Dsm<P> {
             self.cur.stall += delay;
             self.threads[t].wake_at = grant_base + delay;
             self.emit_lock_latency(i, delay);
+            self.emit_span(i, SpanPhase::LockGrant, grant_base, delay);
             false
         } else {
             let node = &mut self.nodes[i];
             node.time = grant_base + self.config.cost.lock_local;
             let local = self.config.cost.lock_local;
             self.emit_lock_latency(i, local);
+            self.emit_span(i, SpanPhase::LockGrant, grant_base, local);
             true
         }
     }
@@ -1735,5 +1800,6 @@ impl<P: Program> Dsm<P> {
             },
         );
         self.emit_lock_latency(node, delay);
+        self.emit_span(node, SpanPhase::LockGrant, unlock_time, delay);
     }
 }

@@ -67,6 +67,50 @@ pub trait EventSink: fmt::Debug + Send {
     }
 }
 
+/// An engine phase profiled by the span instrumentation.
+///
+/// Spans are emitted only while span profiling is enabled on the engine
+/// (see `Dsm::enable_span_profiling`) *and* a sink is attached; they never
+/// enter the bounded [`Trace`] ring, so trace-based tooling is unaffected.
+/// `Fetch` nests `Apply` (the diff application inside a remote fetch) —
+/// the Chrome sink renders the pair as nestable duration events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanPhase {
+    /// First-write twin creation (or single-writer re-upgrade).
+    TwinCreate,
+    /// Diff construction at a release or barrier.
+    DiffBuild,
+    /// Remote fetch resolving a coherence miss (network transfer + apply).
+    Fetch,
+    /// Diff application inside a fetch (nested under [`SpanPhase::Fetch`]).
+    Apply,
+    /// Lock grant: local handoff or cross-node control exchange.
+    LockGrant,
+    /// Barrier close: finalization, rendezvous and release.
+    BarrierClose,
+}
+
+impl SpanPhase {
+    /// Stable lowercase name used in artifacts (JSONL `phase` member and
+    /// Chrome span names).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanPhase::TwinCreate => "twin_create",
+            SpanPhase::DiffBuild => "diff_build",
+            SpanPhase::Fetch => "fetch",
+            SpanPhase::Apply => "apply",
+            SpanPhase::LockGrant => "lock_grant",
+            SpanPhase::BarrierClose => "barrier_close",
+        }
+    }
+}
+
+impl fmt::Display for SpanPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One protocol event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
@@ -166,6 +210,37 @@ pub enum Event {
         /// Cached page copies wiped by the crash.
         pages: u64,
     },
+    /// A profiled engine phase opened (span profiling only; closed by the
+    /// [`Event::SpanEnd`] carrying the same `id`).
+    SpanBegin {
+        /// Run-global span ordinal pairing begin with end.
+        id: u64,
+        /// The profiled phase.
+        phase: SpanPhase,
+        /// Node the phase ran on.
+        node: NodeId,
+    },
+    /// A profiled engine phase closed (see [`Event::SpanBegin`]).
+    SpanEnd {
+        /// Run-global span ordinal pairing end with begin.
+        id: u64,
+        /// The profiled phase.
+        phase: SpanPhase,
+        /// Node the phase ran on.
+        node: NodeId,
+    },
+    /// Windowed correlation tracking detected a sharing-structure shift:
+    /// the delta norm between consecutive tracked windows crossed the
+    /// detector's threshold (emitted by the observability layer's phase
+    /// detector, never by the engine itself).
+    PhaseShift {
+        /// Ordinal of the tracked window that closed shifted (iterations
+        /// or barrier intervals, depending on the detector's driver).
+        window: u64,
+        /// Correlation delta norm in parts per million (`delta * 1e6`,
+        /// kept integral so the event stays `Eq`).
+        delta_ppm: u64,
+    },
 }
 
 impl fmt::Display for Event {
@@ -206,6 +281,11 @@ impl fmt::Display for Event {
             } => write!(f, "inject #{interval} {choice}/{alternatives}"),
             Event::NodeCrash { node, pages } => {
                 write!(f, "crash {node} ({pages} pages wiped)")
+            }
+            Event::SpanBegin { id, phase, node } => write!(f, "span+ {phase} {node} #{id}"),
+            Event::SpanEnd { id, phase, node } => write!(f, "span- {phase} {node} #{id}"),
+            Event::PhaseShift { window, delta_ppm } => {
+                write!(f, "phase-shift w{window} delta {delta_ppm}ppm")
             }
         }
     }
@@ -418,9 +498,41 @@ mod tests {
                 node: NodeId(1),
                 pages: 3,
             },
+            Event::SpanBegin {
+                id: 0,
+                phase: SpanPhase::Fetch,
+                node: NodeId(0),
+            },
+            Event::SpanEnd {
+                id: 0,
+                phase: SpanPhase::Fetch,
+                node: NodeId(0),
+            },
+            Event::PhaseShift {
+                window: 2,
+                delta_ppm: 412_000,
+            },
         ];
         for ev in samples {
             assert!(!ev.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn span_phase_names_are_stable_artifact_identifiers() {
+        // These strings appear in events.jsonl and trace.json; renaming one
+        // is an artifact-schema change, so pin them.
+        let expected = [
+            (SpanPhase::TwinCreate, "twin_create"),
+            (SpanPhase::DiffBuild, "diff_build"),
+            (SpanPhase::Fetch, "fetch"),
+            (SpanPhase::Apply, "apply"),
+            (SpanPhase::LockGrant, "lock_grant"),
+            (SpanPhase::BarrierClose, "barrier_close"),
+        ];
+        for (phase, name) in expected {
+            assert_eq!(phase.name(), name);
+            assert_eq!(phase.to_string(), name);
         }
     }
 }

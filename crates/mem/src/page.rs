@@ -32,6 +32,18 @@ impl PageId {
     pub const fn base_addr(self) -> u64 {
         self.0 as u64 * PAGE_SIZE as u64
     }
+
+    /// The page id widened to `u64`, the width observability artifacts
+    /// (JSONL members, trace args, analysis CSV columns) carry page ids at.
+    pub const fn as_u64(self) -> u64 {
+        self.0 as u64
+    }
+
+    /// Rebuilds a page id from its artifact-side `u64` encoding, when it
+    /// fits.
+    pub fn from_u64(raw: u64) -> Option<PageId> {
+        u32::try_from(raw).ok().map(PageId)
+    }
 }
 
 impl fmt::Display for PageId {

@@ -275,12 +275,16 @@ fn parse_str(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 scalar (input is a &str, so boundaries
-                // are valid).
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().ok_or("unterminated string")?;
-                out.push(c);
-                *pos += c.len_utf8();
+                // Consume the whole run of ordinary characters at once. The
+                // delimiters are ASCII, so they can't occur inside a
+                // multi-byte sequence, and the input arrived as a &str, so
+                // the run is valid UTF-8.
+                let start = *pos;
+                while *pos < bytes.len() && bytes[*pos] != b'"' && bytes[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                let run = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+                out.push_str(run);
             }
         }
     }
@@ -443,6 +447,26 @@ mod tests {
     }
 
     #[test]
+    fn json_edge_values_round_trip() {
+        // The corners the artifact schema actually exercises: 64-bit
+        // counters at saturation, negative zero (f64 sign bit must
+        // survive), and deep nesting.
+        let mut o = Obj::new();
+        o.u64("max", u64::MAX)
+            .f64("nz", -0.0)
+            .raw("deep", "[[[[1]]]]");
+        let v = parse(&o.finish()).unwrap();
+        assert_eq!(v.get("max").unwrap().as_u64(), Some(u64::MAX));
+        let nz = v.get("nz").unwrap().as_f64().unwrap();
+        assert_eq!(nz.to_bits(), (-0.0f64).to_bits(), "sign bit lost");
+        let deep = v.get("deep").unwrap();
+        let leaf = &deep.as_arr().unwrap()[0].as_arr().unwrap()[0]
+            .as_arr()
+            .unwrap()[0];
+        assert_eq!(leaf.as_arr().unwrap()[0].as_u64(), Some(1));
+    }
+
+    #[test]
     fn iter_stats_encoding_is_parseable_and_complete() {
         let mut s = IterStats::new();
         s.remote_misses = 42;
@@ -456,6 +480,83 @@ mod tests {
         // Every MessageKind appears in the net breakdown.
         for kind in MessageKind::ALL {
             assert!(v.get("net").unwrap().get(kind.label()).is_some());
+        }
+    }
+}
+
+#[cfg(all(test, feature = "proptest"))]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any string survives escape → parse, including long ones and
+        /// arbitrary Unicode (the JSONL sinks carry app and phase names
+        /// straight from user-controlled `Program::name`).
+        #[test]
+        fn strings_round_trip(
+            chars in proptest::collection::vec(proptest::char::any(), 0..2048)
+        ) {
+            let s: String = chars.into_iter().collect();
+            let mut o = Obj::new();
+            o.str("s", &s);
+            let v = parse(&o.finish()).unwrap();
+            prop_assert_eq!(v.get("s").unwrap().as_str(), Some(s.as_str()));
+        }
+
+        /// Every u64 — the counters are 64-bit and the parser keeps raw
+        /// number tokens precisely so `u64::MAX` must not lose precision
+        /// through an f64 detour.
+        #[test]
+        fn u64_round_trips_exactly(u in proptest::num::u64::ANY) {
+            let mut o = Obj::new();
+            o.u64("u", u);
+            let v = parse(&o.finish()).unwrap();
+            prop_assert_eq!(v.get("u").unwrap().as_u64(), Some(u));
+        }
+
+        /// Finite f64 members round-trip bit-for-bit (Rust's shortest
+        /// display representation re-parses to the same bits, and -0.0
+        /// renders as "-0", keeping the sign).
+        #[test]
+        fn finite_f64_round_trips_bitwise(
+            f in proptest::num::f64::ANY.prop_filter("finite", |f| f.is_finite())
+        ) {
+            let mut o = Obj::new();
+            o.f64("f", f);
+            let v = parse(&o.finish()).unwrap();
+            let back = v.get("f").unwrap().as_f64().unwrap();
+            prop_assert_eq!(back.to_bits(), f.to_bits());
+        }
+
+        /// Nested arrays keep shape and element values.
+        #[test]
+        fn nested_arrays_round_trip(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(proptest::num::u64::ANY, 0..8),
+                0..8,
+            )
+        ) {
+            let rendered = format!(
+                "[{}]",
+                rows.iter()
+                    .map(|row| format!(
+                        "[{}]",
+                        row.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+                    ))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+            let v = parse(&rendered).unwrap();
+            let arr = v.as_arr().unwrap();
+            prop_assert_eq!(arr.len(), rows.len());
+            for (parsed, row) in arr.iter().zip(&rows) {
+                let inner = parsed.as_arr().unwrap();
+                prop_assert_eq!(inner.len(), row.len());
+                for (item, &want) in inner.iter().zip(row) {
+                    prop_assert_eq!(item.as_u64(), Some(want));
+                }
+            }
         }
     }
 }

@@ -37,14 +37,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
+pub mod phases;
 pub mod sinks;
+pub mod spans;
 
+pub use analyze::{Analysis, IntervalPath, PageHeat, ThreadComm};
 pub use manifest::{bytes_digest, fnv1a, git_describe, stats_digest, RunManifest};
 pub use metrics::{Log2Histogram, MetricsRegistry};
+pub use phases::{PhaseDetector, PhaseShiftMark};
 pub use sinks::{ChromeTraceSink, JsonlSink, MultiSink, ObsHandle, Observation};
+pub use spans::{SpanProfile, SpanTotals};
 
 use acorr_dsm::trace::EventSink;
 use std::io;
@@ -61,16 +67,21 @@ pub struct ObsConfig {
     pub metrics: bool,
     /// Capacity of the bounded in-memory event ring (0 disables it).
     pub ring_capacity: usize,
+    /// Ask the engine for span-based self-profiling (`SpanBegin`/`SpanEnd`
+    /// brackets around engine phases). A pure observer like the rest.
+    pub spans: bool,
 }
 
 impl ObsConfig {
-    /// Everything on: JSONL, Chrome trace, metrics, and a 4096-event ring.
+    /// Everything on: JSONL, Chrome trace, metrics, span profiling, and a
+    /// 4096-event ring.
     pub fn all() -> Self {
         ObsConfig {
             jsonl: true,
             chrome: true,
             metrics: true,
             ring_capacity: 4096,
+            spans: true,
         }
     }
 }

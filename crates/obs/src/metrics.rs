@@ -10,7 +10,11 @@ use std::fmt::Write as _;
 ///
 /// Bucket `i` counts samples in `[2^i, 2^(i+1))` nanoseconds; bucket 0
 /// additionally absorbs zero. With 64 buckets every `u64` nanosecond value
-/// has a home, so recording never saturates or clips.
+/// has a home, so recording never saturates or clips: a 0-tick sample lands
+/// in bucket 0 alongside 1 ns, and a `u64::MAX`-tick sample lands in
+/// bucket 63, whose exclusive upper bound `2^64` is unrepresentable and is
+/// deliberately reported as `u64::MAX` in [`Log2Histogram::rows`] — the
+/// terminal bucket's bound saturates, never the counts.
 #[derive(Debug, Clone)]
 pub struct Log2Histogram {
     buckets: [u64; 64],
@@ -225,6 +229,30 @@ mod tests {
         assert_eq!(
             Log2Histogram::bucket_of(SimDuration::from_nanos(u64::MAX)),
             63
+        );
+    }
+
+    #[test]
+    fn edge_samples_land_in_terminal_buckets() {
+        // A 0-tick sample shares bucket 0 with 1 ns; a u64::MAX-tick sample
+        // fills bucket 63, whose reported upper bound saturates to u64::MAX
+        // (2^64 is unrepresentable) while its count stays exact.
+        let mut h = Log2Histogram::new();
+        h.record(SimDuration::ZERO);
+        h.record(SimDuration::from_nanos(1));
+        h.record(SimDuration::from_nanos(u64::MAX));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum_ns(), 1 + u128::from(u64::MAX));
+        assert_eq!(h.rows(), vec![(0, 0, 2, 2), (63, 1 << 63, u64::MAX, 1)]);
+        // The CSV export carries the same saturated bound.
+        let mut m = MetricsRegistry::new();
+        m.record_fetch(SimDuration::ZERO);
+        m.record_fetch(SimDuration::from_nanos(u64::MAX));
+        let csv = m.histogram_csv();
+        assert!(csv.contains("fetch,0,0,2,1\n"), "{csv}");
+        assert!(
+            csv.contains(&format!("fetch,63,{},{},1\n", 1u64 << 63, u64::MAX)),
+            "{csv}"
         );
     }
 

@@ -1,0 +1,257 @@
+//! Windowed correlation phase-change detection.
+//!
+//! ROADMAP's online re-mapping trigger needs to know *when* an
+//! application's sharing pattern shifts. This module folds a stream of
+//! per-unit [`CorrelationMatrix`] observations (one per tracked iteration
+//! or per barrier interval) into tumbling windows, compares each closed
+//! window against an exponentially aged baseline of the preceding windows
+//! ([`AgedCorrelation`], §7's aging), and fires a [`PhaseShiftMark`] when
+//! the normalized divergence ([`correlation_delta`]) crosses a threshold —
+//! with hysteresis, so a sustained new phase fires once instead of every
+//! window.
+//!
+//! Thresholds are carried in parts-per-million so detection is a pure
+//! integer comparison on a deterministically rounded delta: the same event
+//! stream always yields the same shifts.
+
+use acorr_track::{correlation_delta, AgedCorrelation, CorrelationMatrix};
+
+/// Default firing threshold: delta ≥ 0.35 (see `has_shifted`'s guidance
+/// that structural rotations land well above 0.3).
+pub const DEFAULT_THRESHOLD_PPM: u64 = 350_000;
+/// Default re-arm threshold: delta ≤ 0.15 means the pattern has settled.
+pub const DEFAULT_REARM_PPM: u64 = 150_000;
+/// Default baseline decay: each older window weighs half as much.
+pub const DEFAULT_DECAY: f64 = 0.5;
+
+/// One detected phase change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseShiftMark {
+    /// Ordinal of the window whose close fired the detection (0-based).
+    pub window: u64,
+    /// The divergence that fired it, parts-per-million of full rotation.
+    pub delta_ppm: u64,
+}
+
+/// Tumbling-window phase-change detector with hysteresis.
+#[derive(Debug)]
+pub struct PhaseDetector {
+    window: usize,
+    threshold_ppm: u64,
+    rearm_ppm: u64,
+    aged: AgedCorrelation,
+    cur: CorrelationMatrix,
+    in_window: usize,
+    windows_closed: u64,
+    /// Whether the baseline holds at least one full window.
+    primed: bool,
+    /// Hysteresis state: a firing disarms; settling re-arms.
+    armed: bool,
+    shifts: Vec<PhaseShiftMark>,
+}
+
+impl PhaseDetector {
+    /// A detector over `threads` threads closing a window every `window`
+    /// observations (clamped to ≥ 1), with the default thresholds.
+    pub fn new(threads: usize, window: usize) -> Self {
+        PhaseDetector::with_thresholds(
+            threads,
+            window,
+            DEFAULT_THRESHOLD_PPM,
+            DEFAULT_REARM_PPM,
+            DEFAULT_DECAY,
+        )
+    }
+
+    /// A detector with explicit firing/re-arm thresholds (ppm) and baseline
+    /// decay.
+    pub fn with_thresholds(
+        threads: usize,
+        window: usize,
+        threshold_ppm: u64,
+        rearm_ppm: u64,
+        decay: f64,
+    ) -> Self {
+        PhaseDetector {
+            window: window.max(1),
+            threshold_ppm,
+            rearm_ppm,
+            aged: AgedCorrelation::new(threads, decay),
+            cur: CorrelationMatrix::zeros(threads),
+            in_window: 0,
+            windows_closed: 0,
+            primed: false,
+            armed: true,
+            shifts: Vec::new(),
+        }
+    }
+
+    /// Observation units folded into the currently open window so far.
+    pub fn pending(&self) -> usize {
+        self.in_window
+    }
+
+    /// Windows closed so far.
+    pub fn windows_closed(&self) -> u64 {
+        self.windows_closed
+    }
+
+    /// Every shift detected so far, in firing order.
+    pub fn shifts(&self) -> &[PhaseShiftMark] {
+        &self.shifts
+    }
+
+    /// Folds one observation unit into the open window; when the window
+    /// fills, closes it and returns the shift it fired, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round` covers a different thread count.
+    pub fn observe(&mut self, round: &CorrelationMatrix) -> Option<PhaseShiftMark> {
+        self.cur.merge(round);
+        self.in_window += 1;
+        if self.in_window < self.window {
+            return None;
+        }
+        self.close_window()
+    }
+
+    /// Closes the open window regardless of fill (used at end of stream for
+    /// a final partial window). Empty windows are a no-op.
+    pub fn flush(&mut self) -> Option<PhaseShiftMark> {
+        if self.in_window == 0 {
+            return None;
+        }
+        self.close_window()
+    }
+
+    fn close_window(&mut self) -> Option<PhaseShiftMark> {
+        let ordinal = self.windows_closed;
+        let mut fired = None;
+        if self.primed {
+            let baseline = self.aged.snapshot();
+            let delta = correlation_delta(&baseline, &self.cur);
+            let ppm = (delta * 1_000_000.0).round() as u64;
+            if self.armed && ppm >= self.threshold_ppm {
+                let mark = PhaseShiftMark {
+                    window: ordinal,
+                    delta_ppm: ppm,
+                };
+                self.shifts.push(mark);
+                self.armed = false;
+                fired = Some(mark);
+            } else if !self.armed && ppm <= self.rearm_ppm {
+                self.armed = true;
+            }
+        }
+        self.aged.observe(&self.cur);
+        self.primed = true;
+        self.cur = CorrelationMatrix::zeros(self.cur.num_threads());
+        self.in_window = 0;
+        self.windows_closed += 1;
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A matrix with neighbor pairs sharing, rotated by `offset`.
+    fn pattern(threads: usize, offset: usize) -> CorrelationMatrix {
+        let mut m = CorrelationMatrix::zeros(threads);
+        for t in (0..threads - 1).step_by(2) {
+            let a = (t + offset) % threads;
+            let b = (t + 1 + offset) % threads;
+            if a != b {
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                m.set(lo, hi, 10);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn stable_pattern_never_fires() {
+        let mut d = PhaseDetector::new(8, 4);
+        for _ in 0..40 {
+            assert!(d.observe(&pattern(8, 0)).is_none());
+        }
+        assert!(d.shifts().is_empty());
+        assert_eq!(d.windows_closed(), 10);
+    }
+
+    #[test]
+    fn rotation_fires_within_one_window() {
+        let mut d = PhaseDetector::new(8, 4);
+        // Three stable windows build the baseline.
+        for _ in 0..12 {
+            assert!(d.observe(&pattern(8, 0)).is_none());
+        }
+        // The pattern rotates; the window containing the shift fires.
+        let mut fired = None;
+        for _ in 0..4 {
+            if let Some(mark) = d.observe(&pattern(8, 1)) {
+                fired = Some(mark);
+            }
+        }
+        let mark = fired.expect("rotation detected");
+        assert_eq!(mark.window, 3, "fired at the first post-shift window");
+        assert!(mark.delta_ppm >= DEFAULT_THRESHOLD_PPM);
+    }
+
+    #[test]
+    fn hysteresis_fires_once_per_sustained_phase() {
+        let mut d = PhaseDetector::new(8, 2);
+        for _ in 0..6 {
+            d.observe(&pattern(8, 0));
+        }
+        // New phase persists for many windows: exactly one firing until the
+        // baseline absorbs it and the detector re-arms.
+        let mut firings = 0;
+        for _ in 0..20 {
+            if d.observe(&pattern(8, 1)).is_some() {
+                firings += 1;
+            }
+        }
+        assert_eq!(firings, 1);
+        // Once re-armed, a second rotation fires again.
+        let mut second = 0;
+        for _ in 0..20 {
+            if d.observe(&pattern(8, 2)).is_some() {
+                second += 1;
+            }
+        }
+        assert_eq!(second, 1);
+    }
+
+    #[test]
+    fn flush_closes_a_partial_window() {
+        let mut d = PhaseDetector::new(8, 100);
+        for _ in 0..3 {
+            d.observe(&pattern(8, 0));
+        }
+        assert_eq!(d.pending(), 3);
+        assert!(d.flush().is_none());
+        assert_eq!(d.pending(), 0);
+        assert_eq!(d.windows_closed(), 1);
+        // A rotated partial window against the primed baseline fires.
+        for _ in 0..3 {
+            d.observe(&pattern(8, 1));
+        }
+        assert!(d.flush().is_some());
+    }
+
+    #[test]
+    fn detection_is_deterministic() {
+        let run = || {
+            let mut d = PhaseDetector::new(8, 4);
+            for i in 0..32 {
+                let offset = usize::from(i >= 16);
+                d.observe(&pattern(8, offset));
+            }
+            d.shifts().to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -4,9 +4,9 @@
 
 use crate::json::Obj;
 use crate::metrics::MetricsRegistry;
-use acorr_dsm::trace::{Event, EventSink, Trace};
+use acorr_dsm::trace::{Event, EventSink, SpanPhase, Trace};
 use acorr_dsm::IterStats;
-use acorr_sim::{NodeId, SimDuration, SimTime};
+use acorr_sim::{FaultAction, NodeId, SimDuration, SimTime};
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// Renders one event's type tag and payload members into `obj`.
@@ -15,33 +15,33 @@ fn push_event_fields(obj: &mut Obj, event: &Event) {
         Event::CorrelationFault { thread, page } => {
             obj.str("type", "correlation_fault")
                 .u64("thread", thread as u64)
-                .u64("page", u64::from(page.0));
+                .u64("page", page.as_u64());
         }
         Event::RemoteMiss { node, thread, page } => {
             obj.str("type", "remote_miss")
                 .u64("node", u64::from(node.0))
                 .u64("thread", thread as u64)
-                .u64("page", u64::from(page.0));
+                .u64("page", page.as_u64());
         }
         Event::WriteFault { node, page } => {
             obj.str("type", "write_fault")
                 .u64("node", u64::from(node.0))
-                .u64("page", u64::from(page.0));
+                .u64("page", page.as_u64());
         }
         Event::OwnershipTransfer { page, to } => {
             obj.str("type", "ownership_transfer")
-                .u64("page", u64::from(page.0))
+                .u64("page", page.as_u64())
                 .u64("to", u64::from(to.0));
         }
         Event::DiffCreated { node, page, bytes } => {
             obj.str("type", "diff_created")
                 .u64("node", u64::from(node.0))
-                .u64("page", u64::from(page.0))
+                .u64("page", page.as_u64())
                 .u64("bytes", bytes);
         }
         Event::GcConsolidated { page, owner } => {
             obj.str("type", "gc_consolidated")
-                .u64("page", u64::from(page.0))
+                .u64("page", page.as_u64())
                 .u64("owner", u64::from(owner.0));
         }
         Event::BarrierRelease { index } => {
@@ -87,7 +87,47 @@ fn push_event_fields(obj: &mut Obj, event: &Event) {
                 .u64("node", u64::from(node.0))
                 .u64("pages", pages);
         }
+        Event::SpanBegin { id, phase, node } => {
+            obj.str("type", "span_begin")
+                .u64("id", id)
+                .str("phase", phase.name())
+                .u64("node", u64::from(node.0));
+        }
+        Event::SpanEnd { id, phase, node } => {
+            obj.str("type", "span_end")
+                .u64("id", id)
+                .str("phase", phase.name())
+                .u64("node", u64::from(node.0));
+        }
+        Event::PhaseShift { window, delta_ppm } => {
+            obj.str("type", "phase_shift")
+                .u64("window", window)
+                .u64("delta_ppm", delta_ppm);
+        }
     }
+}
+
+/// The short stable name of a decoded [`FaultAction`], used in trace args.
+fn fault_kind(action: FaultAction) -> &'static str {
+    match action {
+        FaultAction::None => "none",
+        FaultAction::Partition { .. } => "partition",
+        FaultAction::Duplicate => "dup",
+        FaultAction::Corrupt => "corrupt",
+        FaultAction::Crash { .. } => "crash",
+    }
+}
+
+/// The fault section of a replay token prescribing exactly this decision:
+/// `!` followed by `interval` zero choices, then `choice` — paste it after
+/// a schedule token to replay the injected fault deterministically.
+fn fault_token_fragment(interval: u64, choice: u32) -> String {
+    let mut token = String::from("!");
+    for _ in 0..interval {
+        token.push_str("0.");
+    }
+    token.push_str(&choice.to_string());
+    token
 }
 
 /// An [`EventSink`] that renders every callback as one JSON object per
@@ -267,7 +307,26 @@ impl ChromeTraceSink {
             // Perfetto with the injected faults inline.
             Event::ScheduleDecision { .. } | Event::FaultDecision { .. } => self.nodes as u64 + 1,
             Event::NodeCrash { node, .. } => u64::from(node.0),
+            // Spans are rendered as nestable slices before lane dispatch;
+            // these arms only keep the match exhaustive.
+            Event::SpanBegin { node, .. } | Event::SpanEnd { node, .. } => u64::from(node.0),
+            // A phase shift is a cluster-wide detection, not a node event.
+            Event::PhaseShift { .. } => self.nodes as u64,
         }
+    }
+
+    /// Emits one endpoint of a nestable duration span (`ph` is `"b"` or
+    /// `"e"`) on the latency process, on the owning node's track.
+    fn span_mark(&mut self, at: SimTime, ph: &str, id: u64, phase: SpanPhase, node: NodeId) {
+        let mut obj = Obj::new();
+        obj.str("name", phase.name())
+            .str("cat", "span")
+            .str("ph", ph)
+            .u64("id", id)
+            .u64("pid", u64::from(PID_LATENCY))
+            .u64("tid", u64::from(node.0))
+            .raw("ts", &micros(at.as_nanos()));
+        self.events.push(obj.finish());
     }
 
     fn instant(&mut self, at: SimTime, name: &str, tid: u64, args_json: &str) {
@@ -311,9 +370,32 @@ impl ChromeTraceSink {
 
 impl EventSink for ChromeTraceSink {
     fn record_event(&mut self, at: SimTime, event: &Event) {
+        // Profiling spans render as Perfetto nestable slices, not instants.
+        match *event {
+            Event::SpanBegin { id, phase, node } => {
+                self.span_mark(at, "b", id, phase, node);
+                return;
+            }
+            Event::SpanEnd { id, phase, node } => {
+                self.span_mark(at, "e", id, phase, node);
+                return;
+            }
+            _ => {}
+        }
         let tid = self.lane_of(event);
         let mut args = Obj::new();
         push_event_fields(&mut args, event);
+        // Fault decisions additionally carry the decoded fault kind and the
+        // replay-token fragment that reproduces them, so the scheduler lane
+        // doubles as a copy-paste repro line.
+        if let Event::FaultDecision {
+            interval, choice, ..
+        } = *event
+        {
+            let action = FaultAction::from_choice(choice as usize, self.nodes);
+            args.str("kind", fault_kind(action))
+                .str("token", &fault_token_fragment(interval, choice));
+        }
         let args_json = args.finish();
         // The "type" member doubles as the slice name; Perfetto groups
         // instants by name, so kinds form visual rows.
@@ -330,6 +412,10 @@ impl EventSink for ChromeTraceSink {
             Event::ScheduleDecision { .. } => "schedule_decision",
             Event::FaultDecision { .. } => "fault_decision",
             Event::NodeCrash { .. } => "node_crash",
+            // Handled above; kept for exhaustiveness.
+            Event::SpanBegin { .. } => "span_begin",
+            Event::SpanEnd { .. } => "span_end",
+            Event::PhaseShift { .. } => "phase_shift",
         };
         self.instant(at, name, tid, &args_json);
     }
@@ -491,6 +577,24 @@ impl EventSink for MultiSink {
 }
 
 impl ObsHandle {
+    /// Records one event into every enabled backend from the collection
+    /// side. This is how post-hoc detections (e.g. [`Event::PhaseShift`]
+    /// from the analytics layer) join the same artifacts as engine events:
+    /// the handle shares the buffers with the attached [`MultiSink`].
+    pub fn record_event(&self, at: SimTime, event: &Event) {
+        let mut guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let b = &mut *guard;
+        if let Some(s) = b.jsonl.as_mut() {
+            s.record_event(at, event);
+        }
+        if let Some(s) = b.chrome.as_mut() {
+            s.record_event(at, event);
+        }
+        if let Some(s) = b.ring.as_mut() {
+            s.record_event(at, event);
+        }
+    }
+
     /// Takes the buffers and renders them. Call after the run; artifacts
     /// recorded afterwards are lost.
     pub fn finish(&self) -> Observation {
@@ -611,6 +715,117 @@ mod tests {
     }
 
     #[test]
+    fn spans_render_as_nestable_slices() {
+        let mut sink = ChromeTraceSink::new(2);
+        sink.record_event(
+            SimTime::from_nanos(1000),
+            &Event::SpanBegin {
+                id: 7,
+                phase: SpanPhase::Fetch,
+                node: NodeId(1),
+            },
+        );
+        sink.record_event(
+            SimTime::from_nanos(3000),
+            &Event::SpanEnd {
+                id: 7,
+                phase: SpanPhase::Fetch,
+                node: NodeId(1),
+            },
+        );
+        let doc = parse(&sink.render()).expect("valid trace JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // No new metadata lanes: spans reuse the latency process tracks.
+        let meta = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .count();
+        assert_eq!(meta, 9);
+        let begin = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("b"))
+            .unwrap();
+        assert_eq!(begin.get("name").unwrap().as_str(), Some("fetch"));
+        assert_eq!(begin.get("cat").unwrap().as_str(), Some("span"));
+        assert_eq!(begin.get("id").unwrap().as_u64(), Some(7));
+        assert_eq!(begin.get("pid").unwrap().as_u64(), Some(2));
+        assert_eq!(begin.get("tid").unwrap().as_u64(), Some(1));
+        assert_eq!(begin.get("ts").unwrap().as_f64(), Some(1.0));
+        let end = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("e"))
+            .unwrap();
+        assert_eq!(end.get("id").unwrap().as_u64(), Some(7));
+        assert_eq!(end.get("ts").unwrap().as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn fault_decisions_carry_kind_and_replay_token() {
+        let mut sink = ChromeTraceSink::new(4);
+        sink.record_event(
+            SimTime::from_nanos(500),
+            &Event::FaultDecision {
+                interval: 2,
+                alternatives: 5,
+                choice: 1,
+            },
+        );
+        let doc = parse(&sink.render()).expect("valid trace JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let fd = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("fault_decision"))
+            .unwrap();
+        // Scheduler lane: tid == nodes + 1.
+        assert_eq!(fd.get("tid").unwrap().as_u64(), Some(5));
+        let args = fd.get("args").unwrap();
+        assert_eq!(args.get("kind").unwrap().as_str(), Some("partition"));
+        assert_eq!(args.get("token").unwrap().as_str(), Some("!0.0.1"));
+    }
+
+    #[test]
+    fn phase_shift_lands_on_the_control_lane() {
+        let mut sink = ChromeTraceSink::new(2);
+        sink.record_event(
+            SimTime::from_nanos(900),
+            &Event::PhaseShift {
+                window: 3,
+                delta_ppm: 412_000,
+            },
+        );
+        let doc = parse(&sink.render()).expect("valid trace JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let shift = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("phase_shift"))
+            .unwrap();
+        assert_eq!(shift.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(shift.get("tid").unwrap().as_u64(), Some(2));
+        let args = shift.get("args").unwrap();
+        assert_eq!(args.get("window").unwrap().as_u64(), Some(3));
+        assert_eq!(args.get("delta_ppm").unwrap().as_u64(), Some(412_000));
+    }
+
+    #[test]
+    fn handle_record_event_joins_the_same_buffers() {
+        let config = crate::ObsConfig::all();
+        let (mut sink, handle) = MultiSink::new(&config, 2);
+        feed(&mut sink);
+        handle.record_event(
+            SimTime::from_nanos(600),
+            &Event::PhaseShift {
+                window: 1,
+                delta_ppm: 500_000,
+            },
+        );
+        let obs = handle.finish();
+        let jsonl = obs.events_jsonl.expect("jsonl enabled");
+        assert!(jsonl.contains("\"type\":\"phase_shift\""));
+        let chrome = obs.chrome_trace.expect("chrome enabled");
+        assert!(chrome.contains("\"name\":\"phase_shift\""));
+    }
+
+    #[test]
     fn multi_sink_fans_out_and_handle_collects() {
         let config = crate::ObsConfig::all();
         let (mut sink, handle) = MultiSink::new(&config, 2);
@@ -638,6 +853,7 @@ mod tests {
             chrome: false,
             metrics: false,
             ring_capacity: 0,
+            spans: false,
         };
         let (mut sink, handle) = MultiSink::new(&config, 1);
         feed(&mut sink);

@@ -66,4 +66,36 @@ head -1 "$dir/metrics.csv" | grep -q "^barrier,at_ns,elapsed_ns" \
 head -1 "$dir/histograms.csv" | grep -q "^histogram,bucket,lo_ns,hi_ns,count" \
     || fail "histograms.csv: bad header"
 
+# analysis/: produced by `acorr analyze --obs-dir DIR`. Validated whenever
+# present; the CI and verify.sh smokes run analyze first, so a missing
+# bundle there fails upstream, and a stale or tampered bundle fails here.
+if [ -d "$dir/analysis" ]; then
+    for f in page_heat.csv thread_comm.csv critical_path.csv spans.csv \
+             phases.csv report.txt; do
+        [ -s "$dir/analysis/$f" ] || fail "missing or empty $dir/analysis/$f"
+    done
+    head -1 "$dir/analysis/page_heat.csv" \
+        | grep -q "^page,fetches,twins,diffs,diff_bytes,transfers,heat$" \
+        || fail "analysis/page_heat.csv: bad header"
+    head -1 "$dir/analysis/thread_comm.csv" \
+        | grep -q "^thread,remote_misses,tracking_faults,lock_grants,remote_lock_grants,migrations$" \
+        || fail "analysis/thread_comm.csv: bad header"
+    head -1 "$dir/analysis/critical_path.csv" \
+        | grep -q "^barrier,elapsed_ns,stall_ns,critical_node,fetch_wait_ns,lock_wait_ns$" \
+        || fail "analysis/critical_path.csv: bad header"
+    head -1 "$dir/analysis/spans.csv" | grep -q "^phase,count,total_ns,max_ns$" \
+        || fail "analysis/spans.csv: bad header"
+    head -1 "$dir/analysis/phases.csv" | grep -q "^window,delta_ppm$" \
+        || fail "analysis/phases.csv: bad header"
+    # The report is stamped with the digest it was verified against; it
+    # must be the manifest's.
+    digest="$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["digest"])' \
+        "$dir/manifest.json")"
+    grep -q "^stats digest: $digest\$" "$dir/analysis/report.txt" \
+        || fail "analysis/report.txt digest line does not match manifest ($digest)"
+    echo "check_obs: analysis OK (digest $digest)"
+else
+    echo "check_obs: note: no analysis/ bundle (run: acorr analyze --obs-dir $dir)"
+fi
+
 echo "check_obs: OK ($dir)"

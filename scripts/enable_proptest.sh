@@ -13,7 +13,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 sed -i 's/^# proptest = "1"$/proptest = "1"/' Cargo.toml
-for crate in sim mem dsm place track; do
+for crate in sim mem dsm place track obs; do
     sed -i 's/^# \[dev-dependencies\]$/[dev-dependencies]/' "crates/$crate/Cargo.toml"
     sed -i 's/^# proptest = { workspace = true }$/proptest = { workspace = true }/' \
         "crates/$crate/Cargo.toml"

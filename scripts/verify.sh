@@ -26,10 +26,13 @@ for src in examples/*.rs; do
     cargo run --release --example "$name" -q >/dev/null
 done
 
-echo "==> observability smoke (run --obs-dir + manifest replay)"
+echo "==> observability smoke (run --obs-dir + analyze + manifest replay)"
 obs_dir="$(mktemp -d)"
 ./target/release/acorr run --app SOR --threads 8 --nodes 2 \
     --iters 2 --faults moderate --obs-dir "$obs_dir"
+./target/release/acorr analyze --obs-dir "$obs_dir"
+[ -s "$obs_dir/analysis/report.txt" ] || {
+    echo "error: analyze wrote no analysis/report.txt" >&2; exit 1; }
 sh scripts/check_obs.sh "$obs_dir"
 ./target/release/acorr report --manifest "$obs_dir/manifest.json"
 rm -rf "$obs_dir"
@@ -55,7 +58,7 @@ sh scripts/check_perf.sh
 # Opt-in property tests: needs a networked machine and the proptest
 # dev-dependency restored first (scripts/enable_proptest.sh).
 if [ "${ACORR_PROPTEST:-0}" = "1" ]; then
-    for crate in acorr-sim acorr-mem acorr-dsm acorr-place acorr-track; do
+    for crate in acorr-sim acorr-mem acorr-dsm acorr-place acorr-track acorr-obs; do
         echo "==> cargo test -p $crate --features proptest -q (property tests)"
         cargo test -p "$crate" --features proptest -q
     done

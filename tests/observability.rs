@@ -180,3 +180,89 @@ fn exported_artifacts_are_well_formed_under_heavy_faults() {
     let ring = observation.ring.as_ref().unwrap();
     assert!(ring.iter().next().is_some());
 }
+
+#[test]
+fn spans_and_analysis_are_pure_observers() {
+    // ObsConfig::all() turns on span self-profiling alongside every sink;
+    // recording spans and then running the post-hoc analytics must not
+    // perturb the run by a single bit.
+    let app = || apps::by_name("SOR", 64).unwrap();
+    let plain = Workbench::new(8, 64)
+        .unwrap()
+        .observed_heuristic_run(app, Strategy::MinCost, 2)
+        .unwrap();
+    let observed = Workbench::new(8, 64)
+        .unwrap()
+        .with_observer(ObsConfig::all())
+        .observed_heuristic_run(app, Strategy::MinCost, 2)
+        .unwrap();
+    assert_eq!(plain.row, observed.row, "row drifted under span profiling");
+    assert_eq!(
+        plain.stats, observed.stats,
+        "stats drifted under span profiling"
+    );
+
+    // Spans reached both sinks: nestable duration events in the Chrome
+    // trace, span_begin/span_end records in the JSONL stream.
+    let observation = observed.observation.unwrap();
+    let jsonl = observation.events_jsonl.unwrap();
+    assert!(jsonl.contains("\"span_begin\"") && jsonl.contains("\"span_end\""));
+    let chrome = json::parse(observation.chrome_trace.as_ref().unwrap()).unwrap();
+    let events = chrome.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+    let phase = |e: &json::Value| e.get("ph").and_then(|v| v.as_str()).map(str::to_owned);
+    assert!(events.iter().any(|e| phase(e).as_deref() == Some("b")));
+    assert!(events.iter().any(|e| phase(e).as_deref() == Some("e")));
+
+    // The analytics themselves are post-hoc and deterministic: two passes
+    // over the same recording produce byte-identical artifacts.
+    let a = obs::Analysis::from_events(&jsonl).unwrap();
+    let b = obs::Analysis::from_events(&jsonl).unwrap();
+    assert_eq!(a.page_heat_csv(), b.page_heat_csv());
+    assert_eq!(a.thread_comm_csv(), b.thread_comm_csv());
+    assert_eq!(a.critical_path_csv(), b.critical_path_csv());
+    assert_eq!(a.spans_csv(), b.spans_csv());
+    assert!(a.spans.iter().any(|s| s.phase == "fetch"), "fetch spans");
+    assert!(!a.pages.is_empty() && !a.intervals.is_empty());
+}
+
+// Golden count snapshot of the trace analytics for SOR at paper scale
+// (64 threads on 8 nodes): the top-10 page-heat rows and the full
+// critical-path decomposition. Regenerate after an *intentional* change
+// with `UPDATE_GOLDEN=1 cargo test --test observability golden_` and
+// review the diff like any other code change.
+#[test]
+fn golden_analysis_sor_heat_and_critical_path() {
+    let observed = Workbench::new(8, 64)
+        .unwrap()
+        .with_observer(ObsConfig::all())
+        .observed_heuristic_run(|| apps::by_name("SOR", 64).unwrap(), Strategy::MinCost, 2)
+        .unwrap();
+    let jsonl = observed.observation.unwrap().events_jsonl.unwrap();
+    let analysis = obs::Analysis::from_events(&jsonl).unwrap();
+
+    let mut out = String::from("# page_heat (top 10)\n");
+    for line in analysis.page_heat_csv().lines().take(11) {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str("# critical_path\n");
+    out.push_str(&analysis.critical_path_csv());
+
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/analysis_sor.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &out).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\nrun `UPDATE_GOLDEN=1 cargo test --test observability golden_` to create",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, out,
+        "analysis snapshot drifted; if intentional, regenerate with \
+         UPDATE_GOLDEN=1 and review the diff"
+    );
+}
