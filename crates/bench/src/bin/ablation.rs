@@ -31,6 +31,11 @@ fn tracking_fault_sweep() {
         "LU2k slowdown",
         "Water slowdown",
     ]);
+    // One validated workbench for the whole sweep; each cell only swaps the
+    // cost model (Workbench is cheap, but re-validating the same topology
+    // 12 times in the hot sweep was pure waste).
+    let base = Workbench::new(8, 64).expect("cluster");
+    let cluster = base.cluster;
     for us in [0u64, 20, 60, 120] {
         let cost = CostModel {
             tracking_fault: SimDuration::from_micros(us),
@@ -38,9 +43,9 @@ fn tracking_fault_sweep() {
         };
         let mut cells = vec![format!("{us} us")];
         for name in ["SOR", "LU2k", "Water"] {
-            let bench = Workbench::new(8, 64).expect("cluster");
-            let cluster = bench.cluster;
-            let bench = bench.with_config(DsmConfig::new(cluster).with_cost(cost));
+            let bench = base
+                .clone()
+                .with_config(DsmConfig::new(cluster).with_cost(cost));
             let row = bench
                 .tracking_overhead(|| apps::by_name(name, 64).expect("known app"))
                 .expect("run");

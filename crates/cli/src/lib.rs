@@ -72,6 +72,7 @@ USAGE:
   acorr track    --app NAME [--threads N] [--nodes N] [--format ascii|pgm|csv|svg] [--out FILE]
   acorr profile  --app NAME [--threads N] | --csv FILE
   acorr place    --app NAME [--threads N] [--nodes N] [--strategy S] | --csv FILE --nodes N
+                 | --scale THREADSxNODES [--degree N] [--seed N] [--jobs N]
   acorr run      --app NAME [--threads N] [--nodes N] [--strategy S] [--iters N] [--faults SPEC]
                  [--obs-dir DIR]
   acorr report   --manifest FILE [--jobs N]
@@ -87,6 +88,11 @@ USAGE:
 
 Strategies: stretch, random, min-cost, jarvis-patrick, anneal, optimal
 Defaults: --threads 64 --nodes 8 --strategy min-cost --format ascii
+Scale mode: `place --scale 1000000x1000` skips the simulator and places a
+synthetic power-law affinity workload (~`--degree` edges per thread, default
+8) with the multilevel partitioner, reporting generation/placement times,
+cut cost vs the stretch baseline, and a machine-independent `mapping
+digest:` line. Output is bit-identical at any --jobs.
 Fault specs: a preset (none, light, moderate, heavy) and/or key=value
 overrides, comma-separated — e.g. `moderate`, `heavy,seed=7`,
 `drop_prob=0.05,max_retries=6`. Plans are deterministic per seed; `verify`
@@ -236,6 +242,9 @@ fn profile(args: &Args) -> Result<String, String> {
 }
 
 fn place_cmd(args: &Args) -> Result<String, String> {
+    if let Some(spec) = args.get("scale") {
+        return place_scale(args, spec);
+    }
     let (label, corr) = correlations(args)?;
     let nodes = args.get_usize("nodes", 8)?;
     let cluster =
@@ -247,6 +256,38 @@ fn place_cmd(args: &Args) -> Result<String, String> {
     Ok(format!(
         "{label}: {strategy} on {nodes} nodes\nmapping: {mapping}\ncut cost: {cut}\n"
     ))
+}
+
+/// `place --scale TxN`: the multilevel production-scale path. Generates a
+/// synthetic power-law affinity store and places it, reporting timings,
+/// cut costs and the assignment digest (stable `mapping digest:` line for
+/// scripts and CI to pin).
+fn place_scale(args: &Args, spec: &str) -> Result<String, String> {
+    let (threads, nodes) = parse_scale(spec)?;
+    let degree = args.get_usize("degree", 8)?;
+    let seed = args.get_usize("seed", 42)? as u64;
+    let row =
+        acorr::experiment::scale_placement_study(threads, nodes, degree, seed, jobs_of(args)?)
+            .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "scale placement (multilevel, degree {degree}, seed {seed}): {row}\n\
+         mapping digest: {}\n",
+        row.digest
+    ))
+}
+
+/// Parses `--scale` specs like `1000000x1000` (threads x nodes).
+fn parse_scale(spec: &str) -> Result<(usize, usize), String> {
+    let (t, n) = spec
+        .split_once(['x', 'X'])
+        .ok_or_else(|| format!("--scale wants THREADSxNODES (e.g. 100000x256), got `{spec}`"))?;
+    let threads = t
+        .parse::<usize>()
+        .map_err(|_| format!("--scale: bad thread count `{t}`"))?;
+    let nodes = n
+        .parse::<usize>()
+        .map_err(|_| format!("--scale: bad node count `{n}`"))?;
+    Ok((threads, nodes))
 }
 
 fn run_cmd(args: &Args) -> Result<String, String> {
@@ -636,6 +677,34 @@ mod tests {
         ])
         .unwrap();
         assert!(placed.contains("cut cost:"), "{placed}");
+    }
+
+    #[test]
+    fn place_scale_reports_a_digest_and_is_jobs_invariant() {
+        let base = cli(&["place", "--scale", "1000x8", "--jobs", "1"]).unwrap();
+        assert!(base.contains("mapping digest: fnv1a:"), "{base}");
+        assert!(base.contains("cut"), "{base}");
+        let par = cli(&["place", "--scale", "1000x8", "--jobs", "4"]).unwrap();
+        let digest_of = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("mapping digest:"))
+                .map(str::to_owned)
+        };
+        assert_eq!(digest_of(&base), digest_of(&par));
+    }
+
+    #[test]
+    fn place_scale_rejects_malformed_specs() {
+        assert!(cli(&["place", "--scale", "1000"])
+            .unwrap_err()
+            .contains("THREADSxNODES"));
+        assert!(cli(&["place", "--scale", "axb"])
+            .unwrap_err()
+            .contains("bad thread count"));
+        assert!(
+            cli(&["place", "--scale", "8x1000"]).is_err(),
+            "threads < nodes"
+        );
     }
 
     #[test]

@@ -1029,6 +1029,109 @@ pub struct PassiveStudy {
     pub moves: Vec<usize>,
 }
 
+/// One production-scale placement run: synthetic workload statistics,
+/// wall-clock timings and a reproducibility digest (see
+/// [`scale_placement_study`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalePlacement {
+    /// Threads placed.
+    pub threads: usize,
+    /// Nodes placed onto.
+    pub nodes: usize,
+    /// Affinity edges per thread requested of the generator.
+    pub degree: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Distinct nonzero thread pairs in the generated store.
+    pub edges: usize,
+    /// Wall-clock time to generate the synthetic store.
+    pub gen_ms: f64,
+    /// Wall-clock time of the multilevel placement itself.
+    pub place_ms: f64,
+    /// Cut cost of the multilevel mapping (ordered-pair convention).
+    pub cut: u64,
+    /// Cut cost of the stretch baseline on the same store.
+    pub stretch_cut: u64,
+    /// `fnv1a:` digest over the assignment (`u16` little-endian node ids in
+    /// thread order) — bit-identical runs agree on this string.
+    pub digest: String,
+}
+
+impl fmt::Display for ScalePlacement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} threads x {} nodes: {} edges, gen {:.0} ms, place {:.0} ms, \
+             cut {} (stretch {}), digest {}",
+            self.threads,
+            self.nodes,
+            self.edges,
+            self.gen_ms,
+            self.place_ms,
+            self.cut,
+            self.stretch_cut,
+            self.digest
+        )
+    }
+}
+
+/// FNV-1a digest of a mapping's assignment: node ids in thread order as
+/// little-endian `u16` bytes. The machine-independent fingerprint the scale
+/// benches and CI pin.
+pub fn mapping_digest(mapping: &Mapping) -> String {
+    let mut bytes = Vec::with_capacity(mapping.num_threads() * 2);
+    for t in 0..mapping.num_threads() {
+        bytes.extend_from_slice(&mapping.node_of(t).0.to_le_bytes());
+    }
+    acorr_obs::bytes_digest(&bytes)
+}
+
+/// ROADMAP scale point: place `threads` synthetic threads (power-law
+/// affinity, ~`degree` edges each, seeded by `seed`) on `nodes` nodes with
+/// the multilevel partitioner and report timings, cut costs and the
+/// assignment digest.
+///
+/// Standalone function (not a [`Workbench`] method) because its thread
+/// counts are far beyond what the DSM engine simulates. `jobs` parallelises
+/// only the synthetic generation (`0` = available cores); the placement is
+/// sequential and the entire result is bit-identical for every `jobs`
+/// value.
+///
+/// # Errors
+///
+/// Propagates topology validation (`nodes == 0`, `threads < nodes`, node
+/// ids overflowing `u16`).
+pub fn scale_placement_study(
+    threads: usize,
+    nodes: usize,
+    degree: usize,
+    seed: u64,
+    jobs: usize,
+) -> Result<ScalePlacement, DsmError> {
+    use acorr_place::{multilevel_place, power_law_affinity};
+    use acorr_track::SparseCorrelation;
+
+    let cluster = ClusterConfig::new(nodes, threads)?;
+    let start = std::time::Instant::now();
+    let corr: SparseCorrelation = power_law_affinity(threads, degree, seed, jobs);
+    let gen_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = std::time::Instant::now();
+    let mapping = multilevel_place(&corr, &cluster);
+    let place_ms = start.elapsed().as_secs_f64() * 1e3;
+    Ok(ScalePlacement {
+        threads,
+        nodes,
+        degree,
+        seed,
+        edges: corr.edge_count(),
+        gen_ms,
+        place_ms,
+        cut: cut_cost(&corr, &mapping),
+        stretch_cut: cut_cost(&corr, &Mapping::stretch(&cluster)),
+        digest: mapping_digest(&mapping),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1202,6 +1305,27 @@ mod tests {
         let seq = node_count_study(app, 8, &[2, 4], 2, 1).unwrap();
         let par = node_count_study(app, 8, &[2, 4], 2, 4).unwrap();
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn scale_placement_study_is_jobs_invariant() {
+        let seq = scale_placement_study(2000, 10, 6, 42, 1).unwrap();
+        let par = scale_placement_study(2000, 10, 6, 42, 8).unwrap();
+        assert_eq!(seq.digest, par.digest, "jobs must not change the mapping");
+        assert_eq!(seq.cut, par.cut);
+        assert_eq!(seq.edges, par.edges);
+        assert!(
+            seq.cut < seq.stretch_cut,
+            "multilevel {} must beat stretch {} on community structure",
+            seq.cut,
+            seq.stretch_cut
+        );
+        assert!(seq.digest.starts_with("fnv1a:"));
+    }
+
+    #[test]
+    fn scale_placement_study_rejects_bad_topology() {
+        assert!(scale_placement_study(4, 8, 4, 1, 1).is_err());
     }
 
     #[test]

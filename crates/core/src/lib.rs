@@ -96,8 +96,8 @@ pub mod track {
 }
 
 pub use experiment::{
-    node_count_study, AdaptiveStudy, ConformanceRun, CutCostSample, CutCostStudy, GroundTruth,
-    HeuristicRow, NodeCountRow, ObservedRun, OnDemandStudy, PassiveStudy, PhaseScan,
-    TrackingOverheadRow, Workbench,
+    mapping_digest, node_count_study, scale_placement_study, AdaptiveStudy, ConformanceRun,
+    CutCostSample, CutCostStudy, GroundTruth, HeuristicRow, NodeCountRow, ObservedRun,
+    OnDemandStudy, PassiveStudy, PhaseScan, ScalePlacement, TrackingOverheadRow, Workbench,
 };
 pub use explore::{ExploreFailure, ExploreOptions, ExploreReport, FailureKind};

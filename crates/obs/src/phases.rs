@@ -2,19 +2,25 @@
 //!
 //! ROADMAP's online re-mapping trigger needs to know *when* an
 //! application's sharing pattern shifts. This module folds a stream of
-//! per-unit [`CorrelationMatrix`] observations (one per tracked iteration
-//! or per barrier interval) into tumbling windows, compares each closed
-//! window against an exponentially aged baseline of the preceding windows
-//! ([`AgedCorrelation`], §7's aging), and fires a [`PhaseShiftMark`] when
-//! the normalized divergence ([`correlation_delta`]) crosses a threshold —
-//! with hysteresis, so a sustained new phase fires once instead of every
-//! window.
+//! per-unit correlation observations (one per tracked iteration or per
+//! barrier interval) into tumbling windows, compares each closed window
+//! against an exponentially aged baseline of the preceding windows
+//! (§7's aging), and fires a [`PhaseShiftMark`] when the normalized
+//! divergence crosses a threshold — with hysteresis, so a sustained new
+//! phase fires once instead of every window.
+//!
+//! The detector is generic over [`CorrelationStore`], so the paper-scale
+//! paths keep the dense [`CorrelationMatrix`] (the default type parameter —
+//! existing call sites compile unchanged and stay bit-identical, since the
+//! trait's `delta`/`merge` are the same code as the free functions) while
+//! production-scale monitors run the identical detection logic over
+//! [`SparseCorrelation`](acorr_track::SparseCorrelation) windows.
 //!
 //! Thresholds are carried in parts-per-million so detection is a pure
 //! integer comparison on a deterministically rounded delta: the same event
 //! stream always yields the same shifts.
 
-use acorr_track::{correlation_delta, AgedCorrelation, CorrelationMatrix};
+use acorr_track::{AgedStore, CorrelationMatrix, CorrelationStore};
 
 /// Default firing threshold: delta ≥ 0.35 (see `has_shifted`'s guidance
 /// that structural rotations land well above 0.3).
@@ -33,14 +39,15 @@ pub struct PhaseShiftMark {
     pub delta_ppm: u64,
 }
 
-/// Tumbling-window phase-change detector with hysteresis.
+/// Tumbling-window phase-change detector with hysteresis, generic over the
+/// correlation backend (dense by default).
 #[derive(Debug)]
-pub struct PhaseDetector {
+pub struct PhaseDetector<C: CorrelationStore = CorrelationMatrix> {
     window: usize,
     threshold_ppm: u64,
     rearm_ppm: u64,
-    aged: AgedCorrelation,
-    cur: CorrelationMatrix,
+    aged: C::Aged,
+    cur: C,
     in_window: usize,
     windows_closed: u64,
     /// Whether the baseline holds at least one full window.
@@ -50,7 +57,7 @@ pub struct PhaseDetector {
     shifts: Vec<PhaseShiftMark>,
 }
 
-impl PhaseDetector {
+impl<C: CorrelationStore> PhaseDetector<C> {
     /// A detector over `threads` threads closing a window every `window`
     /// observations (clamped to ≥ 1), with the default thresholds.
     pub fn new(threads: usize, window: usize) -> Self {
@@ -76,8 +83,8 @@ impl PhaseDetector {
             window: window.max(1),
             threshold_ppm,
             rearm_ppm,
-            aged: AgedCorrelation::new(threads, decay),
-            cur: CorrelationMatrix::zeros(threads),
+            aged: C::Aged::new(threads, decay),
+            cur: C::zeros(threads),
             in_window: 0,
             windows_closed: 0,
             primed: false,
@@ -107,7 +114,7 @@ impl PhaseDetector {
     /// # Panics
     ///
     /// Panics if `round` covers a different thread count.
-    pub fn observe(&mut self, round: &CorrelationMatrix) -> Option<PhaseShiftMark> {
+    pub fn observe(&mut self, round: &C) -> Option<PhaseShiftMark> {
         self.cur.merge(round);
         self.in_window += 1;
         if self.in_window < self.window {
@@ -130,7 +137,7 @@ impl PhaseDetector {
         let mut fired = None;
         if self.primed {
             let baseline = self.aged.snapshot();
-            let delta = correlation_delta(&baseline, &self.cur);
+            let delta = baseline.delta(&self.cur);
             let ppm = (delta * 1_000_000.0).round() as u64;
             if self.armed && ppm >= self.threshold_ppm {
                 let mark = PhaseShiftMark {
@@ -146,7 +153,7 @@ impl PhaseDetector {
         }
         self.aged.observe(&self.cur);
         self.primed = true;
-        self.cur = CorrelationMatrix::zeros(self.cur.num_threads());
+        self.cur = C::zeros(self.cur.num_threads());
         self.in_window = 0;
         self.windows_closed += 1;
         fired
@@ -156,10 +163,11 @@ impl PhaseDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use acorr_track::SparseCorrelation;
 
-    /// A matrix with neighbor pairs sharing, rotated by `offset`.
-    fn pattern(threads: usize, offset: usize) -> CorrelationMatrix {
-        let mut m = CorrelationMatrix::zeros(threads);
+    /// A store with neighbor pairs sharing, rotated by `offset`.
+    fn pattern_in<C: CorrelationStore>(threads: usize, offset: usize) -> C {
+        let mut m = C::zeros(threads);
         for t in (0..threads - 1).step_by(2) {
             let a = (t + offset) % threads;
             let b = (t + 1 + offset) % threads;
@@ -169,6 +177,10 @@ mod tests {
             }
         }
         m
+    }
+
+    fn pattern(threads: usize, offset: usize) -> CorrelationMatrix {
+        pattern_in(threads, offset)
     }
 
     #[test]
@@ -240,6 +252,26 @@ mod tests {
             d.observe(&pattern(8, 1));
         }
         assert!(d.flush().is_some());
+    }
+
+    #[test]
+    fn sparse_and_dense_backends_fire_identical_shifts() {
+        // The paper's full-size thread count: the dense path is the pinned
+        // reference; the sparse backend must reproduce every mark exactly
+        // (same windows, same delta ppm) over a multi-phase stream.
+        let threads = 64;
+        let mut dense = PhaseDetector::<CorrelationMatrix>::new(threads, 4);
+        let mut sparse = PhaseDetector::<SparseCorrelation>::new(threads, 4);
+        for i in 0..96 {
+            let offset = (i / 24) % 3; // three sustained phases
+            let d = dense.observe(&pattern_in(threads, offset));
+            let s = sparse.observe(&pattern_in(threads, offset));
+            assert_eq!(d, s, "observation {i} diverged");
+        }
+        assert_eq!(dense.flush(), sparse.flush());
+        assert_eq!(dense.shifts(), sparse.shifts());
+        assert_eq!(dense.windows_closed(), sparse.windows_closed());
+        assert!(!dense.shifts().is_empty(), "phases must actually fire");
     }
 
     #[test]

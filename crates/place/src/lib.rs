@@ -16,6 +16,11 @@
 //!   [`Mapping::random_min_two`](acorr_sim::Mapping::random_min_two)).
 //! * **optimal** — the paper used integer programming; [`optimal()`](optimal()) is an
 //!   exact branch-and-bound usable on reduced instances.
+//! * **multilevel** — [`multilevel_place`]: heavy-edge-matching coarsening,
+//!   affinity-greedy coarse partition and refined uncoarsening over any
+//!   [`CorrelationStore`](acorr_track::CorrelationStore); the `O(T + E)`
+//!   path that carries placement to the ROADMAP's 10⁶-thread scale
+//!   (synthetic instances from [`synth::power_law_affinity`]).
 //!
 //! ```
 //! use acorr_place::{min_cost, Strategy};
@@ -41,13 +46,17 @@
 pub mod anneal;
 pub mod jarvis_patrick;
 pub mod mincost;
+pub mod multilevel;
 pub mod optimal;
 pub mod strategy;
+pub mod synth;
 pub mod weighted;
 
 pub use anneal::{anneal, AnnealConfig};
 pub use jarvis_patrick::jarvis_patrick;
 pub use mincost::{min_cost, refine_kl, refine_kl_reference, DegreeCache};
+pub use multilevel::{multilevel_place, multilevel_place_with, MultilevelConfig};
 pub use optimal::optimal;
 pub use strategy::{place, Strategy};
+pub use synth::power_law_affinity;
 pub use weighted::{imbalance, min_cost_weighted, node_loads};

@@ -15,6 +15,10 @@
 //! * [`aging`] — exponential aging of correlations across tracking rounds,
 //!   the adaptation mechanism prior systems used and the paper's future-work
 //!   hook for dynamic applications.
+//! * [`store`] / [`sparse`] — the [`CorrelationStore`] abstraction and the
+//!   [`SparseCorrelation`] backend: `O(T + E)` adjacency storage with
+//!   aging-aware compaction, bit-identical to the dense matrix on the same
+//!   data, for the ROADMAP's 10⁵–10⁶-thread scale.
 //! * [`structure`] — machine classification of a map's dominant sharing
 //!   structure (nearest-neighbor / blocked / all-to-all) with a node-size
 //!   advisor, mechanizing §3's by-eye judgement.
@@ -48,6 +52,8 @@ pub mod estimate;
 pub mod map;
 pub mod pages;
 pub mod sharing;
+pub mod sparse;
+pub mod store;
 pub mod structure;
 
 pub use aging::AgedCorrelation;
@@ -60,4 +66,6 @@ pub use pages::{
     hottest_pages, page_report, page_sharers, sharer_histogram, sharers_of, PageReport, PageSharers,
 };
 pub use sharing::{node_page_unions, sharing_degree};
+pub use sparse::{SparseAged, SparseCorrelation};
+pub use store::{AgedStore, CorrelationStore};
 pub use structure::{compatible_node_sizes, profile_map, MapProfile, Structure};

@@ -1,0 +1,829 @@
+//! Sparse correlation storage for production-scale thread counts.
+//!
+//! The dense [`CorrelationMatrix`] spends `8·T²` bytes whether threads share
+//! or not — 8 TB at a million threads. Real correlation structure is sparse
+//! (the paper's apps share along chains, blocks and a few hot pages), so
+//! [`SparseCorrelation`] stores only the non-zero pairs as symmetric sorted
+//! adjacency lists plus a dense diagonal, giving `O(T + E)` memory and
+//! `O(deg)` neighbor iteration for the multilevel partitioner.
+//!
+//! Determinism and equivalence contracts (tested against the dense matrix):
+//!
+//! * iteration is always in ascending `(a, b)` order, so every consumer sum
+//!   and tie-break reproduces the dense code paths bit-for-bit;
+//! * [`SparseCorrelation::delta`] performs the same order-independent `u64`
+//!   diff/mass sums as [`correlation_delta`](crate::correlation_delta) —
+//!   identical `f64` results;
+//! * [`SparseAged`] applies the exact per-pair `f64` sequence of
+//!   [`AgedCorrelation`](crate::AgedCorrelation) (`val·decay + round`);
+//!   pairs absent from both sides are exact zeros under that recurrence, so
+//!   dropping them — the aging-aware compaction — is lossless. An edge only
+//!   leaves the accumulator when decay underflows it to exactly `0.0`;
+//!   [`SparseAged::compact`] offers an explicit thresholded drop for
+//!   bounded-memory long runs, documented as an approximation.
+
+use crate::correlation::CorrelationMatrix;
+use crate::store::{AgedStore, CorrelationStore};
+use std::fmt;
+
+/// A symmetric sparse correlation store: per-thread sorted adjacency lists
+/// of non-zero partners, plus a dense diagonal (own page counts).
+///
+/// ```
+/// use acorr_track::{CorrelationStore, SparseCorrelation};
+/// let mut s = SparseCorrelation::zeros(1_000_000);
+/// s.set(3, 999_999, 7);
+/// assert_eq!(s.get(999_999, 3), 7);
+/// assert_eq!(s.edge_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseCorrelation {
+    n: usize,
+    diag: Vec<u64>,
+    /// `adj[t]` lists `(partner, value)` sorted by partner, values > 0,
+    /// mirrored on both endpoints.
+    adj: Vec<Vec<(u32, u64)>>,
+}
+
+fn list_get(list: &[(u32, u64)], key: u32) -> u64 {
+    match list.binary_search_by_key(&key, |e| e.0) {
+        Ok(pos) => list[pos].1,
+        Err(_) => 0,
+    }
+}
+
+fn list_set(list: &mut Vec<(u32, u64)>, key: u32, v: u64) {
+    match list.binary_search_by_key(&key, |e| e.0) {
+        Ok(pos) => {
+            if v == 0 {
+                list.remove(pos);
+            } else {
+                list[pos].1 = v;
+            }
+        }
+        Err(pos) => {
+            if v > 0 {
+                list.insert(pos, (key, v));
+            }
+        }
+    }
+}
+
+fn list_add(list: &mut Vec<(u32, u64)>, key: u32, v: u64) {
+    match list.binary_search_by_key(&key, |e| e.0) {
+        Ok(pos) => list[pos].1 += v,
+        Err(pos) => list.insert(pos, (key, v)),
+    }
+}
+
+impl SparseCorrelation {
+    /// An empty store over `n` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds `u32` range (the partner index width).
+    pub fn zeros(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "thread count exceeds u32 range");
+        SparseCorrelation {
+            n,
+            diag: vec![0; n],
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Builds a store from an edge list; duplicate `(a, b)` entries sum,
+    /// `(t, t)` entries accumulate onto the diagonal, zero values drop.
+    /// The input order is irrelevant (sums commute), so parallel generators
+    /// produce identical stores regardless of chunking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32, u64)>) -> Self {
+        let mut s = SparseCorrelation::zeros(n);
+        // Two passes over a flat buffer so every adjacency list is
+        // allocated exactly once at its final (pre-coalesce) size —
+        // incremental `Vec` growth across millions of lists is what
+        // dominated the 10⁶-thread generation profile otherwise.
+        let flat: Vec<(u32, u32, u64)> = edges.into_iter().collect();
+        let mut deg = vec![0u32; n];
+        for &(a, b, v) in &flat {
+            let (a, b) = (a as usize, b as usize);
+            assert!(a < n && b < n, "edge endpoint out of range");
+            if v != 0 && a != b {
+                deg[a] += 1;
+                deg[b] += 1;
+            }
+        }
+        for (list, &d) in s.adj.iter_mut().zip(&deg) {
+            list.reserve_exact(d as usize);
+        }
+        for &(a, b, v) in &flat {
+            let (a, b) = (a as usize, b as usize);
+            if v == 0 {
+                continue;
+            }
+            if a == b {
+                s.diag[a] += v;
+            } else {
+                s.adj[a].push((b as u32, v));
+                s.adj[b].push((a as u32, v));
+            }
+        }
+        for list in &mut s.adj {
+            list.sort_unstable_by_key(|e| e.0);
+            // Coalesce duplicates in place (sums are order-independent).
+            let mut out = 0;
+            for i in 0..list.len() {
+                if out > 0 && list[out - 1].0 == list[i].0 {
+                    list[out - 1].1 += list[i].1;
+                } else {
+                    list[out] = list[i];
+                    out += 1;
+                }
+            }
+            list.truncate(out);
+            list.shrink_to_fit();
+        }
+        s
+    }
+
+    /// Converts a dense matrix (drops zero pairs, keeps the diagonal).
+    pub fn from_dense(m: &CorrelationMatrix) -> Self {
+        let n = m.num_threads();
+        let mut s = SparseCorrelation::zeros(n);
+        for t in 0..n {
+            s.diag[t] = m.get(t, t);
+        }
+        for (a, b, v) in m.pairs() {
+            if v > 0 {
+                s.adj[a].push((b as u32, v));
+                s.adj[b].push((a as u32, v));
+            }
+        }
+        // `pairs()` ascends lexicographically, so each list needs one sort
+        // only for the lower-partner entries interleaved with upper ones.
+        for list in &mut s.adj {
+            list.sort_unstable_by_key(|e| e.0);
+        }
+        s
+    }
+
+    /// Expands into a dense matrix (for small-T equivalence checks).
+    pub fn to_dense(&self) -> CorrelationMatrix {
+        let mut m = CorrelationMatrix::zeros(self.n);
+        for t in 0..self.n {
+            m.set(t, t, self.diag[t]);
+        }
+        for (t, list) in self.adj.iter().enumerate() {
+            for &(u, v) in list {
+                if (u as usize) > t {
+                    m.set(t, u as usize, v);
+                }
+            }
+        }
+        m
+    }
+
+    /// Number of threads covered.
+    pub fn num_threads(&self) -> usize {
+        self.n
+    }
+
+    /// The non-zero partners of `t`, sorted ascending: `(partner, value)`.
+    pub fn neighbors(&self, t: usize) -> &[(u32, u64)] {
+        &self.adj[t]
+    }
+
+    /// The correlation of a thread pair (diagonal: own page count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn get(&self, a: usize, b: usize) -> u64 {
+        if a == b {
+            self.diag[a]
+        } else {
+            assert!(a < self.n && b < self.n, "index out of range");
+            list_get(&self.adj[a], b as u32)
+        }
+    }
+
+    /// Sets both symmetric entries (zero removes the pair).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn set(&mut self, a: usize, b: usize, v: u64) {
+        assert!(a < self.n && b < self.n, "index out of range");
+        if a == b {
+            self.diag[a] = v;
+        } else {
+            list_set(&mut self.adj[a], b as u32, v);
+            list_set(&mut self.adj[b], a as u32, v);
+        }
+    }
+
+    /// Adds `v` to both symmetric entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn add(&mut self, a: usize, b: usize, v: u64) {
+        assert!(a < self.n && b < self.n, "index out of range");
+        if v == 0 {
+            return;
+        }
+        if a == b {
+            self.diag[a] += v;
+        } else {
+            list_add(&mut self.adj[a], b as u32, v);
+            list_add(&mut self.adj[b], a as u32, v);
+        }
+    }
+
+    /// Accumulates another store (elementwise sum, diagonal included) by
+    /// merging sorted lists in `O(E₁ + E₂)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stores cover different thread counts.
+    pub fn merge(&mut self, other: &SparseCorrelation) {
+        assert_eq!(self.n, other.n, "stores must cover the same threads");
+        for (d, o) in self.diag.iter_mut().zip(&other.diag) {
+            *d += o;
+        }
+        for t in 0..self.n {
+            if other.adj[t].is_empty() {
+                continue;
+            }
+            let mine = &self.adj[t];
+            let theirs = &other.adj[t];
+            let mut merged = Vec::with_capacity(mine.len() + theirs.len());
+            let (mut i, mut j) = (0, 0);
+            while i < mine.len() || j < theirs.len() {
+                match (mine.get(i), theirs.get(j)) {
+                    (Some(&(a, va)), Some(&(b, vb))) => {
+                        if a == b {
+                            merged.push((a, va + vb));
+                            i += 1;
+                            j += 1;
+                        } else if a < b {
+                            merged.push((a, va));
+                            i += 1;
+                        } else {
+                            merged.push((b, vb));
+                            j += 1;
+                        }
+                    }
+                    (Some(&e), None) => {
+                        merged.push(e);
+                        i += 1;
+                    }
+                    (None, Some(&e)) => {
+                        merged.push(e);
+                        j += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+            self.adj[t] = merged;
+        }
+    }
+
+    /// Number of non-zero unordered pairs.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Normalized L1 divergence against `other` — bit-identical to
+    /// [`correlation_delta`](crate::correlation_delta) on dense
+    /// expansions of the same data (`u64` sums commute; zero pairs
+    /// contribute nothing; one final `f64` division).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stores cover different thread counts.
+    pub fn delta(&self, other: &SparseCorrelation) -> f64 {
+        assert_eq!(self.n, other.n, "stores must cover the same threads");
+        let mut diff = 0u64;
+        let mut mass = 0u64;
+        for t in 0..self.n {
+            // Walk the union of both upper-partner lists.
+            let mine = &self.adj[t];
+            let theirs = &other.adj[t];
+            let mut i = mine.partition_point(|e| (e.0 as usize) <= t);
+            let mut j = theirs.partition_point(|e| (e.0 as usize) <= t);
+            while i < mine.len() || j < theirs.len() {
+                let (va, vb) = match (mine.get(i), theirs.get(j)) {
+                    (Some(&(a, va)), Some(&(b, vb))) => {
+                        if a == b {
+                            i += 1;
+                            j += 1;
+                            (va, vb)
+                        } else if a < b {
+                            i += 1;
+                            (va, 0)
+                        } else {
+                            j += 1;
+                            (0, vb)
+                        }
+                    }
+                    (Some(&(_, va)), None) => {
+                        i += 1;
+                        (va, 0)
+                    }
+                    (None, Some(&(_, vb))) => {
+                        j += 1;
+                        (0, vb)
+                    }
+                    (None, None) => unreachable!(),
+                };
+                diff += va.abs_diff(vb);
+                mass += va + vb;
+            }
+        }
+        if mass == 0 {
+            0.0
+        } else {
+            (diff as f64 / mass as f64).min(1.0)
+        }
+    }
+}
+
+impl fmt::Display for SparseCorrelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sparse correlation: {} threads, {} edges",
+            self.n,
+            self.edge_count()
+        )
+    }
+}
+
+impl CorrelationStore for SparseCorrelation {
+    type Aged = SparseAged;
+
+    fn zeros(n: usize) -> Self {
+        SparseCorrelation::zeros(n)
+    }
+
+    fn num_threads(&self) -> usize {
+        self.num_threads()
+    }
+
+    fn get(&self, a: usize, b: usize) -> u64 {
+        self.get(a, b)
+    }
+
+    fn set(&mut self, a: usize, b: usize, v: u64) {
+        self.set(a, b, v);
+    }
+
+    fn add(&mut self, a: usize, b: usize, v: u64) {
+        self.add(a, b, v);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        self.merge(other);
+    }
+
+    fn delta(&self, other: &Self) -> f64 {
+        self.delta(other)
+    }
+
+    fn for_each_edge(&self, mut f: impl FnMut(usize, usize, u64)) {
+        for (t, list) in self.adj.iter().enumerate() {
+            let from = list.partition_point(|e| (e.0 as usize) <= t);
+            for &(u, v) in &list[from..] {
+                f(t, u as usize, v);
+            }
+        }
+    }
+
+    fn for_each_neighbor(&self, t: usize, mut f: impl FnMut(usize, u64)) {
+        for &(u, v) in &self.adj[t] {
+            f(u as usize, v);
+        }
+    }
+
+    fn edge_count(&self) -> usize {
+        self.edge_count()
+    }
+}
+
+/// Exponentially aged accumulation over a [`SparseCorrelation`] — the
+/// sparse twin of [`AgedCorrelation`], same arithmetic per present pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseAged {
+    n: usize,
+    decay: f64,
+    rounds: usize,
+    diag: Vec<f64>,
+    adj: Vec<Vec<(u32, f64)>>,
+}
+
+impl SparseAged {
+    /// Creates an empty accumulator over `n` threads with retention factor
+    /// `decay` in `[0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= decay < 1.0`.
+    pub fn new(n: usize, decay: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&decay),
+            "decay must be in [0, 1), got {decay}"
+        );
+        SparseAged {
+            n,
+            decay,
+            rounds: 0,
+            diag: vec![0.0; n],
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of threads covered.
+    pub fn num_threads(&self) -> usize {
+        self.n
+    }
+
+    /// Number of observations folded in so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// The aged value for one pair.
+    pub fn get(&self, a: usize, b: usize) -> f64 {
+        if a == b {
+            self.diag[a]
+        } else {
+            match self.adj[a].binary_search_by_key(&(b as u32), |e| e.0) {
+                Ok(pos) => self.adj[a][pos].1,
+                Err(_) => 0.0,
+            }
+        }
+    }
+
+    /// Number of pairs currently held (memory proxy for compaction tests).
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Folds in a new tracking round: per pair present on either side,
+    /// `val = val * decay + round` — the exact dense recurrence. Pairs the
+    /// decay underflows to exactly `0.0` are dropped (lossless: the dense
+    /// recurrence keeps them at `0.0` forever after).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the round covers a different thread count.
+    pub fn observe(&mut self, round: &SparseCorrelation) {
+        assert_eq!(round.num_threads(), self.n, "thread counts differ");
+        for t in 0..self.n {
+            self.diag[t] = self.diag[t] * self.decay + round.diag[t] as f64;
+            let mine = std::mem::take(&mut self.adj[t]);
+            let theirs = round.neighbors(t);
+            let mut merged = Vec::with_capacity(mine.len().max(theirs.len()));
+            let (mut i, mut j) = (0, 0);
+            while i < mine.len() || j < theirs.len() {
+                let (key, next) = match (mine.get(i), theirs.get(j)) {
+                    (Some(&(a, va)), Some(&(b, vb))) => {
+                        if a == b {
+                            i += 1;
+                            j += 1;
+                            (a, va * self.decay + vb as f64)
+                        } else if a < b {
+                            i += 1;
+                            (a, va * self.decay)
+                        } else {
+                            j += 1;
+                            // 0.0 * decay + vb == vb exactly.
+                            (b, vb as f64)
+                        }
+                    }
+                    (Some(&(a, va)), None) => {
+                        i += 1;
+                        (a, va * self.decay)
+                    }
+                    (None, Some(&(b, vb))) => {
+                        j += 1;
+                        (b, vb as f64)
+                    }
+                    (None, None) => unreachable!(),
+                };
+                if next != 0.0 {
+                    merged.push((key, next));
+                }
+            }
+            self.adj[t] = merged;
+        }
+        self.rounds += 1;
+    }
+
+    /// Drops every pair whose aged value is below `min_value` — an explicit
+    /// **approximation** for bounded-memory long runs (snapshots may differ
+    /// from the dense accumulator by the dropped mass). The default
+    /// [`observe`](SparseAged::observe) path never needs this: it only
+    /// drops exact zeros. Returns the number of pairs dropped.
+    pub fn compact(&mut self, min_value: f64) -> usize {
+        let before: usize = self.adj.iter().map(Vec::len).sum();
+        for list in &mut self.adj {
+            list.retain(|&(_, v)| v >= min_value);
+        }
+        let after: usize = self.adj.iter().map(Vec::len).sum();
+        (before - after) / 2
+    }
+
+    /// Rounds the aged values into a [`SparseCorrelation`] usable by the
+    /// placement heuristics — same normalization and rounding as
+    /// [`AgedCorrelation::snapshot`](crate::AgedCorrelation::snapshot).
+    pub fn snapshot(&self) -> SparseCorrelation {
+        let mut s = SparseCorrelation::zeros(self.n);
+        let weight: f64 = (0..self.rounds).map(|r| self.decay.powi(r as i32)).sum();
+        let scale = if weight > 0.0 { 1.0 / weight } else { 0.0 };
+        for t in 0..self.n {
+            s.diag[t] = (self.diag[t] * scale).round() as u64;
+        }
+        for t in 0..self.n {
+            let from = self.adj[t].partition_point(|e| (e.0 as usize) <= t);
+            for &(u, v) in &self.adj[t][from..] {
+                let sv = (v * scale).round() as u64;
+                if sv > 0 {
+                    // Lower partners of `u` arrive in ascending `t` before
+                    // `u`'s own upper partners: both lists stay sorted.
+                    s.adj[t].push((u, sv));
+                    s.adj[u as usize].push((t as u32, sv));
+                }
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for SparseAged {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sparse aged correlation: {} threads, decay {}, {} rounds",
+            self.n, self.decay, self.rounds
+        )
+    }
+}
+
+impl AgedStore<SparseCorrelation> for SparseAged {
+    fn new(n: usize, decay: f64) -> Self {
+        SparseAged::new(n, decay)
+    }
+
+    fn num_threads(&self) -> usize {
+        self.num_threads()
+    }
+
+    fn rounds(&self) -> usize {
+        self.rounds()
+    }
+
+    fn observe(&mut self, round: &SparseCorrelation) {
+        self.observe(round);
+    }
+
+    fn snapshot(&self) -> SparseCorrelation {
+        self.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aging::AgedCorrelation;
+    use crate::delta::correlation_delta;
+    use acorr_sim::DetRng;
+
+    /// Mirrors a random operation stream into dense and sparse stores and
+    /// checks byte-equal results at every step.
+    fn random_equivalence(seed: u64, n: usize, steps: usize) {
+        let mut rng = DetRng::new(seed);
+        let mut dense = CorrelationMatrix::zeros(n);
+        let mut sparse = SparseCorrelation::zeros(n);
+        let mut dense_aged = AgedCorrelation::new(n, 0.5);
+        let mut sparse_aged = SparseAged::new(n, 0.5);
+        for _ in 0..steps {
+            match rng.next_below(5) {
+                0 => {
+                    let a = rng.next_below(n as u64) as usize;
+                    let b = rng.next_below(n as u64) as usize;
+                    let v = rng.next_below(16);
+                    dense.set(a, b, v);
+                    sparse.set(a, b, v);
+                }
+                1 => {
+                    let a = rng.next_below(n as u64) as usize;
+                    let b = rng.next_below(n as u64) as usize;
+                    let v = rng.next_below(16);
+                    if a != b {
+                        dense.set(a, b, dense.get(a, b) + v);
+                    } else {
+                        dense.set(a, a, dense.get(a, a) + v);
+                    }
+                    sparse.add(a, b, v);
+                }
+                2 => {
+                    // Merge in a random round.
+                    let mut round_d = CorrelationMatrix::zeros(n);
+                    for _ in 0..rng.next_below(8) {
+                        let a = rng.next_below(n as u64) as usize;
+                        let b = rng.next_below(n as u64) as usize;
+                        round_d.set(a, b, rng.next_below(9));
+                    }
+                    let round_s = SparseCorrelation::from_dense(&round_d);
+                    dense.merge(&round_d);
+                    sparse.merge(&round_s);
+                }
+                3 => {
+                    dense_aged.observe(&dense);
+                    sparse_aged.observe(&sparse);
+                }
+                _ => {
+                    // Delta against a perturbed copy must agree bit-for-bit.
+                    let mut other_d = dense.clone();
+                    let a = rng.next_below(n as u64) as usize;
+                    let b = rng.next_below(n as u64) as usize;
+                    if a != b {
+                        other_d.set(a, b, rng.next_below(32));
+                    }
+                    let other_s = SparseCorrelation::from_dense(&other_d);
+                    let dd = correlation_delta(&dense, &other_d);
+                    let ds = sparse.delta(&other_s);
+                    assert_eq!(dd.to_bits(), ds.to_bits(), "delta bits diverged");
+                }
+            }
+            assert_eq!(sparse.to_dense(), dense, "stores diverged");
+        }
+        // Aged accumulators agree bit-for-bit, value by value.
+        assert_eq!(dense_aged.rounds(), sparse_aged.rounds());
+        for a in 0..n {
+            for b in 0..n {
+                assert_eq!(
+                    dense_aged.get(a, b).to_bits(),
+                    sparse_aged.get(a, b).to_bits(),
+                    "aged ({a},{b}) diverged"
+                );
+            }
+        }
+        assert_eq!(sparse_aged.snapshot().to_dense(), dense_aged.snapshot());
+    }
+
+    #[test]
+    fn random_streams_match_dense_byte_for_byte() {
+        for seed in 0..6 {
+            random_equivalence(seed, 12, 120);
+        }
+    }
+
+    #[test]
+    fn set_get_add_and_removal() {
+        let mut s = SparseCorrelation::zeros(5);
+        s.set(1, 4, 9);
+        s.add(4, 1, 1);
+        assert_eq!(s.get(1, 4), 10);
+        assert_eq!(s.edge_count(), 1);
+        s.set(4, 1, 0);
+        assert_eq!(s.get(1, 4), 0);
+        assert_eq!(s.edge_count(), 0, "zero removes the pair");
+        s.set(2, 2, 5);
+        assert_eq!(s.get(2, 2), 5);
+    }
+
+    #[test]
+    fn from_edges_aggregates_in_any_order() {
+        let fwd = SparseCorrelation::from_edges(4, vec![(0, 1, 2), (1, 0, 3), (2, 3, 1)]);
+        let rev = SparseCorrelation::from_edges(4, vec![(2, 3, 1), (0, 1, 3), (0, 1, 2)]);
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.get(0, 1), 5);
+        let mut edges = Vec::new();
+        CorrelationStore::for_each_edge(&fwd, |a, b, v| edges.push((a, b, v)));
+        assert_eq!(edges, vec![(0, 1, 5), (2, 3, 1)]);
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let mut m = CorrelationMatrix::zeros(6);
+        m.set(0, 3, 4);
+        m.set(3, 5, 2);
+        m.set(2, 2, 9);
+        let s = SparseCorrelation::from_dense(&m);
+        assert_eq!(s.to_dense(), m);
+        assert_eq!(s.neighbors(3), &[(0, 4), (5, 2)]);
+    }
+
+    #[test]
+    fn aged_compaction_drops_decayed_edges() {
+        let mut aged = SparseAged::new(4, 0.5);
+        let mut round = SparseCorrelation::zeros(4);
+        round.set(0, 1, 100);
+        aged.observe(&round);
+        let quiet = SparseCorrelation::zeros(4);
+        for _ in 0..20 {
+            aged.observe(&quiet);
+        }
+        assert_eq!(aged.edge_count(), 1, "still decaying, still held");
+        assert!(aged.get(0, 1) > 0.0);
+        assert_eq!(aged.compact(1e-3), 1);
+        assert_eq!(aged.edge_count(), 0);
+        assert_eq!(aged.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn aged_underflow_drop_is_exact() {
+        // Exact-zero drops are lossless: 0.0 is absorbing under the dense
+        // recurrence too.
+        let mut aged = SparseAged::new(2, 0.0);
+        let mut round = SparseCorrelation::zeros(2);
+        round.set(0, 1, 7);
+        aged.observe(&round);
+        assert_eq!(aged.edge_count(), 1);
+        // decay = 0.0 underflows the edge on the next quiet round.
+        aged.observe(&SparseCorrelation::zeros(2));
+        assert_eq!(aged.edge_count(), 0);
+        assert_eq!(aged.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = SparseCorrelation::from_edges(5, vec![(0, 1, 3), (2, 4, 7)]);
+        let b = SparseCorrelation::from_edges(5, vec![(0, 1, 1), (1, 3, 2)]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.get(0, 1), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "same threads")]
+    fn merge_shape_mismatch_panics() {
+        SparseCorrelation::zeros(2).merge(&SparseCorrelation::zeros(3));
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = SparseCorrelation::from_edges(3, vec![(0, 2, 1)]);
+        assert!(s.to_string().contains("3 threads, 1 edges"));
+        assert!(SparseAged::new(3, 0.25).to_string().contains("3 threads"));
+    }
+}
+
+#[cfg(all(test, feature = "proptest"))]
+mod proptests {
+    use super::*;
+    use crate::aging::AgedCorrelation;
+    use crate::delta::correlation_delta;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Arbitrary update/merge/aging/delta streams keep sparse and dense
+        /// stores byte-equal (snapshots, deltas and aged values included).
+        #[test]
+        fn sparse_equals_dense_on_random_streams(
+            ops in proptest::collection::vec((0usize..8, 0usize..8, 0u64..32), 0..150),
+            decay in 0.0f64..0.99,
+        ) {
+            let n = 8;
+            let mut dense = CorrelationMatrix::zeros(n);
+            let mut sparse = SparseCorrelation::zeros(n);
+            let mut dense_aged = AgedCorrelation::new(n, decay);
+            let mut sparse_aged = SparseAged::new(n, decay);
+            for (i, (a, b, v)) in ops.iter().copied().enumerate() {
+                match i % 3 {
+                    0 => {
+                        dense.set(a, b, v);
+                        sparse.set(a, b, v);
+                    }
+                    1 => {
+                        if a == b {
+                            dense.set(a, a, dense.get(a, a) + v);
+                        } else {
+                            dense.set(a, b, dense.get(a, b) + v);
+                        }
+                        sparse.add(a, b, v);
+                    }
+                    _ => {
+                        dense_aged.observe(&dense);
+                        sparse_aged.observe(&sparse);
+                    }
+                }
+                prop_assert_eq!(sparse.to_dense(), dense.clone());
+            }
+            let ds = sparse.delta(&SparseCorrelation::from_dense(&dense));
+            prop_assert_eq!(ds.to_bits(), correlation_delta(&dense, &dense).to_bits());
+            prop_assert_eq!(
+                sparse_aged.snapshot().to_dense(),
+                dense_aged.snapshot()
+            );
+        }
+    }
+}

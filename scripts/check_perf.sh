@@ -1,32 +1,43 @@
 #!/usr/bin/env sh
 # Perf regression gate: re-measures the engine hot paths and fails when any
 # bin's hot-loop speedup drops below the 5x floor or regresses more than
-# 10% relative to the committed baseline (results/BENCH_pr6.json).
+# 10% relative to the committed baseline (results/BENCH_pr6.json), then
+# re-runs the production-scale placement trajectory (perf9) whose gate pins
+# the scale-point mapping digests and cut costs byte-for-byte against
+# results/BENCH_pr9.json and holds the multilevel-vs-min_cost speedup floor.
 #
-# The comparison is against the *speedup ratio*, not absolute wall time, so
-# the gate is machine-independent: reference and optimized paths are timed
-# on the same host in the same process.
+# The timing comparisons are against *speedup ratios*, not absolute wall
+# time, so the gates are machine-independent: reference and optimized paths
+# are timed on the same host in the same process. The perf9 digest/cut
+# comparison is exact — those numbers do not depend on the machine at all.
 #
-# Running the bench bin rewrites results/BENCH_pr6.json with the fresh
-# numbers, so the committed baseline is copied aside first and the gate
+# Running a bench bin rewrites its results/BENCH_*.json with the fresh
+# numbers, so each committed baseline is copied aside first and the gate
 # compares against the copy.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-baseline="results/BENCH_pr6.json"
-if [ ! -f "$baseline" ]; then
-    echo "error: no committed baseline at $baseline" >&2
-    echo "hint: run 'cargo run --release -p acorr-bench --bin perf6' and commit the artifact" >&2
-    exit 2
-fi
+for pr in 6 9; do
+    baseline="results/BENCH_pr$pr.json"
+    if [ ! -f "$baseline" ]; then
+        echo "error: no committed baseline at $baseline" >&2
+        echo "hint: run 'cargo run --release -p acorr-bench --bin perf$pr' and commit the artifact" >&2
+        exit 2
+    fi
+done
 
 tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
-cp "$baseline" "$tmp"
+tmp9="$(mktemp)"
+trap 'rm -f "$tmp" "$tmp9"' EXIT
+cp results/BENCH_pr6.json "$tmp"
+cp results/BENCH_pr9.json "$tmp9"
 
-echo "==> perf6 --baseline $baseline (copied aside)"
+echo "==> perf6 --baseline results/BENCH_pr6.json (copied aside)"
 cargo run --release -p acorr-bench --bin perf6 -- --baseline "$tmp"
+
+echo "==> perf9 --baseline results/BENCH_pr9.json (copied aside)"
+cargo run --release -p acorr-bench --bin perf9 -- --baseline "$tmp9"
 
 # Companion-manifest audit: every regenerated artifact gets a
 # results/manifests/<name>.json stamp (see acorr_bench::write_artifact),
