@@ -51,6 +51,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "profile" => profile(args),
         "place" => place_cmd(args),
         "run" => run_cmd(args),
+        "serve" => serve_cmd(args),
         "report" => report(args),
         "analyze" => analyze(args),
         "overhead" => overhead(args),
@@ -75,6 +76,12 @@ USAGE:
                  | --scale THREADSxNODES [--degree N] [--seed N] [--jobs N]
   acorr run      --app NAME [--threads N] [--nodes N] [--strategy S] [--iters N] [--faults SPEC]
                  [--obs-dir DIR]
+  acorr serve    --scenario static|hotspot|churn|diurnal [--threads N] [--nodes N]
+                 [--tenants N] [--steps N] [--window N] [--period N]
+                 [--policy greedy|interchange] [--pages-per-thread N] [--cost-per-page N]
+                 [--remap-cost N] [--max-swaps N] [--seed N] [--jobs N]
+                 [--timeline FILE] [--obs-dir DIR]
+                 | --app NAME [--steps N] ...
   acorr report   --manifest FILE [--jobs N]
   acorr analyze  --obs-dir DIR [--top K] [--window N] [--jobs N]
   acorr overhead --app NAME [--threads N] [--nodes N] [--faults SPEC]
@@ -127,6 +134,18 @@ plants the seeded protocol bug the checker must find, and tokens gain a `!`
 fault section (e.g. `s1!1`). `--decision-log FILE` writes a machine-readable
 summary of the search (CI uploads it when the smoke check fails).
 `verify --crash PROB` adds barrier-interval node crashes to the fault plan.
+Online service: `serve` runs the live placement loop — a deterministic
+multi-tenant traffic driver (or, with --app, tracked engine iterations)
+streams into windowed detection; on each phase shift the service recomputes
+placement, gates re-mapping on predicted cut improvement strictly beating
+the migration cost model (--pages-per-thread x --cost-per-page + flat
+--remap-cost), and migrates under --policy (greedy adopts the candidate,
+interchange realizes it with at most --max-swaps profitable pairwise
+swaps). Prints the decision timeline plus stable `timeline digest:` and
+`final mapping digest:` lines (CI pins the former); --timeline FILE writes
+the timeline snapshot; --obs-dir DIR writes the decision events through the
+obs sinks (Perfetto marks on the decision lane). Output is bit-identical at
+any --jobs.
 "
     .to_owned()
 }
@@ -331,6 +350,120 @@ fn run_cmd(args: &Args) -> Result<String, String> {
             out.push_str(&format!("wrote {}\n", path.display()));
         }
         out.push_str(&format!("stats digest: {}\n", manifest.digest));
+    }
+    Ok(out)
+}
+
+/// `acorr serve`: the online placement service. Traffic mode by default;
+/// `--app NAME` drives a live engine (one tracked iteration per step)
+/// through the same decision core, re-mapping mid-run.
+fn serve_cmd(args: &Args) -> Result<String, String> {
+    if let Some(unknown) = args
+        .unknown_keys(&[
+            "scenario",
+            "app",
+            "threads",
+            "nodes",
+            "tenants",
+            "steps",
+            "window",
+            "period",
+            "policy",
+            "pages-per-thread",
+            "cost-per-page",
+            "remap-cost",
+            "max-swaps",
+            "seed",
+            "jobs",
+            "timeline",
+            "obs-dir",
+        ])
+        .first()
+    {
+        return Err(format!("unknown flag --{unknown}"));
+    }
+    let scenario_name = args.get_or("scenario", "hotspot");
+    let scenario = acorr::sim::Scenario::parse(scenario_name).ok_or_else(|| {
+        format!("unknown scenario `{scenario_name}` (static, hotspot, churn, diurnal)")
+    })?;
+    let policy_name = args.get_or("policy", "greedy");
+    let policy = acorr::place::MigrationPolicy::parse(policy_name)
+        .ok_or_else(|| format!("unknown policy `{policy_name}` (greedy, interchange)"))?;
+    let defaults = acorr::place::MigrationCostModel::default();
+    let cost_model = acorr::place::MigrationCostModel::new(
+        args.get_usize("pages-per-thread", defaults.pages_per_thread as usize)? as u64,
+        args.get_usize("cost-per-page", defaults.cost_per_page as usize)? as u64,
+        args.get_usize("remap-cost", defaults.fixed_cost as usize)? as u64,
+    );
+    let base = acorr::ServeOptions::new(scenario);
+    let options = acorr::ServeOptions {
+        scenario,
+        steps: args.get_usize("steps", base.steps)?,
+        tenants: args.get_usize("tenants", base.tenants)?,
+        window: args.get_usize("window", base.window)?,
+        period: args.get_usize("period", base.period as usize)? as u64,
+        policy,
+        cost_model,
+        max_swaps: args.get_usize("max-swaps", base.max_swaps)?,
+        ..base
+    };
+    let nodes = args.get_usize("nodes", 8)?;
+    let obs_dir = args.get("obs-dir").map(std::path::PathBuf::from);
+    let report = if args.get("app").is_some() {
+        let (name, threads) = app_factory(args)?;
+        let mut bench = Workbench::new(nodes, threads)
+            .map_err(|e| e.to_string())?
+            .with_threads(jobs_of(args)?);
+        if let Some(seed) = args.get("seed") {
+            bench = bench.with_seed(seed.parse().map_err(|_| format!("bad --seed `{seed}`"))?);
+        }
+        if obs_dir.is_some() {
+            bench = bench.with_observer(acorr::obs::ObsConfig::all());
+        }
+        bench
+            .serve_app(|| build(&name, threads), &options)
+            .map_err(|e| e.to_string())?
+    } else {
+        let threads = args.get_usize("threads", 64)?;
+        let mut bench = Workbench::new(nodes, threads)
+            .map_err(|e| e.to_string())?
+            .with_threads(jobs_of(args)?);
+        if let Some(seed) = args.get("seed") {
+            bench = bench.with_seed(seed.parse().map_err(|_| format!("bad --seed `{seed}`"))?);
+        }
+        if obs_dir.is_some() {
+            bench = bench.with_observer(acorr::obs::ObsConfig::all());
+        }
+        bench.serve_traffic(&options)
+    };
+    let mut out = format!(
+        "{report}\nfinal mapping digest: {}\ntimeline digest: {}\n",
+        report.final_mapping_digest(),
+        report.timeline_digest()
+    );
+    if report.timeline.is_empty() {
+        out.push_str("timeline: (no decisions)\n");
+    } else {
+        out.push_str("timeline:\n");
+        for decision in &report.timeline {
+            out.push_str(&format!("  {decision}\n"));
+        }
+    }
+    if let Some(path) = args.get("timeline") {
+        std::fs::write(path, report.snapshot()).map_err(|e| format!("{path}: {e}"))?;
+        out.push_str(&format!("wrote {path}\n"));
+    }
+    if let Some(dir) = obs_dir {
+        let observation = report
+            .observation
+            .as_ref()
+            .expect("observer was configured");
+        let written = observation
+            .write_to(&dir)
+            .map_err(|e| format!("{}: {e}", dir.display()))?;
+        for path in &written {
+            out.push_str(&format!("wrote {}\n", path.display()));
+        }
     }
     Ok(out)
 }

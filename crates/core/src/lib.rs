@@ -54,6 +54,7 @@
 
 pub mod experiment;
 pub mod explore;
+pub mod serve;
 
 /// The application suite (re-export of `acorr-apps`).
 pub mod apps {
@@ -101,3 +102,4 @@ pub use experiment::{
     OnDemandStudy, PassiveStudy, PhaseScan, ScalePlacement, TrackingOverheadRow, Workbench,
 };
 pub use explore::{ExploreFailure, ExploreOptions, ExploreReport, FailureKind};
+pub use serve::{ServeDecision, ServeOptions, ServeReport};

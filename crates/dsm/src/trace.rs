@@ -241,6 +241,35 @@ pub enum Event {
         /// kept integral so the event stays `Eq`).
         delta_ppm: u64,
     },
+    /// The online placement service accepted a re-mapping: predicted
+    /// cut-cost improvement strictly exceeded the migration cost model's
+    /// charge (emitted by the serve loop, never by the engine itself).
+    RemapAccepted {
+        /// Traffic/iteration step at which the decision was taken.
+        step: u64,
+        /// Threads the accepted plan moves.
+        moves: u64,
+        /// Cut cost of the pre-migration mapping on the firing window.
+        cut_before: u64,
+        /// Predicted cut cost of the planned mapping.
+        cut_after: u64,
+        /// Migration cost charged by the model.
+        cost: u64,
+    },
+    /// The online placement service rejected a candidate re-mapping:
+    /// the predicted improvement did not beat the migration cost.
+    RemapRejected {
+        /// Traffic/iteration step at which the decision was taken.
+        step: u64,
+        /// Threads the rejected plan would have moved.
+        moves: u64,
+        /// Cut cost of the current mapping on the firing window.
+        cut_before: u64,
+        /// Predicted cut cost of the rejected candidate.
+        cut_after: u64,
+        /// Migration cost charged by the model.
+        cost: u64,
+    },
 }
 
 impl fmt::Display for Event {
@@ -287,6 +316,26 @@ impl fmt::Display for Event {
             Event::PhaseShift { window, delta_ppm } => {
                 write!(f, "phase-shift w{window} delta {delta_ppm}ppm")
             }
+            Event::RemapAccepted {
+                step,
+                moves,
+                cut_before,
+                cut_after,
+                cost,
+            } => write!(
+                f,
+                "remap+ s{step} {moves}mv cut {cut_before}->{cut_after} cost {cost}"
+            ),
+            Event::RemapRejected {
+                step,
+                moves,
+                cut_before,
+                cut_after,
+                cost,
+            } => write!(
+                f,
+                "remap- s{step} {moves}mv cut {cut_before}->{cut_after} cost {cost}"
+            ),
         }
     }
 }
@@ -511,6 +560,20 @@ mod tests {
             Event::PhaseShift {
                 window: 2,
                 delta_ppm: 412_000,
+            },
+            Event::RemapAccepted {
+                step: 12,
+                moves: 8,
+                cut_before: 400,
+                cut_after: 120,
+                cost: 32,
+            },
+            Event::RemapRejected {
+                step: 24,
+                moves: 2,
+                cut_before: 96,
+                cut_after: 90,
+                cost: 8,
             },
         ];
         for ev in samples {

@@ -275,6 +275,43 @@ mod tests {
     }
 
     #[test]
+    fn sparse_store_rearms_and_refires_across_three_rotations() {
+        // Regression: hysteresis re-arm on the sparse backend used to be
+        // exercised only indirectly, at 64 threads, inside the
+        // dense/sparse equivalence sweep. Drive the fire → re-arm → fire
+        // cycle directly on `SparseCorrelation` at a small thread count:
+        // three scripted affinity rotations, each sustained long enough
+        // (six windows, decay 0.5 ⇒ residual delta ≤ 0.15 after three
+        // stable windows) for the detector to settle and re-arm before
+        // the next rotation hits.
+        let threads = 16;
+        let mut d = PhaseDetector::<SparseCorrelation>::new(threads, 2);
+        for _ in 0..12 {
+            assert!(d.observe(&pattern_in(threads, 0)).is_none(), "baseline");
+        }
+        let mut fired_windows = Vec::new();
+        for offset in [1usize, 2, 3] {
+            let mut fired_this_phase = 0;
+            for _ in 0..12 {
+                if let Some(mark) = d.observe(&pattern_in::<SparseCorrelation>(threads, offset)) {
+                    fired_this_phase += 1;
+                    fired_windows.push(mark.window);
+                }
+            }
+            assert_eq!(
+                fired_this_phase, 1,
+                "rotation to offset {offset} fires exactly once"
+            );
+        }
+        assert_eq!(fired_windows.len(), 3, "fired, re-armed, fired again");
+        assert!(
+            fired_windows.windows(2).all(|w| w[0] < w[1]),
+            "marks arrive in window order"
+        );
+        assert_eq!(d.shifts().len(), 3);
+    }
+
+    #[test]
     fn detection_is_deterministic() {
         let run = || {
             let mut d = PhaseDetector::new(8, 4);

@@ -104,6 +104,34 @@ fn push_event_fields(obj: &mut Obj, event: &Event) {
                 .u64("window", window)
                 .u64("delta_ppm", delta_ppm);
         }
+        Event::RemapAccepted {
+            step,
+            moves,
+            cut_before,
+            cut_after,
+            cost,
+        } => {
+            obj.str("type", "remap_accepted")
+                .u64("step", step)
+                .u64("moves", moves)
+                .u64("cut_before", cut_before)
+                .u64("cut_after", cut_after)
+                .u64("cost", cost);
+        }
+        Event::RemapRejected {
+            step,
+            moves,
+            cut_before,
+            cut_after,
+            cost,
+        } => {
+            obj.str("type", "remap_rejected")
+                .u64("step", step)
+                .u64("moves", moves)
+                .u64("cut_before", cut_before)
+                .u64("cut_after", cut_after)
+                .u64("cost", cost);
+        }
     }
 }
 
@@ -312,6 +340,9 @@ impl ChromeTraceSink {
             Event::SpanBegin { node, .. } | Event::SpanEnd { node, .. } => u64::from(node.0),
             // A phase shift is a cluster-wide detection, not a node event.
             Event::PhaseShift { .. } => self.nodes as u64,
+            // Re-mapping verdicts are placement decisions: they join the
+            // scheduler/decision track next to schedule and fault choices.
+            Event::RemapAccepted { .. } | Event::RemapRejected { .. } => self.nodes as u64 + 1,
         }
     }
 
@@ -416,6 +447,8 @@ impl EventSink for ChromeTraceSink {
             Event::SpanBegin { .. } => "span_begin",
             Event::SpanEnd { .. } => "span_end",
             Event::PhaseShift { .. } => "phase_shift",
+            Event::RemapAccepted { .. } => "remap_accepted",
+            Event::RemapRejected { .. } => "remap_rejected",
         };
         self.instant(at, name, tid, &args_json);
     }
@@ -804,6 +837,69 @@ mod tests {
         let args = shift.get("args").unwrap();
         assert_eq!(args.get("window").unwrap().as_u64(), Some(3));
         assert_eq!(args.get("delta_ppm").unwrap().as_u64(), Some(412_000));
+    }
+
+    #[test]
+    fn remap_verdicts_land_on_the_decision_lane_with_costs() {
+        let mut sink = ChromeTraceSink::new(2);
+        sink.record_event(
+            SimTime::from_nanos(1000),
+            &Event::RemapAccepted {
+                step: 12,
+                moves: 8,
+                cut_before: 400,
+                cut_after: 120,
+                cost: 32,
+            },
+        );
+        sink.record_event(
+            SimTime::from_nanos(1100),
+            &Event::RemapRejected {
+                step: 24,
+                moves: 2,
+                cut_before: 96,
+                cut_after: 90,
+                cost: 8,
+            },
+        );
+        let doc = parse(&sink.render()).expect("valid trace JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let accepted = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("remap_accepted"))
+            .unwrap();
+        // Decision lane: tid == nodes + 1, next to schedule choices.
+        assert_eq!(accepted.get("tid").unwrap().as_u64(), Some(3));
+        let args = accepted.get("args").unwrap();
+        assert_eq!(args.get("moves").unwrap().as_u64(), Some(8));
+        assert_eq!(args.get("cut_before").unwrap().as_u64(), Some(400));
+        assert_eq!(args.get("cut_after").unwrap().as_u64(), Some(120));
+        assert_eq!(args.get("cost").unwrap().as_u64(), Some(32));
+        let rejected = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("remap_rejected"))
+            .unwrap();
+        assert_eq!(rejected.get("tid").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn remap_events_reach_jsonl_through_the_handle() {
+        let config = crate::ObsConfig::all();
+        let (_sink, handle) = MultiSink::new(&config, 2);
+        handle.record_event(
+            SimTime::from_nanos(700),
+            &Event::RemapRejected {
+                step: 3,
+                moves: 4,
+                cut_before: 50,
+                cut_after: 48,
+                cost: 16,
+            },
+        );
+        let obs = handle.finish();
+        let jsonl = obs.events_jsonl.expect("jsonl enabled");
+        assert!(jsonl.contains("\"type\":\"remap_rejected\""));
+        assert!(jsonl.contains("\"cut_before\":50"));
     }
 
     #[test]

@@ -45,6 +45,7 @@
 
 pub mod anneal;
 pub mod jarvis_patrick;
+pub mod migrate;
 pub mod mincost;
 pub mod multilevel;
 pub mod optimal;
@@ -54,6 +55,7 @@ pub mod weighted;
 
 pub use anneal::{anneal, AnnealConfig};
 pub use jarvis_patrick::jarvis_patrick;
+pub use migrate::{interchange_migration, plan_migration, MigrationCostModel, MigrationPolicy};
 pub use mincost::{min_cost, refine_kl, refine_kl_reference, DegreeCache};
 pub use multilevel::{multilevel_place, multilevel_place_with, MultilevelConfig};
 pub use optimal::optimal;

@@ -1,0 +1,90 @@
+//! Property tests for the migration cost model and re-mapping policies
+//! behind the online placement service's accept/reject gate.
+
+// Property tests require the external `proptest` crate, which the
+// offline default build cannot fetch; see the crate Cargo.toml.
+#![cfg(feature = "proptest")]
+
+use acorr_place::{interchange_migration, MigrationCostModel};
+use acorr_sim::{ClusterConfig, DetRng, Mapping};
+use acorr_track::{cut_cost, CorrelationMatrix};
+use proptest::prelude::*;
+
+fn matrix_strategy(n: usize) -> impl Strategy<Value = CorrelationMatrix> {
+    proptest::collection::vec(0u64..32, n * (n - 1) / 2).prop_map(move |vals| {
+        let mut c = CorrelationMatrix::zeros(n);
+        let mut it = vals.into_iter();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                c.set(a, b, it.next().expect("sized"));
+            }
+        }
+        c
+    })
+}
+
+fn model_strategy() -> impl Strategy<Value = MigrationCostModel> {
+    (0u64..64, 0u64..16, 0u64..256)
+        .prop_map(|(pages, per_page, fixed)| MigrationCostModel::new(pages, per_page, fixed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Moving more pages never costs less, and adding threads to a
+    /// migration never costs less either.
+    #[test]
+    fn cost_is_monotone_in_pages_and_moves(
+        model in model_strategy(),
+        a in 0u64..10_000,
+        b in 0u64..10_000,
+        moves in 1usize..500,
+    ) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(model.page_cost(lo) <= model.page_cost(hi));
+        prop_assert!(model.migration_cost(moves) <= model.migration_cost(moves + 1));
+    }
+
+    /// The gate accepts exactly when the predicted improvement strictly
+    /// exceeds the migration cost — never on equality.
+    #[test]
+    fn remap_accepted_only_when_gain_strictly_exceeds_cost(
+        model in model_strategy(),
+        gain in 0u64..100_000,
+        moves in 0usize..500,
+    ) {
+        let cost = model.migration_cost(moves);
+        prop_assert_eq!(model.accepts(gain, moves), gain > cost);
+        prop_assert!(!model.accepts(cost, moves), "equality must reject");
+    }
+
+    /// A zero-cost model degenerates to the paper's always-re-map
+    /// behavior: any strict improvement is taken, regardless of how many
+    /// threads move.
+    #[test]
+    fn zero_cost_model_degenerates_to_always_remap(
+        gain in 0u64..100_000,
+        moves in 0usize..10_000,
+    ) {
+        let model = MigrationCostModel::zero();
+        prop_assert_eq!(model.accepts(gain, moves), gain > 0);
+    }
+
+    /// The interchange policy never worsens the cut, preserves node
+    /// occupancy, and respects its swap budget on arbitrary matrices.
+    #[test]
+    fn interchange_is_safe_on_arbitrary_matrices(
+        corr in matrix_strategy(12),
+        nodes in 2usize..=4,
+        max_swaps in 0usize..=6,
+        seed in 0u64..1_000,
+    ) {
+        let cluster = ClusterConfig::new(nodes, 12).expect("cluster");
+        let current = Mapping::random_balanced(&cluster, &mut DetRng::new(seed));
+        let candidate = Mapping::random_balanced(&cluster, &mut DetRng::new(seed ^ 0xA5A5));
+        let planned = interchange_migration(&corr, &current, &candidate, max_swaps);
+        prop_assert!(cut_cost(&corr, &planned) <= cut_cost(&corr, &current));
+        prop_assert_eq!(planned.node_counts(), current.node_counts());
+        prop_assert!(planned.moves_from(&current) <= 2 * max_swaps);
+    }
+}

@@ -56,6 +56,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod topology;
+pub mod traffic;
 
 pub use cost::CostModel;
 pub use decisions::{DecisionQueue, DecisionRecord};
@@ -69,3 +70,4 @@ pub use rng::DetRng;
 pub use stats::{linear_fit, mean, stddev, LinearFit};
 pub use time::{SimDuration, SimTime};
 pub use topology::{ClusterConfig, Mapping, NodeId, TopologyError};
+pub use traffic::{Scenario, TrafficConfig, TrafficDriver};

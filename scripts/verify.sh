@@ -65,6 +65,22 @@ echo "$scale_out" | grep -q "digest: fnv1a:e1285098d3c4cfcd" || {
     exit 1
 }
 
+echo "==> serve smoke (online placement service, pinned decision timeline)"
+# The hotspot decision timeline is a pure function of (seed, scenario,
+# jobs) — the digest grep trips on any drift in the traffic driver, the
+# phase detector, the candidate placement, or the migration gate.
+serve_dir="$(mktemp -d)"
+serve_out="$(./target/release/acorr serve --scenario hotspot --steps 48 \
+    --timeline "$serve_dir/timeline.txt")"
+echo "$serve_out" | grep -q "timeline digest: fnv1a:f2e8753835019d00" || {
+    echo "error: hotspot decision timeline drifted from the pinned digest:" >&2
+    echo "$serve_out" >&2
+    echo "--- timeline ---" >&2
+    cat "$serve_dir/timeline.txt" >&2
+    exit 1
+}
+rm -rf "$serve_dir"
+
 echo "==> perf regression gate (scripts/check_perf.sh)"
 sh scripts/check_perf.sh
 

@@ -42,3 +42,67 @@ fn passive_study_is_bit_identical_across_worker_counts() {
     assert_eq!(seq.completeness, par.completeness);
     assert_eq!(seq.moves, par.moves);
 }
+
+// ---------------------------------------------------------------------
+// The online placement service: the whole decision loop is a pure
+// function of (seed, scenario, jobs) — the decision timeline and the
+// final mapping must be byte-identical at any worker count and across
+// reruns with a fixed seed.
+// ---------------------------------------------------------------------
+
+use active_correlation_tracking::place::MigrationPolicy;
+use active_correlation_tracking::sim::Scenario;
+use active_correlation_tracking::ServeOptions;
+
+fn serve_bench(jobs: usize) -> Workbench {
+    Workbench::new(8, 64).unwrap().with_threads(jobs)
+}
+
+#[test]
+fn serve_timeline_is_bit_identical_across_worker_counts() {
+    for scenario in [Scenario::Hotspot, Scenario::Churn] {
+        for policy in [MigrationPolicy::Greedy, MigrationPolicy::Interchange] {
+            let options = ServeOptions::new(scenario).with_policy(policy);
+            let seq = serve_bench(1).serve_traffic(&options);
+            for jobs in [4, 8] {
+                let par = serve_bench(jobs).serve_traffic(&options);
+                assert_eq!(
+                    seq.timeline_text(),
+                    par.timeline_text(),
+                    "{scenario}/{policy} jobs={jobs}"
+                );
+                assert_eq!(
+                    seq.final_mapping, par.final_mapping,
+                    "{scenario}/{policy} jobs={jobs}"
+                );
+                assert_eq!(
+                    seq.snapshot(),
+                    par.snapshot(),
+                    "{scenario}/{policy} jobs={jobs}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn serve_reruns_with_a_fixed_seed_are_identical() {
+    let options = ServeOptions::new(Scenario::Churn);
+    let run = || serve_bench(4).with_seed(0xFEED).serve_traffic(&options);
+    let (a, b) = (run(), run());
+    assert_eq!(a.snapshot(), b.snapshot());
+    assert_eq!(a.timeline_digest(), b.timeline_digest());
+    assert_eq!(a.final_mapping, b.final_mapping);
+    assert_eq!(a.served_cut, b.served_cut);
+}
+
+#[test]
+fn serve_seed_actually_matters() {
+    // Churn draws its matchings from the seed: two different seeds must
+    // not produce the same timeline (guards against a driver that
+    // silently ignores the workbench seed).
+    let options = ServeOptions::new(Scenario::Churn);
+    let a = serve_bench(1).with_seed(1).serve_traffic(&options);
+    let b = serve_bench(1).with_seed(2).serve_traffic(&options);
+    assert_ne!(a.snapshot(), b.snapshot());
+}
